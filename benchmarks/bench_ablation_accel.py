@@ -1,0 +1,107 @@
+"""Ablation — tuple-at-a-time vs vectorised semiring kernels.
+
+The paper's conclusion points at main-memory techniques as the way to
+close the RDBMS's gap; this bench measures that headroom on the exact
+operator the recursion spends its time in (the MV-join of a PageRank-like
+iteration, and the MM-join of a closure step).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import time_call
+from repro.bench.reporting import format_table
+from repro.core.accel import mm_join_accel, mv_join_accel
+from repro.core.operators import mm_join, mv_join
+from repro.core.semiring import MIN_PLUS, PLUS_TIMES
+from repro.relational.relation import Relation
+
+
+def _workload(n: int, m: int, seed: int = 1):
+    rng = random.Random(seed)
+    unique = {(rng.randrange(n), rng.randrange(n)): rng.random()
+              for _ in range(m)}
+    edges = Relation.from_pairs(
+        ("F", "T", "ew"),
+        sorted((f, t, w) for (f, t), w in unique.items()))
+    vector = Relation.from_pairs(
+        ("ID", "vw"), [(i, rng.random()) for i in range(n)])
+    return edges, vector
+
+
+def test_accel_mv_join_iterated(benchmark, emit):
+    """PageRank-shaped workload: 15 MV-joins against one matrix — the
+    compiled backend converts once and amortises."""
+    from repro.core.accel import CompiledMatrix
+
+    iterations = 15
+
+    def run() -> list[list]:
+        rows = []
+        for n, m in ((1_000, 10_000), (3_000, 40_000)):
+            edges, vector = _workload(n, m)
+
+            def pure_loop():
+                current = vector
+                for _ in range(iterations):
+                    current = mv_join(edges, current, PLUS_TIMES,
+                                      transpose=True)
+                return current
+
+            def compiled_loop():
+                compiled = CompiledMatrix(edges, transpose=True)
+                current = vector
+                for _ in range(iterations):
+                    current = compiled.mv(current, PLUS_TIMES)
+                return current
+
+            pure_result, pure_s = time_call(pure_loop)
+            fast_result, fast_s = time_call(compiled_loop)
+            assert pure_result.to_dict().keys() == \
+                fast_result.to_dict().keys()
+            rows.append([f"{n}x{m}", pure_s * 1000, fast_s * 1000,
+                         pure_s / fast_s if fast_s else None])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_accel_mv", format_table(
+        ["inputs", "pure (ms)", "scipy (ms)", "speedup"], rows,
+        f"Ablation — {iterations}× MV-join: tuple-at-a-time vs compiled"))
+    # the vectorised kernel must win on the larger input
+    assert rows[-1][3] > 1.0
+
+
+def test_accel_mm_join(benchmark, emit):
+    def run() -> list[list]:
+        rows = []
+        for n, m in ((300, 3_000), (800, 10_000)):
+            edges, _ = _workload(n, m)
+            _, pure_s = time_call(
+                lambda: mm_join(edges, edges, PLUS_TIMES))
+            _, fast_s = time_call(
+                lambda: mm_join_accel(edges, edges, PLUS_TIMES))
+            rows.append([f"{n}x{m}", pure_s * 1000, fast_s * 1000,
+                         pure_s / fast_s if fast_s else None])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_accel_mm", format_table(
+        ["inputs", "pure (ms)", "scipy (ms)", "speedup"], rows,
+        "Ablation — MM-join (plus-times): tuple-at-a-time vs vectorised"))
+    assert rows[-1][3] > 1.0
+
+
+def test_accel_answers_identical(benchmark):
+    edges, vector = _workload(400, 4_000)
+
+    def run():
+        pure = mv_join(edges, vector, MIN_PLUS, transpose=True).to_dict()
+        fast = mv_join_accel(edges, vector, MIN_PLUS,
+                             transpose=True).to_dict()
+        return pure, fast
+
+    pure, fast = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(pure) == set(fast)
+    for key in pure:
+        assert abs(pure[key] - fast[key]) < 1e-9

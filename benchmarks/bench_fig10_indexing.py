@@ -1,0 +1,83 @@
+"""Fig 10 (Exp-A) — the effect of indexing temp tables, PostgreSQL dialect.
+
+The paper: Oracle and DB2 plan hash joins regardless of indexes; only
+PostgreSQL's merge-join plans change — an ordered index on the join
+attribute replaces the per-iteration sort with an index-ordered scan,
+improving runs by 10–50% on most datasets and helping least on the
+densest (Orkut-like) graph, where frequent index maintenance eats the
+saved sort.
+
+Reproduced on 4 larger datasets × {PR, WCC, LP}, with and without sorted
+indexes on the recursive relation's and base tables' join columns.  As in
+the paper, the indexed timings include index construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import fresh_engine, load_dataset, time_call
+from repro.bench.reporting import format_table
+from repro.core.algorithms import common
+from repro.core.algorithms.registry import get_algorithm
+from repro.core.algorithms.wcc import prepare_symmetric_edges
+
+FIG10_DATASETS = ("LJ", "WG", "PC", "OK")
+FIG10_ALGORITHMS = ("PR", "WCC", "LP")
+
+#: sorted-index columns on the recursive temp relation, per algorithm.
+TEMP_INDEXES = {
+    "PR": {"P": ["ID"]},
+    "WCC": {"C": ["ID"]},
+    "LP": {"LP": ["ID"]},
+}
+#: sorted indexes on the base relations the recursive join reads.
+BASE_INDEXES = {
+    "PR": [("S", "F")],
+    "WCC": [("ES", "F")],
+    "LP": [("E", "F")],
+}
+
+
+def run_one(dataset_key: str, algo_key: str, indexed: bool) -> float:
+    graph = load_dataset(dataset_key)
+    info = get_algorithm(algo_key)
+    engine = fresh_engine("postgres")
+    common.load_graph(engine, graph)
+    if algo_key == "PR":
+        common.prepare_transition(engine)
+    if algo_key == "WCC":
+        prepare_symmetric_edges(engine)
+    module = info.module
+    query = module.sql(graph.num_nodes) if algo_key == "PR" else module.sql()
+
+    def execute() -> None:
+        if indexed:
+            engine.set_temp_indexes(TEMP_INDEXES[algo_key])
+            for table_name, column in BASE_INDEXES[algo_key]:
+                table = engine.database.table(table_name)
+                if f"ix_{table_name}" not in table.indexes:
+                    table.create_index(f"ix_{table_name}", [column], "btree")
+        engine.execute(query)
+
+    _, seconds = time_call(execute)
+    return seconds * 1000
+
+
+@pytest.mark.parametrize("dataset_key", FIG10_DATASETS)
+def test_fig10_indexing(benchmark, emit, dataset_key):
+    def run() -> list[list]:
+        rows = []
+        for algo_key in FIG10_ALGORITHMS:
+            without = run_one(dataset_key, algo_key, indexed=False)
+            with_ix = run_one(dataset_key, algo_key, indexed=True)
+            rows.append([algo_key, without, with_ix,
+                         with_ix / without if without else None])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["algorithm", "no index (ms)", "indexed (ms)", "ratio"],
+        rows, f"Fig 10 — indexing effect, {dataset_key}-like, postgres")
+    emit(f"fig10_{dataset_key}", table)
+    assert len(rows) == len(FIG10_ALGORITHMS)

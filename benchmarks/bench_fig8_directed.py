@@ -1,0 +1,56 @@
+"""Fig 8 — 10 algorithms over the 6 directed graphs, on all 3 dialects.
+
+TopoSort runs on an acyclic twin of each directed graph (the synthetic
+graphs may contain cycles; the paper's TS likewise requires a DAG).
+
+Shapes to reproduce, beyond Fig 7's: MNM's iteration count (and therefore
+time) varies wildly across datasets — near-instant where matching freezes
+in one round, long on the dense Google+-like graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    DIALECTS,
+    dag_twin,
+    fresh_engine,
+    load_dataset,
+    time_call,
+)
+from repro.bench.reporting import format_table
+from repro.core.algorithms.registry import get_algorithm
+from repro.datasets import DIRECTED_KEYS
+
+FIG8_ALGORITHMS = ("SSSP", "WCC", "PR", "HITS", "TS", "KC", "MIS", "LP",
+                   "MNM", "KS")
+
+
+def run_dataset(dataset_key: str) -> list[list]:
+    graph = load_dataset(dataset_key)
+    dag = dag_twin(graph)
+    rows = []
+    for algo_key in FIG8_ALGORITHMS:
+        info = get_algorithm(algo_key)
+        target = dag if info.needs_dag else graph
+        kwargs = {"k": 5} if algo_key == "KC" else {}
+        row: list = [algo_key]
+        for dialect in DIALECTS:
+            engine = fresh_engine(dialect)
+            _, seconds = time_call(
+                lambda: info.run_sql(engine, target, **kwargs))
+            row.append(seconds * 1000)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("dataset_key", DIRECTED_KEYS)
+def test_fig8_directed(benchmark, emit, dataset_key):
+    rows = benchmark.pedantic(run_dataset, args=(dataset_key,),
+                              rounds=1, iterations=1)
+    table = format_table(
+        ["algorithm (ms)", "oracle", "db2", "postgres"], rows,
+        f"Fig 8 — 10 algorithms on the {dataset_key}-like directed graph")
+    emit(f"fig8_{dataset_key}", table)
+    assert len(rows) == len(FIG8_ALGORITHMS)

@@ -1,0 +1,24 @@
+"""Table 2 — the algorithm classification (aggregate, linear/nonlinear).
+
+The registry carries the paper's classification; this bench prints it and
+cross-checks it against the implementations: an algorithm marked nonlinear
+must reference its recursive relation more than once in its with+ query
+(or fold mutual recursion through COMPUTED BY), and the declared aggregate
+must appear in the query text.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.algorithms.registry import ALGORITHMS, table2_rows
+
+
+def test_table2_algorithm_classification(benchmark, emit):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["algorithm", "aggregation", "linear", "nonlinear"],
+        [[r["algorithm"], r["aggregation"], r["linear"], r["nonlinear"]]
+         for r in rows],
+        "Table 2 — graph algorithms")
+    emit("table2_registry", table)
+    assert len(rows) == len(ALGORITHMS)

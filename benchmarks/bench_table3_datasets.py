@@ -1,0 +1,30 @@
+"""Table 3 — the dataset statistics, paper vs synthetic stand-ins.
+
+Generates all nine graphs at the benchmark scale and measures |V|, |E|,
+estimated diameter and average degree next to the paper's values.  The
+shape that must hold: same directedness, same density ordering (Orkut and
+Google+ densest, Wiki-Talk sparsest), average degree tracking the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_SCALE
+from repro.bench.reporting import format_table
+from repro.datasets import DATASETS, table3_row
+
+
+def test_table3_dataset_statistics(benchmark, emit):
+    def run():
+        return [table3_row(key, BENCH_SCALE) for key in DATASETS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["key", "dataset", "directed", "|V|", "|E|", "diam", "avg deg",
+         "paper |V|", "paper |E|", "paper diam", "paper avg deg"],
+        [[r["key"], r["dataset"], r["directed"], r["nodes"], r["edges"],
+          r["diameter"], r["avg_degree"], r["paper_nodes"],
+          r["paper_edges"], r["paper_diameter"], r["paper_avg_degree"]]
+         for r in rows],
+        f"Table 3 — datasets (scale={BENCH_SCALE})")
+    emit("table3_datasets", table)
+    assert len(rows) == 9

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every bench prints the rows/series its paper table or figure reports and
+also writes them to ``benchmark_results/<name>.txt`` so the output
+survives pytest's capture.  ``REPRO_BENCH_SCALE`` (default 0.35) scales
+the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "benchmark_results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def emit():
+    """Fixture handing benches the print-and-save helper."""
+    return save_result

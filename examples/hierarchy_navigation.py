@@ -1,0 +1,107 @@
+"""Hierarchy navigation with SEARCH and CYCLE — the classic Oracle
+recursive-query use-case, on this engine's Oracle profile.
+
+An org chart is walked depth-first (so reports appear under their
+managers, as an org tree prints), then breadth-first (levels); a stale
+"acting manager" edge creates a reporting cycle, which the CYCLE clause
+detects and marks instead of looping forever.
+
+Run:  python examples/hierarchy_navigation.py
+"""
+
+from repro.relational import Engine
+
+REPORTS = [
+    # (manager, employee)
+    (1, 2), (1, 3),          # CEO 1 -> VPs 2, 3
+    (2, 4), (2, 5),          # VP 2 -> managers 4, 5
+    (3, 6),                  # VP 3 -> manager 6
+    (4, 7), (4, 8), (6, 9),  # ICs
+    (9, 3),                  # oops: 9 is "acting manager" of their own VP
+]
+
+NAMES = {1: "ada", 2: "grace", 3: "edsger", 4: "barbara", 5: "alan",
+         6: "donald", 7: "tony", 8: "leslie", 9: "margaret"}
+
+
+def main() -> None:
+    engine = Engine("oracle")
+    engine.database.load_edge_table("E", REPORTS, weighted=False)
+    engine.database.register(
+        "Emp", _names_relation())
+
+    walk = """
+    with Chain(mgr, emp) as (
+      (select F, T from E where F = 1)
+      union all
+      (select Chain.emp as mgr, E.T as emp from Chain, E
+       where Chain.emp = E.F)
+    )
+    {clause}
+    select mgr, emp, ord{cycle_col} from Chain
+    """
+
+    print("Depth-first walk (reports indented under managers):")
+    depth_first = engine.execute(walk.format(
+        clause="search depth first by emp set ord\n"
+               "cycle emp set looped to 'Y' default 'N'",
+        cycle_col=", looped"), mode="with")
+    ord_i = depth_first.schema.index_of("ord")
+    looped_i = depth_first.schema.index_of("looped")
+    depth = _depths(depth_first)
+    for row in sorted(depth_first.rows, key=lambda r: r[ord_i]):
+        indent = "  " * depth[(row[0], row[1])]
+        marker = "  <- reporting cycle!" if row[looped_i] == "Y" else ""
+        print(f"  {indent}{NAMES[int(row[1])]}"
+              f" (manager: {NAMES[int(row[0])]}){marker}")
+
+    print("\nBreadth-first walk (org levels):")
+    breadth_first = engine.execute(walk.format(
+        clause="search breadth first by emp set ord\n"
+               "cycle emp set looped to 'Y' default 'N'",
+        cycle_col=""), mode="with")
+    ord_b = breadth_first.schema.index_of("ord")
+    for row in sorted(breadth_first.rows, key=lambda r: r[ord_b]):
+        print(f"  #{int(row[ord_b])}: {NAMES[int(row[1])]}")
+
+    print("\nJoined back to the employee relation (names in SQL):")
+    engine.database.register("Walk", depth_first.project(["mgr", "emp"]))
+    print(engine.execute("""
+        select M.name as manager, count(*) as direct_and_indirect
+        from Walk, Emp as M
+        where Walk.mgr = M.ID
+        group by M.name order by direct_and_indirect desc""").pretty())
+
+
+def _depths(result):
+    """Derivation depth per (mgr, emp) row — root rows have depth 0."""
+    children = {(int(r[0]), int(r[1])) for r in result.rows}
+    depth = {}
+    frontier = [pair for pair in children if pair[0] == 1]
+    for pair in frontier:
+        depth[pair] = 0
+    while frontier:
+        nxt = []
+        for mgr, emp in frontier:
+            for pair in children:
+                if pair[0] == emp and pair not in depth:
+                    depth[pair] = depth[(mgr, emp)] + 1
+                    nxt.append(pair)
+        frontier = nxt
+    for pair in children:
+        depth.setdefault(pair, 0)
+    return depth
+
+
+def _names_relation():
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Schema
+    from repro.relational.types import SqlType
+
+    schema = Schema.of(("ID", SqlType.INTEGER), ("name", SqlType.TEXT),
+                       primary_key=("ID",))
+    return Relation(schema, sorted(NAMES.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: keeps ``pip install -e .`` working on environments
+without the ``wheel`` package (legacy editable installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of "All-in-One: Graph Processing in RDBMSs
+Revisited" (Zhao & Yu, SIGMOD 2017).
+
+Layout:
+
+* :mod:`repro.relational` — the RDBMS substrate (engine, SQL subset,
+  dialect profiles for Oracle / DB2 / PostgreSQL);
+* :mod:`repro.core` — the paper's contribution: semirings, the four
+  operations (MM-join, MV-join, anti-join, union-by-update), the
+  algebra+while loop, the with+ language and its XY-stratification theory,
+  and the graph-algorithm library;
+* :mod:`repro.datalog` — a Datalog engine with stratified and
+  XY-stratified evaluation (the Section 5 machinery);
+* :mod:`repro.graphsystems` — baseline engines (GAS, Pregel, Datalog)
+  standing in for PowerGraph, Giraph and SociaLite;
+* :mod:`repro.datasets` — synthetic stand-ins for the nine SNAP graphs;
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+"""
+
+from repro.relational import Engine, Relation
+
+__version__ = "1.0.0"
+
+__all__ = ["Engine", "Relation", "__version__"]

@@ -1,0 +1,13 @@
+"""The benchmark harness: workloads, runners and table reporting for
+regenerating every table and figure of the paper's evaluation."""
+
+from .harness import (
+    BENCH_SCALE,
+    bench_scale,
+    fresh_engine,
+    time_call,
+)
+from .reporting import format_table, print_table
+
+__all__ = ["BENCH_SCALE", "bench_scale", "fresh_engine", "time_call",
+           "format_table", "print_table"]

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark output.
+
+Every bench prints the same rows/series the paper's table or figure
+reports, with a ``paper`` column where the paper's qualitative expectation
+can sit next to the measured value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                title: str = "") -> None:
+    print()
+    print(format_table(headers, rows, title))

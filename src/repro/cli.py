@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Algorithms (Table 2 classification) and datasets (Table 3 stats).
+``run ALGO``
+    Run one algorithm on a dataset under a dialect; print timing and a
+    sample of the result.
+``sql ALGO``
+    Print the algorithm's with+ query.
+``psm ALGO``
+    Print the SQL/PSM procedure Algorithm 1 emits for a dialect.
+``query "SELECT ..."``
+    Ad-hoc SQL (with+ included) over a loaded dataset's E/V/W/L tables.
+``explain "SELECT ..."``
+    Physical plan of a non-recursive query under a dialect profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.algorithms import common
+from repro.core.algorithms.registry import ALGORITHMS, get_algorithm
+from repro.datasets import DATASETS, load, random_dag, table3_row
+from repro.relational import Engine
+
+
+def _sql_text(key: str, graph) -> str:
+    """The with+ query for *key*, instantiated for *graph*."""
+    info = get_algorithm(key)
+    module = info.module
+    kwargs = dict(info.bench_kwargs)
+    if key == "PR":
+        return module.sql(graph.num_nodes, iterations=kwargs["iterations"])
+    if key in ("BFS", "SSSP"):
+        return module.sql(kwargs.get("source", 0))
+    if key == "RWR":
+        return module.sql(kwargs["restart_node"],
+                          iterations=kwargs["iterations"])
+    if key == "KS":
+        return module.sql(kwargs["keywords"], kwargs["depth"])
+    if key in ("KC", "KT"):
+        return module.sql(kwargs["k"])
+    if key == "APSP":
+        return module.sql(kwargs["depth"])
+    if key in ("HITS", "LP", "SR"):
+        return module.sql(iterations=kwargs["iterations"])
+    if hasattr(module, "sql"):
+        return module.sql()
+    raise SystemExit(f"{key} has no SQL form (see the registry)")
+
+
+def _load_for(key: str, args) -> tuple[Engine, object]:
+    info = get_algorithm(key)
+    graph = load(args.dataset, args.scale)
+    if info.needs_dag:
+        graph = random_dag(graph.num_nodes,
+                           max(graph.average_degree / 2.0, 0.5),
+                           seed=1234, name=f"{graph.name}-dag")
+    return Engine(args.dialect), graph
+
+
+def cmd_list(args) -> int:
+    rows = [[info.key, info.name, info.aggregate,
+             "yes" if info.linear else "no",
+             "yes" if info.nonlinear else "no",
+             "yes" if info.has_sql else "no"]
+            for info in ALGORITHMS.values()]
+    print(format_table(
+        ["key", "algorithm", "aggregate", "linear", "nonlinear", "sql"],
+        rows, "Algorithms (Table 2)"))
+    print()
+    dataset_rows = [[r["key"], r["dataset"],
+                     "yes" if r["directed"] else "no", r["nodes"],
+                     r["edges"], r["avg_degree"]]
+                    for r in (table3_row(k, args.scale) for k in DATASETS)]
+    print(format_table(
+        ["key", "dataset", "directed", "|V|", "|E|", "avg deg"],
+        dataset_rows, f"Datasets (Table 3, scale={args.scale})"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    key = args.algorithm.upper()
+    info = get_algorithm(key)
+    if not info.has_sql:
+        print(f"{key} ships reference/algebra implementations only",
+              file=sys.stderr)
+        return 2
+    engine, graph = _load_for(key, args)
+    started = time.perf_counter()
+    result = info.run_sql(engine, graph)
+    elapsed = time.perf_counter() - started
+    print(f"{info.name} on {args.dataset} ({graph.num_nodes} nodes,"
+          f" {graph.num_edges} edges) under {args.dialect}:"
+          f" {elapsed * 1000:.1f} ms, {result.iterations} iterations")
+    sample = list(result.values.items())[:args.limit]
+    for item, value in sample:
+        print(f"  {item}: {value}")
+    if len(result.values) > args.limit:
+        print(f"  ... ({len(result.values)} values)")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    key = args.algorithm.upper()
+    graph = load(args.dataset, args.scale)
+    print(_sql_text(key, graph).strip())
+    return 0
+
+
+def cmd_psm(args) -> int:
+    key = args.algorithm.upper()
+    engine = Engine(args.dialect)
+    graph = load(args.dataset, args.scale)
+    print(engine.to_psm(_sql_text(key, graph)).render())
+    return 0
+
+
+def cmd_query(args) -> int:
+    engine, graph = Engine(args.dialect), load(args.dataset, args.scale)
+    common.load_graph(engine, graph)
+    common.prepare_transition(engine)
+    result = engine.execute(args.sql, mode=args.mode)
+    print(result.pretty(args.limit))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    engine, graph = Engine(args.dialect), load(args.dataset, args.scale)
+    common.load_graph(engine, graph)
+    common.prepare_transition(engine)
+    print(engine.explain(args.sql))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph processing in an RDBMS, revisited (SIGMOD'17"
+                    " reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_flags(p, dataset=True):
+        p.add_argument("--dialect", default="oracle",
+                       choices=("oracle", "db2", "postgres"))
+        if dataset:
+            p.add_argument("--dataset", default="WG",
+                           choices=sorted(DATASETS))
+        p.add_argument("--scale", type=float, default=0.35)
+        p.add_argument("--limit", type=int, default=10)
+
+    p = sub.add_parser("list", help="algorithms and datasets")
+    p.add_argument("--scale", type=float, default=0.35)
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="run an algorithm via its with+ query")
+    p.add_argument("algorithm")
+    common_flags(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sql", help="print an algorithm's with+ query")
+    p.add_argument("algorithm")
+    common_flags(p)
+    p.set_defaults(fn=cmd_sql)
+
+    p = sub.add_parser("psm", help="print the SQL/PSM translation")
+    p.add_argument("algorithm")
+    common_flags(p)
+    p.set_defaults(fn=cmd_psm)
+
+    p = sub.add_parser("query", help="ad-hoc SQL over a loaded dataset")
+    p.add_argument("sql")
+    p.add_argument("--mode", default="with+", choices=("with", "with+"))
+    common_flags(p)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("explain", help="show the physical plan")
+    p.add_argument("sql")
+    common_flags(p)
+    p.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # output piped into head etc.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

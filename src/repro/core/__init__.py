@@ -1,0 +1,62 @@
+"""The paper's contribution: semirings, the four operations, algebra+while,
+the with+ language, its stratification theory, and the graph algorithms.
+"""
+
+from .semiring import (
+    BOOLEAN,
+    MAX_MIN,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_TIMES,
+    PLUS_TIMES,
+    STANDARD_SEMIRINGS,
+    Semiring,
+)
+from .operators import (
+    anti_join,
+    anti_join_basic,
+    mm_join,
+    mm_join_basic,
+    mv_join,
+    mv_join_basic,
+    transpose,
+    union_by_update,
+    union_by_update_basic,
+)
+from .matrix import MatrixRelation, VectorRelation
+from .loop import FixpointResult, LoopStats, fixpoint
+from .depgraph import DependencyGraph, build_dependency_graph
+from .stratify import Stratification, is_stratifiable, stratify
+from .withplus import WithPlusQuery, parse_withplus
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "BOOLEAN",
+    "MAX_MIN",
+    "STANDARD_SEMIRINGS",
+    "mm_join",
+    "mm_join_basic",
+    "mv_join",
+    "mv_join_basic",
+    "anti_join",
+    "anti_join_basic",
+    "union_by_update",
+    "union_by_update_basic",
+    "transpose",
+    "MatrixRelation",
+    "VectorRelation",
+    "fixpoint",
+    "FixpointResult",
+    "LoopStats",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "Stratification",
+    "is_stratifiable",
+    "stratify",
+    "WithPlusQuery",
+    "parse_withplus",
+]

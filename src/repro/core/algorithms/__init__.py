@@ -1,0 +1,19 @@
+"""The paper's graph-algorithm library.
+
+Every module implements one algorithm up to three ways:
+
+* ``sql(...)`` / ``run_sql(engine, ...)`` — the with+ query of Sections 4/6,
+  executed through the relational engine (this is what the paper measures);
+* ``run_algebra(graph, ...)`` — the "algebra + while" form built directly on
+  the four operations (:mod:`repro.core.operators`);
+* ``run_reference(graph, ...)`` — a plain-Python oracle used by the tests
+  and as the comparison baseline.
+
+:mod:`repro.core.algorithms.registry` carries the Table 2 metadata and a
+uniform dispatch API used by the benchmark harness.
+"""
+
+from . import registry
+from .registry import ALGORITHMS, AlgorithmInfo, get_algorithm
+
+__all__ = ["registry", "ALGORITHMS", "AlgorithmInfo", "get_algorithm"]

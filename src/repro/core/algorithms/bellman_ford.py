@@ -1,0 +1,85 @@
+"""Single-source shortest paths, Bellman-Ford style (Eq. 7).
+
+The min-plus semiring: distance to ``t`` relaxes to
+``min(d(t), min_{(f,t)∈E} d(f) + ew(f,t))`` each round.  The recursive
+subquery folds the node's current distance into the minimum (the
+``UNION ALL`` inside the derived table), so union-by-update can replace the
+whole vector safely.
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from ..loop import fixpoint
+from ..operators import mv_join
+from ..semiring import MIN_PLUS
+from .common import INF, SQL_INFINITY, AlgoResult, load_graph, rows_to_dict
+
+
+def sql(source: int) -> str:
+    return f"""
+with D(ID, d) as (
+  (select ID, case when ID = {source} then 0.0 else {SQL_INFINITY} end from V)
+  union by update ID
+  (select X.ID, min(X.d) from
+     ((select E.T as ID, D.d + E.ew as d from D, E where D.ID = E.F)
+      union all
+      (select ID, d from D)) as X
+   group by X.ID)
+)
+select ID, d from D
+"""
+
+
+def run_sql(engine: Engine, graph: Graph, source: int) -> AlgoResult:
+    load_graph(engine, graph)
+    detail = engine.execute_detailed(sql(source))
+    values = {node: (None if d >= INF else d)
+              for node, d in detail.relation.rows}
+    return AlgoResult(values, detail.iterations, detail.per_iteration)
+
+
+def run_algebra(graph: Graph, source: int) -> AlgoResult:
+    from repro.relational.relation import Relation
+
+    edges = Relation.from_pairs(("F", "T", "ew"),
+                                list(graph.weighted_edges()))
+    initial = Relation.from_pairs(
+        ("ID", "vw"),
+        [(v, 0.0 if v == source else MIN_PLUS.zero) for v in graph.nodes()])
+
+    def step(current, iteration):
+        relaxed = mv_join(edges, current, MIN_PLUS, transpose=True)
+        merged = dict(current.rows)
+        for node, value in relaxed.rows:
+            if value < merged.get(node, MIN_PLUS.zero):
+                merged[node] = value
+        return current.replace_rows(sorted(merged.items()))
+
+    result = fixpoint(initial, step, key=("ID",))
+    values = {node: (None if d == MIN_PLUS.zero else d)
+              for node, d in result.relation.rows}
+    return AlgoResult(values, result.stats.iterations)
+
+
+def run_reference(graph: Graph, source: int) -> AlgoResult:
+    """Dijkstra oracle (non-negative weights in all our datasets)."""
+    import heapq
+
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    done: set[int] = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for neighbor, weight in graph.out_neighbors(node).items():
+            candidate = d + weight
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    values = {v: dist.get(v) for v in graph.nodes()}
+    return AlgoResult(values)

@@ -1,0 +1,65 @@
+"""BFS reachability (Eq. 5).
+
+The max-times semiring propagates the source's 1 along edges:
+``V ← ρ_V(E ⋈^{max(vw·ew)}_{F=ID} V)`` — an MV-join against ``Eᵀ``
+followed by union-by-update.  A node's value becomes 1 exactly when it is
+reachable from the source.
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from ..loop import fixpoint
+from ..matrix import MatrixRelation, VectorRelation
+from ..operators import mv_join, union_by_update
+from ..semiring import MAX_TIMES
+from .common import AlgoResult, load_graph, rows_to_dict
+
+
+def sql(source: int) -> str:
+    return f"""
+with B(ID, vw) as (
+  (select ID, case when ID = {source} then 1.0 else 0.0 end from V)
+  union by update ID
+  (select E.T, max(B.vw * E.ew) from B, E where B.ID = E.F group by E.T)
+)
+select ID, vw from B
+"""
+
+
+def run_sql(engine: Engine, graph: Graph, source: int) -> AlgoResult:
+    load_graph(engine, graph)
+    detail = engine.execute_detailed(sql(source))
+    return AlgoResult(rows_to_dict(detail.relation), detail.iterations,
+                      detail.per_iteration)
+
+
+def run_algebra(graph: Graph, source: int) -> AlgoResult:
+    edges = MatrixRelation.from_entries(
+        [(u, v, 1.0) for u, v in graph.edges()], MAX_TIMES)
+    initial = VectorRelation.from_items(
+        [(v, 1.0 if v == source else 0.0) for v in graph.nodes()], MAX_TIMES)
+
+    def step(current, iteration):
+        return mv_join(edges.relation, current, MAX_TIMES, transpose=True)
+
+    result = fixpoint(initial.relation, step, key=("ID",))
+    return AlgoResult(rows_to_dict(result.relation),
+                      result.stats.iterations)
+
+
+def run_reference(graph: Graph, source: int) -> AlgoResult:
+    values = {v: 0.0 for v in graph.nodes()}
+    values[source] = 1.0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in graph.out_neighbors(node):
+                if values[neighbor] == 0.0:
+                    values[neighbor] = 1.0
+                    nxt.append(neighbor)
+        frontier = nxt
+    return AlgoResult(values)

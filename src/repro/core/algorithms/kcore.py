@@ -1,0 +1,87 @@
+"""K-core (Section 7's KC).
+
+Per the paper: keep the edge set induced by nodes of degree ≥ k and repeat
+until stable ("the result is obtained when E' cannot be changed"; k = 10
+for the dense Orkut, 5 for the others).  The recursive relation holds the
+surviving node set; the keyless union-by-update *replaces* it each round —
+the paper's "without attributes" form of ⊎.  Degrees count undirected
+neighbours, so directed graphs read the symmetrised view ``ES``.
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from .common import AlgoResult, load_graph
+from .wcc import prepare_symmetric_edges
+
+
+def sql(k: int) -> str:
+    return f"""
+with C(ID) as (
+  (select ID from V)
+  union by update
+  (select D.ID from D where D.c >= {k}
+   computed by
+     D(ID, c) as select ES.F, count(*) from ES, C as C1, C as C2
+                where ES.F = C1.ID and ES.T = C2.ID
+                group by ES.F;
+  )
+)
+select ID from C
+"""
+
+
+def run_sql(engine: Engine, graph: Graph, k: int = 5) -> AlgoResult:
+    load_graph(engine, graph)
+    prepare_symmetric_edges(engine)
+    detail = engine.execute_detailed(sql(k))
+    members = {row[0]: True for row in detail.relation.rows}
+    return AlgoResult(members, detail.iterations, detail.per_iteration)
+
+
+def run_algebra(graph: Graph, k: int = 5) -> AlgoResult:
+    """K-core through the operations: per round, a count aggregation over
+    the alive-induced edges (two semi-joins), then the keyless
+    union-by-update (wholesale replacement) of the alive set."""
+    from repro.relational.relation import AggregateSpec, Relation
+
+    from ..loop import fixpoint
+    from ..operators import union_by_update
+
+    symmetric = {(u, v) for u, v in graph.edges()} \
+        | {(v, u) for u, v in graph.edges()}
+    edges = Relation.from_pairs(("F", "T"), sorted(symmetric)) \
+        if symmetric else Relation.from_pairs(("F", "T"), [])
+    initial = Relation.from_pairs(("ID",),
+                                  [(v,) for v in graph.nodes()])
+
+    def shrink(current, iteration):
+        alive_f = edges.semi_join(current, ["F"], ["ID"])
+        alive = alive_f.semi_join(current, ["T"], ["ID"])
+        degrees = alive.group_by(
+            ["F"], [AggregateSpec("count", None, "c")])
+        survivors = degrees.select(lambda row: row[1] >= k) \
+            .project(["F"]).rename_columns(["ID"])
+        return union_by_update(current, survivors, [])  # keyless: replace
+
+    result = fixpoint(initial, shrink, key=())
+    return AlgoResult({row[0]: True for row in result.relation.rows},
+                      result.stats.iterations)
+
+
+def run_reference(graph: Graph, k: int = 5) -> AlgoResult:
+    """Standard peeling: repeatedly drop nodes of (undirected) degree < k."""
+    neighbors = {v: set(graph.out_neighbors(v)) | set(graph.in_neighbors(v))
+                 for v in graph.nodes()}
+    alive = set(graph.nodes())
+    changed = True
+    while changed:
+        changed = False
+        for node in list(alive):
+            degree = sum(1 for u in neighbors[node] if u in alive)
+            if degree < k:
+                alive.discard(node)
+                changed = True
+    return AlgoResult({v: True for v in alive})

@@ -1,0 +1,115 @@
+"""Keyword search — Steiner-tree root finding (BANKS-style, the paper's KS).
+
+Every node holds an indicator vector, one bit per query keyword (1 when
+the node can reach some node carrying that keyword).  Each iteration ORs
+in the vectors of the node's out-neighbours; after ``depth`` iterations
+the nodes whose vector has no zero entry are reported as roots.  The paper
+searches 3 labels with depth 4.
+
+OR is realised as ``max`` (values are 0/1) — a keyword per column, so the
+MV-join computes one aggregate per keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from .common import AlgoResult, load_graph
+
+
+def sql(keywords: Sequence[int], depth: int = 4) -> str:
+    bits = [f"case when L.lbl = {k} then 1.0 else 0.0 end as b{i}"
+            for i, k in enumerate(keywords)]
+    agg = ", ".join(f"max(K.b{i}) as b{i}" for i in range(len(keywords)))
+    merge = ", ".join(
+        f"greatest(K.b{i}, coalesce(N.b{i}, 0.0)) as b{i}"
+        for i in range(len(keywords)))
+    columns = ", ".join(f"b{i}" for i in range(len(keywords)))
+    return f"""
+with K(ID, {columns}) as (
+  (select V.ID, {', '.join(bits)} from V, L where V.ID = L.ID)
+  union by update ID
+  (select K.ID, {merge} from K left outer join N on K.ID = N.ID
+   computed by
+     N(ID, {columns}) as select E.F, {agg} from K, E
+                        where K.ID = E.T group by E.F;
+  )
+  maxrecursion {depth}
+)
+select ID, {columns} from K
+"""
+
+
+def run_sql(engine: Engine, graph: Graph,
+            keywords: Sequence[int] = (0, 1, 2),
+            depth: int = 4) -> AlgoResult:
+    load_graph(engine, graph)
+    detail = engine.execute_detailed(sql(keywords, depth))
+    values = {row[0]: tuple(row[1:]) for row in detail.relation.rows}
+    return AlgoResult(values, detail.iterations, detail.per_iteration)
+
+
+def roots(result: AlgoResult) -> set[int]:
+    """Nodes whose indicator vector has no zero element."""
+    return {node for node, bits in result.values.items()
+            if all(b == 1.0 for b in bits)}
+
+
+def run_algebra(graph: Graph, keywords: Sequence[int] = (0, 1, 2),
+                depth: int = 4) -> AlgoResult:
+    """KS through the operations: one max MV-join per keyword bit per
+    round (the logical OR over 0/1 indicators), merged back with
+    union-by-update — the max-times semiring, per keyword."""
+    from repro.relational.relation import Relation
+
+    from ..operators import mv_join, union_by_update
+    from ..semiring import MAX_TIMES
+
+    edges = Relation.from_pairs(
+        ("F", "T", "ew"), [(u, v, 1.0) for u, v in graph.edges()]) \
+        if graph.num_edges else Relation.from_pairs(("F", "T", "ew"), [])
+    vectors = [
+        Relation.from_pairs(
+            ("ID", "vw"),
+            [(v, 1.0 if graph.label(v) == keyword else 0.0)
+             for v in graph.nodes()])
+        for keyword in keywords]
+    for _ in range(depth):
+        merged = []
+        for bits in vectors:
+            # v collects from its out-neighbours: join on E.T, group on E.F
+            pushed = mv_join(edges, bits, MAX_TIMES).to_dict()
+            keep_max = Relation.from_pairs(
+                ("ID", "vw"),
+                [(node, max(value, pushed.get(node, 0.0)))
+                 for node, value in bits.rows])
+            merged.append(union_by_update(bits, keep_max, ["ID"]))
+        vectors = merged
+    values = {}
+    for position, bits in enumerate(vectors):
+        for node, value in bits.rows:
+            values.setdefault(node, [0.0] * len(keywords))
+            values[node][position] = value
+    return AlgoResult({node: tuple(bits) for node, bits in values.items()},
+                      depth)
+
+
+def run_reference(graph: Graph, keywords: Sequence[int] = (0, 1, 2),
+                  depth: int = 4) -> AlgoResult:
+    vectors = {v: tuple(1.0 if graph.label(v) == k else 0.0
+                        for k in keywords)
+               for v in graph.nodes()}
+    for _ in range(depth):
+        new_vectors = {}
+        for v in graph.nodes():
+            merged = list(vectors[v])
+            for u in graph.out_neighbors(v):
+                for i, bit in enumerate(vectors[u]):
+                    if bit > merged[i]:
+                        merged[i] = bit
+            new_vectors[v] = tuple(merged)
+        vectors = new_vectors
+    return AlgoResult(vectors, depth)

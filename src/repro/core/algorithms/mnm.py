@@ -1,0 +1,91 @@
+"""Maximal Node Matching (Preis-style local greedy, the paper's MNM).
+
+Each unmatched node picks its maximum-weight unmatched neighbour (ties to
+the smaller ID); nodes that pick each other form a matched pair and leave
+the game.  The loop stops when no new pairs appear — the paper notes the
+iteration count varies wildly by graph (1 on U.S. Patents, 18 on Google+).
+
+Node weights come from the ``W(ID, w)`` relation (random in [0, 20], as in
+the paper's setup).
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from .common import AlgoResult, load_graph, rows_to_dict
+from .wcc import prepare_symmetric_edges
+
+UNMATCHED = -1.0
+
+
+def sql() -> str:
+    return """
+with M(ID, mate) as (
+  (select ID, -1.0 from V)
+  union by update ID
+  (select M.ID, coalesce(NP.mate, M.mate) from M
+     left outer join NP on M.ID = NP.ID
+   computed by
+     A(ID, w) as select M.ID, W.w from M, W
+                where M.ID = W.ID and M.mate = -1.0;
+     P(F, T, w) as select ES.F, ES.T, A2.w from ES, A as A1, A as A2
+                  where ES.F = A1.ID and ES.T = A2.ID;
+     B(ID, bw) as select P.F, max(P.w) from P group by P.F;
+     CH(ID, choice) as select P.F, min(P.T) from P, B
+                      where P.F = B.ID and P.w = B.bw group by P.F;
+     NP(ID, mate) as select C1.ID, C1.choice from CH as C1, CH as C2
+                    where C1.choice = C2.ID and C2.choice = C1.ID;
+  )
+)
+select ID, mate from M
+"""
+
+
+def run_sql(engine: Engine, graph: Graph) -> AlgoResult:
+    load_graph(engine, graph)
+    prepare_symmetric_edges(engine)
+    detail = engine.execute_detailed(sql())
+    return AlgoResult(rows_to_dict(detail.relation), detail.iterations,
+                      detail.per_iteration)
+
+
+def run_reference(graph: Graph) -> AlgoResult:
+    neighbors = {v: set(graph.out_neighbors(v)) | set(graph.in_neighbors(v))
+                 for v in graph.nodes()}
+    weight = {v: graph.node_weight(v) for v in graph.nodes()}
+    mate = {v: UNMATCHED for v in graph.nodes()}
+    rounds = 0
+    while True:
+        rounds += 1
+        unmatched = {v for v in graph.nodes() if mate[v] == UNMATCHED}
+        choice: dict[int, int] = {}
+        for v in unmatched:
+            candidates = [u for u in neighbors[v] if u in unmatched]
+            if not candidates:
+                continue
+            best = max(weight[u] for u in candidates)
+            choice[v] = min(u for u in candidates if weight[u] == best)
+        new_pairs = [(v, u) for v, u in choice.items()
+                     if choice.get(u) == v]
+        if not new_pairs:
+            break
+        for v, u in new_pairs:
+            mate[v] = float(u)
+    return AlgoResult(mate, rounds)
+
+
+def is_maximal_matching(graph: Graph, mate: dict) -> bool:
+    """Property oracle: pairs are symmetric, disjoint, adjacent, maximal."""
+    matched = {v for v, m in mate.items() if m != UNMATCHED}
+    for v in matched:
+        partner = int(mate[v])
+        if mate.get(partner) != float(v):
+            return False
+        if not (graph.has_edge(v, partner) or graph.has_edge(partner, v)):
+            return False
+    for u, v in graph.edges():
+        if u != v and u not in matched and v not in matched:
+            return False
+    return True

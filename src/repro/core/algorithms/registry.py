@@ -1,0 +1,132 @@
+"""The algorithm registry — Table 2 in executable form.
+
+Each entry records the paper's classification (which aggregate the
+algorithm needs, linear vs nonlinear recursion) plus which of the three
+implementations (with+ SQL, algebra, reference) this repo provides, and a
+uniform ``run(engine_or_graph, ...)`` dispatch for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import (
+    apsp,
+    bellman_ford,
+    bfs,
+    bisimulation,
+    diameter,
+    floyd_warshall,
+    hits,
+    kcore,
+    keyword_search,
+    ktruss,
+    label_propagation,
+    markov_clustering,
+    mis,
+    mnm,
+    pagerank,
+    rwr,
+    simrank,
+    tc,
+    toposort,
+    wcc,
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Table 2 row + implementation hooks."""
+
+    key: str
+    name: str
+    aggregate: str          # "-", "max", "min", "sum", "count", "min/max" ...
+    linear: bool
+    nonlinear: bool
+    module: object
+    #: keyword arguments run_sql/run_reference accept, with bench defaults
+    bench_kwargs: dict
+    needs_dag: bool = False
+
+    @property
+    def has_sql(self) -> bool:
+        return hasattr(self.module, "run_sql")
+
+    @property
+    def has_reference(self) -> bool:
+        return hasattr(self.module, "run_reference")
+
+    def run_sql(self, engine, graph, **kwargs):
+        merged = {**self.bench_kwargs, **kwargs}
+        return self.module.run_sql(engine, graph, **merged)
+
+    def run_reference(self, graph, **kwargs):
+        merged = {**self.bench_kwargs, **kwargs}
+        return self.module.run_reference(graph, **merged)
+
+
+def _info(key, name, aggregate, linear, nonlinear, module,
+          needs_dag=False, **bench_kwargs) -> AlgorithmInfo:
+    return AlgorithmInfo(key, name, aggregate, linear, nonlinear, module,
+                         bench_kwargs, needs_dag)
+
+
+#: Table 2, in the paper's row order.  The ten benchmarked algorithms of
+#: Section 7 carry the short keys used in Figs 7/8 (SSSP, WCC, PR, HITS,
+#: TS, KC, MIS, LP, MNM, KS).
+ALGORITHMS: dict[str, AlgorithmInfo] = {
+    "TC": _info("TC", "Transitive-Closure", "-", True, True, tc),
+    "BFS": _info("BFS", "BFS", "max", True, False, bfs, source=0),
+    "WCC": _info("WCC", "Connected-Component", "min/max", True, False, wcc),
+    "SSSP": _info("SSSP", "Bellman-Ford", "min", True, False, bellman_ford,
+                  source=0),
+    "FW": _info("FW", "Floyd-Warshall", "min", False, True, floyd_warshall),
+    "PR": _info("PR", "PageRank", "sum", True, False, pagerank,
+                iterations=15),
+    "RWR": _info("RWR", "Random-Walk-with-Restart", "sum", True, False, rwr,
+                 restart_node=0, iterations=15),
+    "SR": _info("SR", "SimRank", "sum", True, False, simrank, iterations=3),
+    "HITS": _info("HITS", "HITS", "sum", False, True, hits, iterations=15),
+    "TS": _info("TS", "TopoSort", "-", False, True, toposort,
+                needs_dag=True),
+    "KS": _info("KS", "Keyword-Search", "max", True, False, keyword_search,
+                keywords=(0, 1, 2), depth=4),
+    "LP": _info("LP", "Label-Propagation", "count", True, False,
+                label_propagation, iterations=15),
+    "MIS": _info("MIS", "Maximal-Independent-Set", "max/min", False, True,
+                 mis),
+    "MNM": _info("MNM", "Maximal-Node-Matching", "max/min", False, True,
+                 mnm),
+    "DIAM": _info("DIAM", "Diameter-Estimation", "-", True, False, diameter),
+    "MCL": _info("MCL", "Markov-Clustering", "sum", False, True,
+                 markov_clustering),
+    "KC": _info("KC", "K-core", "count", False, True, kcore, k=5),
+    "KT": _info("KT", "K-truss", "count", False, True, ktruss, k=3),
+    "BSIM": _info("BSIM", "Graph-Bisimulation", "-", False, True,
+                  bisimulation),
+    "APSP": _info("APSP", "APSP (linear MM-join)", "min", True, False, apsp,
+                  depth=7),
+}
+
+#: The ten algorithms of the paper's Section 7 evaluation, in its order.
+BENCHMARKED = ("SSSP", "WCC", "PR", "HITS", "TS", "KC", "MIS", "LP",
+               "MNM", "KS")
+
+
+def get_algorithm(key: str) -> AlgorithmInfo:
+    try:
+        return ALGORITHMS[key.upper()]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {key!r};"
+                       f" choose from {sorted(ALGORITHMS)}") from None
+
+
+def table2_rows() -> list[dict]:
+    """Table 2 as data, for the bench that regenerates it."""
+    return [{
+        "algorithm": info.name,
+        "aggregation": info.aggregate,
+        "linear": info.linear,
+        "nonlinear": info.nonlinear,
+    } for info in ALGORITHMS.values()]

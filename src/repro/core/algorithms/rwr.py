@@ -1,0 +1,59 @@
+"""Random Walk with Restart (Eq. 10).
+
+The general case of PageRank: instead of the uniform teleport, mass
+restarts to a preference vector ``P(ID, vw)`` (here: probability 1 at the
+query node).  The with+ form joins the MV-join result back to ``P`` with a
+left outer join so nodes receiving no walk mass still get their restart
+share.
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from .common import AlgoResult, load_graph, prepare_transition, rows_to_dict
+
+
+def sql(restart_node: int, damping: float = 0.85,
+        iterations: int = 15) -> str:
+    restart = 1.0 - damping
+    return f"""
+with R(ID, W) as (
+  (select ID, case when ID = {restart_node} then 1.0 else 0.0 end from V)
+  union by update ID
+  (select RP.ID, {damping} * coalesce(X.s, 0.0) + {restart} * RP.p
+   from (select ID, case when ID = {restart_node} then 1.0 else 0.0 end as p
+         from V) as RP
+   left outer join X on RP.ID = X.ID
+   computed by
+     X(ID, s) as select S.T, sum(R.W * S.ew) from R, S
+                 where R.ID = S.F group by S.T;
+  )
+  maxrecursion {iterations}
+)
+select ID, W from R
+"""
+
+
+def run_sql(engine: Engine, graph: Graph, restart_node: int,
+            damping: float = 0.85, iterations: int = 15) -> AlgoResult:
+    load_graph(engine, graph)
+    prepare_transition(engine)
+    detail = engine.execute_detailed(sql(restart_node, damping, iterations))
+    return AlgoResult(rows_to_dict(detail.relation), detail.iterations,
+                      detail.per_iteration)
+
+
+def run_reference(graph: Graph, restart_node: int, damping: float = 0.85,
+                  iterations: int = 15) -> AlgoResult:
+    score = {v: (1.0 if v == restart_node else 0.0) for v in graph.nodes()}
+    out_degree = {v: graph.out_degree(v) for v in graph.nodes()}
+    for _ in range(iterations):
+        incoming = {v: 0.0 for v in graph.nodes()}
+        for u, v in graph.edges():
+            incoming[v] += score[u] / out_degree[u]
+        score = {v: damping * incoming[v]
+                 + (1 - damping) * (1.0 if v == restart_node else 0.0)
+                 for v in graph.nodes()}
+    return AlgoResult(score, iterations)

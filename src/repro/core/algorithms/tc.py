@@ -1,0 +1,98 @@
+"""Transitive closure (Fig 1 / Fig 13).
+
+The classic recursive query: ``TC`` starts as ``E`` and grows by joining
+back onto ``E``.  Two variants matching the paper's Exp-C:
+
+* ``sql(depth)`` — with+ linear recursion with ``UNION`` (duplicate
+  elimination, the PostgreSQL-style implementation);
+* ``sql_union_all(depth)`` — ``UNION ALL``, which cannot eliminate
+  duplicates over iterations and needs a depth bound on cyclic data (the
+  reason the paper reports DB2/Oracle "take too long to compute TC").
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from ..loop import fixpoint
+from ..operators import mm_join, union_by_update
+from ..semiring import BOOLEAN
+from .common import AlgoResult, load_graph
+
+
+def sql(depth: int | None = None) -> str:
+    """with+ TC via UNION (set semantics); *depth* caps the recursion."""
+    cap = f"\n  maxrecursion {depth}" if depth is not None else ""
+    return f"""
+with TC(F, T) as (
+  (select F, T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F){cap}
+)
+select F, T from TC
+"""
+
+
+def sql_union_all(depth: int) -> str:
+    """SQL'99-style TC with UNION ALL — requires a depth bound."""
+    return f"""
+with TC(F, T, D) as (
+  (select F, T, 1 from E)
+  union all
+  (select TC.F, E.T, TC.D + 1 from TC, E
+   where TC.T = E.F and TC.D < {depth})
+)
+select F, T from TC
+"""
+
+
+def run_sql(engine: Engine, graph: Graph,
+            depth: int | None = None, mode: str = "with+") -> AlgoResult:
+    load_graph(engine, graph)
+    query = sql(depth) if mode == "with+" else sql_union_all(depth or 10)
+    detail = engine.execute_detailed(query,
+                                     mode="with+" if mode == "with+" else "with")
+    pairs = {(f, t) for f, t in detail.relation.rows}
+    return AlgoResult({p: True for p in pairs}, detail.iterations,
+                      detail.per_iteration)
+
+
+def run_algebra(graph: Graph, depth: int | None = None) -> AlgoResult:
+    """TC as a boolean-semiring fixpoint: ``TC ← TC ∪ (TC · E)``."""
+    from repro.relational.relation import Relation
+
+    edges = Relation.from_pairs(
+        ("F", "T", "ew"), [(u, v, True) for u, v in graph.edges()])
+    if not edges.rows:
+        return AlgoResult({})
+
+    def step(current: Relation, iteration: int) -> Relation:
+        if depth is not None and iteration > depth:
+            return current
+        return mm_join(current, edges, BOOLEAN)
+
+    result = fixpoint(edges, step, semantics="inflationary",
+                      max_iterations=depth)
+    pairs = {(f, t): True for f, t, _ in result.relation.rows}
+    return AlgoResult(pairs, result.stats.iterations)
+
+
+def run_reference(graph: Graph, depth: int | None = None) -> AlgoResult:
+    """BFS from every node (bounded by *depth* hops when given)."""
+    closure: dict[tuple[int, int], bool] = {}
+    for source in graph.nodes():
+        frontier = [source]
+        seen: set[int] = set()
+        hops = 0
+        while frontier and (depth is None or hops < depth):
+            hops += 1
+            nxt = []
+            for node in frontier:
+                for neighbor in graph.out_neighbors(node):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        nxt.append(neighbor)
+                        closure[(source, neighbor)] = True
+            frontier = nxt
+    return AlgoResult(closure)

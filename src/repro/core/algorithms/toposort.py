@@ -1,0 +1,109 @@
+"""Topological sort (Eq. 13, Fig 5) — the anti-join showcase.
+
+Kahn-style levelling: level-0 nodes have no incoming edges; each iteration
+removes the already-sorted nodes (anti-join), recomputes the remaining
+edges, and assigns ``max(L) + 1`` to the newly freed nodes.  The anti-join
+is both a pruning step *and* necessary for correctness here.
+
+Three SQL spellings of the anti-join are provided — ``not in``,
+``not exists``, ``left outer join ... is null`` — which is exactly the
+Exp-1 anti-join comparison (Tables 6/7).
+"""
+
+from __future__ import annotations
+
+from repro.graphsystems.graph import Graph
+from repro.relational.engine import Engine
+
+from .common import AlgoResult, load_graph, rows_to_dict
+
+#: The three anti-join spellings measured in Tables 6/7.
+ANTI_JOIN_VARIANTS = ("not_in", "not_exists", "left_outer_join")
+
+
+def _anti(outer_alias: str, outer_col: str, inner_table: str,
+          inner_col: str, variant: str) -> tuple[str, str]:
+    """(extra FROM text, WHERE condition) implementing the anti-join."""
+    if variant == "not_in":
+        return "", (f"{outer_alias}.{outer_col} not in"
+                    f" (select {inner_col} from {inner_table})")
+    if variant == "not_exists":
+        return "", (f"not exists (select {inner_col} from {inner_table}"
+                    f" where {inner_table}.{inner_col} ="
+                    f" {outer_alias}.{outer_col})")
+    if variant == "left_outer_join":
+        return (f" left outer join {inner_table}"
+                f" on {outer_alias}.{outer_col} = {inner_table}.{inner_col}",
+                f"{inner_table}.{inner_col} is null")
+    raise ValueError(f"unknown anti-join variant {variant!r}")
+
+
+def sql(variant: str = "left_outer_join") -> str:
+    init_join, init_cond = _anti("V", "ID", "E", "T", variant)
+    return f"""
+with Topo(ID, L) as (
+  (select V.ID, 0 from V{init_join} where {init_cond})
+  union all
+  (select T_n.ID, T_n.L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     V_1(ID) as select V.ID from V
+               where V.ID not in (select ID from Topo);
+     E_1(F, T) as select E.F, E.T from V_1, E where V_1.ID = E.F;
+     T_n(ID, L) as select V_1.ID, L_n.L from V_1, L_n
+                  where V_1.ID not in (select T from E_1);
+  )
+)
+select ID, L from Topo
+"""
+
+
+def sql_variant(variant: str) -> str:
+    """The Fig 5 query with every anti-join spelled as *variant*."""
+    init_join, init_cond = _anti("V", "ID", "E", "T", variant)
+    sorted_join, sorted_cond = _anti("V", "ID", "Topo", "ID", variant)
+    free_join, free_cond = _anti("V_1", "ID", "E_1", "T", variant)
+    return f"""
+with Topo(ID, L) as (
+  (select V.ID, 0 from V{init_join} where {init_cond})
+  union all
+  (select T_n.ID, T_n.L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     V_1(ID) as select V.ID from V{sorted_join} where {sorted_cond};
+     E_1(F, T) as select E.F, E.T from V_1, E where V_1.ID = E.F;
+     T_n(ID, L) as select V_1.ID, L_n.L from L_n, V_1{free_join}
+                  where {free_cond};
+  )
+)
+select ID, L from Topo
+"""
+
+
+def run_sql(engine: Engine, graph: Graph,
+            variant: str = "left_outer_join") -> AlgoResult:
+    load_graph(engine, graph)
+    detail = engine.execute_detailed(sql_variant(variant))
+    return AlgoResult(rows_to_dict(detail.relation), detail.iterations,
+                      detail.per_iteration)
+
+
+def run_reference(graph: Graph) -> AlgoResult:
+    """Kahn's algorithm, tracking levels like the SQL version."""
+    indegree = {v: graph.in_degree(v) for v in graph.nodes()}
+    level = 0
+    frontier = [v for v, d in indegree.items() if d == 0]
+    levels: dict[int, float] = {}
+    while frontier:
+        nxt: list[int] = []
+        for node in frontier:
+            levels[node] = float(level)
+        for node in frontier:
+            for neighbor in graph.out_neighbors(node):
+                indegree[neighbor] -= 1
+        remaining = {v for v in graph.nodes() if v not in levels
+                     and all(f in levels for f in graph.in_neighbors(v))}
+        nxt = sorted(remaining)
+        level += 1
+        frontier = nxt
+    return AlgoResult(levels)

@@ -1,0 +1,185 @@
+"""Dependency graphs for recursive queries (Definition 9.1).
+
+Nodes represent the recursive relation, each SELECT (including nested
+subqueries and computed-by definitions), and each base relation in a FROM
+clause.  Edges point from what is *read* to what is *computed*:
+
+* every top-level select-node → the recursive-node;
+* base-node → select-node when the base relation appears in its FROM;
+* nested select-node → enclosing select-node.
+
+An edge is labelled ``"-"`` (negation) when the source is a negated node —
+one reached through ``NOT IN`` / ``NOT EXISTS`` / ``EXCEPT`` — and ``"+"``
+otherwise.  Stratification (Definition 9.2) is then a property of cycles in
+this graph; see :mod:`repro.core.stratify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.relational.expressions import Expression
+from repro.relational.sql.ast import (
+    CommonTableExpression,
+    ExistsSubquery,
+    InSubquery,
+    JoinSource,
+    ScalarSubquery,
+    SelectStatement,
+    SetOpKind,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+)
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    source: str
+    target: str
+    label: str  # "+" or "-"
+
+
+@dataclass
+class DependencyGraph:
+    """An edge-labelled directed graph over relation/select nodes."""
+
+    recursive_name: str
+    nodes: dict[str, str] = field(default_factory=dict)  # id -> kind
+    edges: list[DepEdge] = field(default_factory=list)
+
+    def add_node(self, node_id: str, kind: str) -> str:
+        self.nodes.setdefault(node_id, kind)
+        return node_id
+
+    def add_edge(self, source: str, target: str, label: str = "+") -> None:
+        self.edges.append(DepEdge(source, target, label))
+
+    def successors(self, node_id: str) -> Iterator[DepEdge]:
+        return (e for e in self.edges if e.source == node_id)
+
+    def negative_edges(self) -> list[DepEdge]:
+        return [e for e in self.edges if e.label == "-"]
+
+    def cycles_through(self, node_id: str) -> list[list[str]]:
+        """All simple cycles containing *node_id* (DFS; the graphs are tiny)."""
+        cycles: list[list[str]] = []
+        adjacency: dict[str, list[str]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.source, []).append(edge.target)
+
+        def dfs(current: str, path: list[str], visited: set[str]) -> None:
+            for nxt in adjacency.get(current, ()):
+                if nxt == node_id:
+                    cycles.append(path + [nxt])
+                elif nxt not in visited:
+                    dfs(nxt, path + [nxt], visited | {nxt})
+
+        dfs(node_id, [node_id], {node_id})
+        return cycles
+
+    def has_negative_cycle(self) -> bool:
+        """True when some cycle contains a ``-`` edge (not stratifiable)."""
+        edge_lookup = {(e.source, e.target): e.label for e in self.edges}
+        for start in self.nodes:
+            for cycle in self.cycles_through(start):
+                for a, b in zip(cycle, cycle[1:]):
+                    if edge_lookup.get((a, b)) == "-":
+                        return True
+        return False
+
+
+def build_dependency_graph(cte: CommonTableExpression) -> DependencyGraph:
+    """Definition 9.1, over a (possibly recursive) with+ CTE."""
+    graph = DependencyGraph(cte.name)
+    graph.add_node(cte.name, "recursive")
+    counter = {"n": 0}
+
+    def fresh(prefix: str) -> str:
+        counter["n"] += 1
+        return f"{prefix}#{counter['n']}"
+
+    local_names: set[str] = set()
+    for branch in cte.branches:
+        for definition in branch.computed_by:
+            local_names.add(definition.name.lower())
+
+    def base_or_local(name: str) -> str:
+        if name.lower() == cte.name.lower():
+            return cte.name
+        kind = "computed" if name.lower() in local_names else "base"
+        return graph.add_node(name, kind)
+
+    def walk_statement(node: Statement, select_id: str) -> None:
+        if isinstance(node, SetOperation):
+            negate_right = node.kind in (SetOpKind.EXCEPT,)
+            left_id = graph.add_node(fresh("select"), "select")
+            right_id = graph.add_node(fresh("select"), "select")
+            walk_statement(node.left, left_id)
+            walk_statement(node.right, right_id)
+            graph.add_edge(left_id, select_id, "+")
+            graph.add_edge(right_id, select_id, "-" if negate_right else "+")
+            return
+        if not isinstance(node, SelectStatement):
+            return
+        for source in node.sources:
+            walk_source(source, select_id)
+        for expr in _expressions_of(node):
+            walk_expression(expr, select_id)
+
+    def walk_source(source, select_id: str) -> None:
+        if isinstance(source, TableRef):
+            graph.add_edge(base_or_local(source.name), select_id, "+")
+        elif isinstance(source, SubquerySource):
+            nested = graph.add_node(fresh("select"), "select")
+            walk_statement(source.statement, nested)
+            graph.add_edge(nested, select_id, "+")
+        elif isinstance(source, JoinSource):
+            walk_source(source.left, select_id)
+            walk_source(source.right, select_id)
+            if source.condition is not None:
+                walk_expression(source.condition, select_id)
+
+    def walk_expression(expr: Expression | None, select_id: str) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, (InSubquery, ExistsSubquery)):
+            nested = graph.add_node(fresh("select"), "select")
+            walk_statement(expr.subquery, nested)
+            label = "-" if expr.negated else "+"
+            graph.add_edge(nested, select_id, label)
+            if isinstance(expr, InSubquery):
+                walk_expression(expr.operand, select_id)
+            return
+        if isinstance(expr, ScalarSubquery):
+            nested = graph.add_node(fresh("select"), "select")
+            walk_statement(expr.subquery, nested)
+            graph.add_edge(nested, select_id, "+")
+            return
+        for child in expr.children():
+            walk_expression(child, select_id)
+
+    for branch in cte.branches:
+        # computed-by definitions are select-nodes feeding the branch query
+        for definition in branch.computed_by:
+            def_id = graph.add_node(definition.name, "computed")
+            def_select = graph.add_node(fresh("select"), "select")
+            walk_statement(definition.statement, def_select)
+            graph.add_edge(def_select, def_id, "+")
+        top = graph.add_node(fresh("select"), "select")
+        walk_statement(branch.statement, top)
+        graph.add_edge(top, cte.name, "+")
+    return graph
+
+
+def _expressions_of(statement: SelectStatement):
+    for item in statement.items:
+        if item.expression is not None:
+            yield item.expression
+    if statement.where is not None:
+        yield statement.where
+    yield from statement.group_by
+    if statement.having is not None:
+        yield statement.having

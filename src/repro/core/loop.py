@@ -1,0 +1,90 @@
+"""The "algebra + while" control structure (Section 4.2).
+
+The paper's execution scheme is::
+
+    initialize R
+    while (R changes) { ...; R <- ... }
+
+with two semantics from Abiteboul–Hull–Vianu:
+
+* **inflationary** — the assignment is cumulative; the conventional union
+  (∪) realises it and the loop reaches a growing fixpoint;
+* **noninflationary** — the assignment is destructive; union-by-update (⊎)
+  realises it and the loop ends when the relation is tuple-identical to the
+  previous iteration.
+
+:func:`fixpoint` drives either flavour over a caller-supplied step
+function and records per-iteration statistics, so the algorithm modules
+share one convergence loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.relational.errors import RecursionLimitError
+from repro.relational.relation import Relation
+
+from .operators import union_by_update
+
+Step = Callable[[Relation, int], Relation]
+
+
+@dataclass
+class LoopStats:
+    """Iteration trace of a fixpoint computation."""
+
+    iterations: int = 0
+    hit_limit: bool = False
+    sizes: list[int] = field(default_factory=list)
+
+
+@dataclass
+class FixpointResult:
+    relation: Relation
+    stats: LoopStats
+
+
+def fixpoint(initial: Relation, step: Step, *,
+             semantics: str = "noninflationary",
+             key: Sequence[str] = (),
+             max_iterations: int | None = None,
+             safety_cap: int = 10_000) -> FixpointResult:
+    """Iterate *step* from *initial* until stable.
+
+    ``semantics="inflationary"`` unions each delta into the accumulating
+    relation (set semantics) and stops when nothing new arrives;
+    ``"noninflationary"`` applies union-by-update on *key* (or replaces the
+    relation wholesale when *key* is empty) and stops at a tuple-identical
+    fixpoint.  ``max_iterations`` bounds the loop like ``MAXRECURSION``;
+    without it, exceeding *safety_cap* raises
+    :class:`~repro.relational.errors.RecursionLimitError`.
+    """
+    if semantics not in ("inflationary", "noninflationary"):
+        raise ValueError(f"unknown loop semantics {semantics!r}")
+    stats = LoopStats()
+    current = initial
+    cap = max_iterations if max_iterations is not None else safety_cap
+    iteration = 0
+    while True:
+        if iteration >= cap:
+            if max_iterations is None:
+                raise RecursionLimitError(cap)
+            stats.hit_limit = True
+            break
+        iteration += 1
+        delta = step(current, iteration)
+        if semantics == "inflationary":
+            merged = current.union(delta)
+            changed = len(merged) != len(current)
+            current = merged
+        else:
+            merged = union_by_update(current, delta, key) if key else delta
+            changed = merged != current
+            current = merged
+        stats.sizes.append(len(current))
+        if not changed:
+            break
+    stats.iterations = iteration
+    return FixpointResult(current, stats)

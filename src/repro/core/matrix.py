@@ -1,0 +1,117 @@
+"""Matrix/vector views over relations (Section 4's representation).
+
+A graph ``G = (V, E)`` is encoded as the paper does: nodes with node-weights
+as a vector relation ``V(ID, vw)``, edges with edge-weights as a matrix
+relation ``E(F, T, ew)`` whose ``(F, T)`` pair is the primary key.
+
+:class:`MatrixRelation` and :class:`VectorRelation` wrap a
+:class:`~repro.relational.relation.Relation` with a chosen semiring so
+``A @ B`` and ``A @ v`` read like linear algebra while executing the
+paper's MM-join / MV-join underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import SqlType
+
+from .operators import mm_join, mv_join, transpose
+from .semiring import PLUS_TIMES, Semiring
+
+_MATRIX_SCHEMA = Schema.of(("F", SqlType.INTEGER), ("T", SqlType.INTEGER),
+                           ("ew", SqlType.DOUBLE), primary_key=("F", "T"))
+_VECTOR_SCHEMA = Schema.of(("ID", SqlType.INTEGER), ("vw", SqlType.DOUBLE),
+                           primary_key=("ID",))
+
+
+class MatrixRelation:
+    """A sparse matrix stored as ``M(F, T, ew)``."""
+
+    def __init__(self, relation: Relation, semiring: Semiring = PLUS_TIMES):
+        self.relation = relation
+        self.semiring = semiring
+
+    @staticmethod
+    def from_entries(entries: Iterable[tuple[int, int, float]],
+                     semiring: Semiring = PLUS_TIMES) -> "MatrixRelation":
+        return MatrixRelation(Relation(_MATRIX_SCHEMA, entries), semiring)
+
+    @staticmethod
+    def from_dict(entries: Mapping[tuple[int, int], float],
+                  semiring: Semiring = PLUS_TIMES) -> "MatrixRelation":
+        rows = ((i, j, w) for (i, j), w in entries.items())
+        return MatrixRelation(Relation(_MATRIX_SCHEMA, rows), semiring)
+
+    def to_dict(self) -> dict[tuple[int, int], float]:
+        return {(f, t): w for f, t, w in self.relation.rows}
+
+    def with_semiring(self, semiring: Semiring) -> "MatrixRelation":
+        return MatrixRelation(self.relation, semiring)
+
+    @property
+    def T(self) -> "MatrixRelation":
+        """Transpose via ρ — the matrix operation the paper keeps out of the
+        four because rename already covers it."""
+        return MatrixRelation(transpose(self.relation), self.semiring)
+
+    def __matmul__(self, other):
+        if isinstance(other, MatrixRelation):
+            return MatrixRelation(
+                mm_join(self.relation, other.relation, self.semiring),
+                self.semiring)
+        if isinstance(other, VectorRelation):
+            return VectorRelation(
+                mv_join(self.relation, other.relation, self.semiring),
+                self.semiring)
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MatrixRelation({len(self.relation)} entries,"
+                f" semiring={self.semiring.name})")
+
+
+class VectorRelation:
+    """A sparse vector stored as ``V(ID, vw)``."""
+
+    def __init__(self, relation: Relation, semiring: Semiring = PLUS_TIMES):
+        self.relation = relation
+        self.semiring = semiring
+
+    @staticmethod
+    def from_items(items: Iterable[tuple[int, float]],
+                   semiring: Semiring = PLUS_TIMES) -> "VectorRelation":
+        return VectorRelation(Relation(_VECTOR_SCHEMA, items), semiring)
+
+    @staticmethod
+    def from_dict(items: Mapping[int, float],
+                  semiring: Semiring = PLUS_TIMES) -> "VectorRelation":
+        return VectorRelation.from_items(items.items(), semiring)
+
+    @staticmethod
+    def constant(ids: Iterable[int], value: float,
+                 semiring: Semiring = PLUS_TIMES) -> "VectorRelation":
+        return VectorRelation.from_items(((i, value) for i in ids), semiring)
+
+    def to_dict(self) -> dict[int, float]:
+        return dict(self.relation.rows)
+
+    def with_semiring(self, semiring: Semiring) -> "VectorRelation":
+        return VectorRelation(self.relation, semiring)
+
+    def map_values(self, fn) -> "VectorRelation":
+        rows = ((i, fn(w)) for i, w in self.relation.rows)
+        return VectorRelation(Relation(self.relation.schema, rows),
+                              self.semiring)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VectorRelation({len(self.relation)} entries,"
+                f" semiring={self.semiring.name})")

@@ -1,0 +1,129 @@
+"""Semirings: the algebraic structure behind MM-join and MV-join.
+
+The paper (Section 4.1, following Kepner & Gilbert) supports "all graph
+algorithms that can be expressed by the semiring".  A semiring
+``(M, ⊕, ⊙, 0, 1)`` satisfies:
+
+1. ``(M, ⊕)`` is a commutative monoid with identity **0**;
+2. ``(M, ⊙)`` is a monoid with identity **1**;
+3. ``⊙`` distributes over ``⊕`` from both sides;
+4. **0** annihilates: ``0 ⊙ x = x ⊙ 0 = 0``.
+
+The standard instances used by the paper's algorithms:
+
+========================  =========  =========  ======  ======
+semiring                   ⊕          ⊙          0       1
+========================  =========  =========  ======  ======
+:data:`PLUS_TIMES`        ``+``      ``*``      0       1       (PageRank, HITS, SimRank)
+:data:`MIN_PLUS`          ``min``    ``+``      +inf    0       (Bellman-Ford, Floyd-Warshall)
+:data:`MAX_TIMES`         ``max``    ``*``      0       1       (BFS reachability)
+:data:`MIN_TIMES`         ``min``    ``*``      +inf    1       (Connected components)
+:data:`BOOLEAN`           ``or``     ``and``    False   True    (Transitive closure)
+:data:`MAX_MIN`           ``max``    ``min``    0       +inf    (Bottleneck paths)
+========================  =========  =========  ======  ======
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+Value = Any
+BinOp = Callable[[Value, Value], Value]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring with named ⊕/⊙ operations and their identities.
+
+    ``agg_name`` is the SQL aggregate that realises a fold of ⊕ over a
+    group (``sum``/``min``/``max``) — this is how an MV-join turns into
+    "join + group-by & aggregation" at the SQL level.
+    """
+
+    name: str
+    add: BinOp
+    multiply: BinOp
+    zero: Value
+    one: Value
+    agg_name: str
+
+    def add_fold(self, values: Iterable[Value]) -> Value:
+        """Fold ⊕ over *values*, starting from 0."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def check_axioms(self, samples: Iterable[Value]) -> None:
+        """Verify the four semiring axioms over a finite sample set.
+
+        Raises ``AssertionError`` with the violated law.  Property-based
+        tests drive this with random samples.
+        """
+        samples = list(samples)
+        add, mul = self.add, self.multiply
+        for a in samples:
+            assert _eq(add(self.zero, a), a), f"0 ⊕ {a!r} != {a!r}"
+            assert _eq(add(a, self.zero), a), f"{a!r} ⊕ 0 != {a!r}"
+            assert _eq(mul(self.one, a), a), f"1 ⊙ {a!r} != {a!r}"
+            assert _eq(mul(a, self.one), a), f"{a!r} ⊙ 1 != {a!r}"
+            assert _eq(mul(self.zero, a), self.zero), f"0 does not annihilate {a!r}"
+            assert _eq(mul(a, self.zero), self.zero), f"0 does not annihilate {a!r}"
+            for b in samples:
+                assert _eq(add(a, b), add(b, a)), "⊕ is not commutative"
+                for c in samples:
+                    assert _eq(add(add(a, b), c), add(a, add(b, c))), \
+                        "⊕ is not associative"
+                    assert _eq(mul(mul(a, b), c), mul(a, mul(b, c))), \
+                        "⊙ is not associative"
+                    assert _eq(mul(a, add(b, c)), add(mul(a, b), mul(a, c))), \
+                        "⊙ does not left-distribute over ⊕"
+                    assert _eq(mul(add(a, b), c), add(mul(a, c), mul(b, c))), \
+                        "⊙ does not right-distribute over ⊕"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+def _eq(a: Value, b: Value) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+    return a == b
+
+
+PLUS_TIMES = Semiring("plus-times", lambda a, b: a + b,
+                      lambda a, b: a * b, 0.0, 1.0, "sum")
+
+MIN_PLUS = Semiring("min-plus", min, lambda a, b: a + b,
+                    math.inf, 0.0, "min")
+
+MAX_TIMES = Semiring("max-times", max, lambda a, b: a * b, 0.0, 1.0, "max")
+
+def _min_times_mul(a: Value, b: Value) -> Value:
+    """⊙ for the min-times semiring over [0, +inf].
+
+    Its additive identity is +inf, so +inf must annihilate; IEEE floats
+    would give ``inf * 0 = nan``, hence the explicit case.
+    """
+    if a == math.inf or b == math.inf:
+        return math.inf
+    return a * b
+
+
+MIN_TIMES = Semiring("min-times", min, _min_times_mul,
+                     math.inf, 1.0, "min")
+
+BOOLEAN = Semiring("boolean", lambda a, b: a or b,
+                   lambda a, b: a and b, False, True, "max")
+
+MAX_MIN = Semiring("max-min", max, min, 0.0, math.inf, "max")
+
+#: All built-in semirings by name.
+STANDARD_SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (PLUS_TIMES, MIN_PLUS, MAX_TIMES, MIN_TIMES,
+                        BOOLEAN, MAX_MIN)
+}

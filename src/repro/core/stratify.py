@@ -1,0 +1,69 @@
+"""Stratification of recursive queries (Definition 9.2).
+
+A recursive query is *stratifiable* when no ``-`` (negation) edge lies on a
+cycle of its dependency graph.  For a stratifiable query the nodes are
+topologically partitioned into strata such that every non-negated
+dependency stays within or below its consumer's stratum and every negated
+dependency lies strictly below.
+
+The paper's point is that the four operations are **not** stratified in
+general — their negation/aggregation sits on the recursive cycle — which is
+why Section 5 escalates to XY-stratification
+(:mod:`repro.datalog.xy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.errors import StratificationError
+
+from .depgraph import DependencyGraph
+
+
+@dataclass
+class Stratification:
+    """Node → stratum assignment for a stratifiable dependency graph."""
+
+    strata: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stratum_count(self) -> int:
+        return max(self.strata.values(), default=-1) + 1
+
+    def stratum_of(self, node: str) -> int:
+        return self.strata[node]
+
+
+def is_stratifiable(graph: DependencyGraph) -> bool:
+    """True when no negative edge appears in a cycle (Definition 9.2)."""
+    return not graph.has_negative_cycle()
+
+
+def stratify(graph: DependencyGraph) -> Stratification:
+    """Assign strata, or raise :class:`StratificationError`.
+
+    Uses the classic constraint propagation: stratum(target) >=
+    stratum(source) for ``+`` edges, and strictly greater for ``-`` edges;
+    iterate to the least fixed point.  Divergence beyond the node count
+    means a negative cycle.
+    """
+    if not is_stratifiable(graph):
+        raise StratificationError(
+            f"query over {graph.recursive_name!r} has negation in a cycle")
+    strata = {node: 0 for node in graph.nodes}
+    limit = len(graph.nodes) + 1
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > limit:
+            raise StratificationError(
+                "stratum assignment diverged (negative cycle)")
+        for edge in graph.edges:
+            required = strata[edge.source] + (1 if edge.label == "-" else 0)
+            if strata[edge.target] < required:
+                strata[edge.target] = required
+                changed = True
+    return Stratification(strata)

@@ -1,0 +1,32 @@
+"""with+ — the paper's enhanced recursive WITH clause (Section 6).
+
+Public surface:
+
+* :func:`parse_withplus` — parse a with+ statement;
+* :func:`validate` — the structural rules (single union-by-update branch,
+  cycle-free COMPUTED BY) plus the Theorem 5.1 XY-stratification check;
+* :class:`WithPlusQuery` — convenience wrapper: validate once, run on any
+  engine, inspect the Datalog view, emit SQL/PSM text.
+"""
+
+from .parser import parse_withplus
+from .validate import (
+    check_theorem_5_1,
+    has_single_recursive_cycle,
+    validate,
+)
+from .datalog_view import build_datalog_view
+from .linearize import is_linearizable, linearize_statement, try_linearize
+from .runner import WithPlusQuery
+
+__all__ = [
+    "parse_withplus",
+    "validate",
+    "check_theorem_5_1",
+    "has_single_recursive_cycle",
+    "build_datalog_view",
+    "WithPlusQuery",
+    "is_linearizable",
+    "try_linearize",
+    "linearize_statement",
+]

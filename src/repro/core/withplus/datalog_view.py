@@ -1,0 +1,159 @@
+"""with+ → Datalog rewriting (the proof sketch of Theorem 5.1).
+
+The rewriting works at *predicate granularity*: what matters for the
+XY-stratification test is which relation each rule reads, whether the
+reference is negated, and at which temporal stage — not the attribute
+lists.  So each relation becomes a unary predicate plus the distinguished
+temporal argument:
+
+* the recursive relation at stage ``T`` feeds computed-by relations and
+  deltas at stage ``s(T)``;
+* computed-by relations read each other at stage ``s(T)`` in definition
+  order (cycle-free, per validation);
+* the recursive subquery produces the next stage's recursive relation;
+  for ``UNION BY UPDATE`` the carry-over rule
+  ``R(X, s(T)) :- R(X, T), ¬delta(X, s(T))`` encodes Eq. (22)'s survivor
+  case, together with ``R(X, s(T)) :- delta(X, s(T))``.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import Literal, Program, Rule, TemporalTerm, Variable
+from repro.relational.sql.ast import (
+    CommonTableExpression,
+    CteBranch,
+    ExistsSubquery,
+    InSubquery,
+    JoinSource,
+    ScalarSubquery,
+    SelectStatement,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+)
+from repro.relational.expressions import Expression
+
+X = Variable("X")
+T0 = TemporalTerm("T", 0)
+T1 = TemporalTerm("T", 1)
+
+
+def _references(statement: Statement) -> list[tuple[str, bool]]:
+    """(relation name, negated) pairs read by *statement*."""
+    out: list[tuple[str, bool]] = []
+
+    def visit_expression(expr: Expression | None, negated: bool) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, (InSubquery, ExistsSubquery)):
+            visit_statement(expr.subquery, negated or expr.negated)
+            if isinstance(expr, InSubquery):
+                visit_expression(expr.operand, negated)
+            return
+        if isinstance(expr, ScalarSubquery):
+            visit_statement(expr.subquery, negated)
+            return
+        for child in expr.children():
+            visit_expression(child, negated)
+
+    def visit_source(source, negated: bool) -> None:
+        if isinstance(source, TableRef):
+            out.append((source.name, negated))
+        elif isinstance(source, SubquerySource):
+            visit_statement(source.statement, negated)
+        elif isinstance(source, JoinSource):
+            visit_source(source.left, negated)
+            visit_source(source.right, negated)
+            visit_expression(source.condition, negated)
+
+    def visit_statement(node: Statement, negated: bool) -> None:
+        if isinstance(node, SelectStatement):
+            for source in node.sources:
+                visit_source(source, negated)
+            for item in node.items:
+                visit_expression(item.expression, negated)
+            visit_expression(node.where, negated)
+            for key in node.group_by:
+                visit_expression(key, negated)
+            visit_expression(node.having, negated)
+        elif isinstance(node, SetOperation):
+            visit_statement(node.left, negated)
+            visit_statement(node.right, negated)
+
+    visit_statement(statement, False)
+    return out
+
+
+def build_datalog_view(cte: CommonTableExpression) -> Program:
+    """The temporal Datalog program standing for this recursive CTE."""
+    program = Program()
+    name = cte.name
+    local = {d.name.lower()
+             for b in cte.branches for d in b.computed_by}
+
+    def literal(relation: str, negated: bool, stage: TemporalTerm
+                ) -> Literal:
+        lowered = relation.lower()
+        if lowered == name.lower():
+            return Literal(name, (X, stage), negated)
+        if lowered in local:
+            return Literal(relation, (X, stage), negated)
+        return Literal(relation, (X,), negated)  # base relation: no stage
+
+    recursive_branches = [
+        b for b in cte.branches
+        if any(ref.lower() == name.lower()
+               for ref, _ in _branch_references(b))]
+
+    for j, branch in enumerate(recursive_branches):
+        _add_branch_rules(program, cte, branch, j, literal)
+    return program
+
+
+def _branch_references(branch: CteBranch) -> list[tuple[str, bool]]:
+    refs = _references(branch.statement)
+    for definition in branch.computed_by:
+        refs.extend(_references(definition.statement))
+    return refs
+
+
+def _add_branch_rules(program: Program, cte: CommonTableExpression,
+                      branch: CteBranch, index: int, literal) -> None:
+    name = cte.name
+    # Computed-by definitions: stage s(T), reading R at T.
+    for definition in branch.computed_by:
+        body = []
+        for ref, negated in _references(definition.statement):
+            if ref.lower() == name.lower():
+                body.append(literal(ref, negated, T0))
+            else:
+                body.append(literal(ref, negated, T1))
+        program.add_rule(Rule(Literal(definition.name, (X, T1)),
+                              tuple(body)))
+    # The branch query: delta at s(T).
+    delta_name = f"{name}__delta{index}"
+    body = []
+    for ref, negated in _references(branch.statement):
+        if ref.lower() == name.lower():
+            body.append(literal(ref, negated, T0))
+        else:
+            body.append(literal(ref, negated, T1))
+    program.add_rule(Rule(Literal(delta_name, (X, T1)), tuple(body)))
+    # How the delta becomes the next R.
+    if cte.union_kind is UnionKind.UNION_BY_UPDATE:
+        program.add_rule(Rule(
+            Literal(name, (X, T1)),
+            (Literal(name, (X, T0)),
+             Literal(delta_name, (X, T1), negated=True))))
+        program.add_rule(Rule(
+            Literal(name, (X, T1)),
+            (Literal(delta_name, (X, T1)),)))
+    else:
+        program.add_rule(Rule(
+            Literal(name, (X, T1)),
+            (Literal(name, (X, T0)),)))
+        program.add_rule(Rule(
+            Literal(name, (X, T1)),
+            (Literal(delta_name, (X, T1)),)))

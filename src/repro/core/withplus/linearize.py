@@ -1,0 +1,201 @@
+"""Linearization of nonlinear recursion — the paper's stated future work.
+
+Section 6: "The efficiency issues can be addressed by exploring if some
+nonlinear recursion needed in its limited form can be linearized [64],
+which we leave it as our future work."  [64] is Zhang, Yu & Troy's
+characterisation of linearizable double recursion.
+
+This module implements the classic case: a **semiring-closure double
+recursion**
+
+    R ← R  ∪/⊎  f(R ∘ R)        seeded with   R₀ = B
+
+computes the Kleene closure ``B⁺`` under the semiring, and the same
+fixpoint is reached by the linear recursion
+
+    R ← R  ∪/⊎  f(R ∘ B)
+
+(right-linear one-step extension).  Squaring converges in
+⌈log₂ diameter⌉ rounds but each round joins two *dense* closures; the
+linear form needs diameter rounds of joins against the *sparse* base —
+exactly the trade-off the paper discusses for Floyd-Warshall vs
+Bellman-Ford.
+
+:func:`try_linearize` rewrites a with+ CTE when the conservative
+preconditions hold (see :func:`is_linearizable`); otherwise it returns
+``None`` and the caller keeps the nonlinear form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.relational.recursive import (
+    split_branches,
+    statement_references,
+)
+from repro.relational.sql.ast import (
+    CommonTableExpression,
+    CteBranch,
+    JoinSource,
+    SelectStatement,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+)
+
+
+def _single_base_table(statement: Statement) -> str | None:
+    """The sole base table an initial branch reads, if that simple."""
+    if isinstance(statement, SetOperation):
+        left = _single_base_table(statement.left)
+        right = _single_base_table(statement.right)
+        return left if left is not None and left == right else None
+    if not isinstance(statement, SelectStatement):
+        return None
+    if len(statement.sources) != 1:
+        return None
+    source = statement.sources[0]
+    if isinstance(source, TableRef):
+        return source.name
+    return None
+
+
+def _self_join_refs(statement: Statement, name: str
+                    ) -> list[tuple[TableRef, bool]]:
+    """FROM-clause references to *name* as ``(ref, in_join)`` pairs.
+
+    ``in_join`` marks references participating in a multi-source SELECT
+    (the self-join proper); a lone ``select ... from R`` arm — the
+    include-current carry of a min/max closure — is not part of the
+    R ∘ R product and must not be rewritten.
+    """
+    refs: list[tuple[TableRef, bool]] = []
+
+    def visit_source(source, in_join: bool) -> None:
+        if isinstance(source, TableRef):
+            if source.name.lower() == name.lower():
+                refs.append((source, in_join))
+        elif isinstance(source, JoinSource):
+            visit_source(source.left, True)
+            visit_source(source.right, True)
+        elif isinstance(source, SubquerySource):
+            visit(source.statement)
+
+    def visit(node: Statement) -> None:
+        if isinstance(node, SelectStatement):
+            multi = len(node.sources) > 1
+            for source in node.sources:
+                visit_source(source, multi)
+        elif isinstance(node, SetOperation):
+            visit(node.left)
+            visit(node.right)
+
+    visit(statement)
+    return refs
+
+
+def is_linearizable(cte: CommonTableExpression) -> bool:
+    """Conservative preconditions for the closure rewrite:
+
+    * exactly one recursive branch, no COMPUTED BY block;
+    * the branch self-joins R exactly twice inside multi-source SELECTs
+      (``R as R1, R as R2``); lone ``select ... from R`` arms — the
+      include-current carry of a min/max closure — are tolerated and left
+      untouched;
+    * the initial step reads exactly one base relation B (an initial step
+      mixing tables, e.g. edges ∪ self-loops over V, defeats the rewrite);
+    * the combination operator is set-union or union-by-update — both
+      compute a growing closure where one-step extension reaches the same
+      fixpoint as squaring.
+
+    The rewrite keeps the replaced reference's alias, so it is sound only
+    when B exposes the column names the query reads through that alias
+    (true for the TC/closure queries the paper discusses, where R's
+    columns mirror the edge relation's); a mismatch surfaces as a
+    BindError at execution and the caller keeps the nonlinear form.
+    """
+    initial, recursive = split_branches(cte)
+    if len(recursive) != 1 or recursive[0].computed_by:
+        return False
+    if cte.union_kind not in (UnionKind.UNION, UnionKind.UNION_BY_UPDATE):
+        return False
+    branch = recursive[0]
+    join_refs = [ref for ref, in_join
+                 in _self_join_refs(branch.statement, cte.name) if in_join]
+    if len(join_refs) != 2:
+        return False
+    if not initial:
+        return False
+    bases = {_single_base_table(b.statement) for b in initial}
+    if len(bases) != 1 or None in bases:
+        return False
+    return True
+
+
+def try_linearize(cte: CommonTableExpression
+                  ) -> CommonTableExpression | None:
+    """Rewrite ``R ∘ R`` to ``R ∘ B`` when :func:`is_linearizable`.
+
+    The *second* FROM reference to R (by syntactic order) is redirected to
+    the base relation, keeping its alias so every column reference in the
+    query continues to resolve.
+    """
+    if not is_linearizable(cte):
+        return None
+    initial, recursive = split_branches(cte)
+    base = _single_base_table(initial[0].statement)
+    branch = recursive[0]
+    join_refs = [ref for ref, in_join
+                 in _self_join_refs(branch.statement, cte.name) if in_join]
+    target = join_refs[1]
+    replacement = TableRef(base, target.alias or target.name)
+
+    def rewrite_source(source):
+        if source is target:
+            return replacement
+        if isinstance(source, JoinSource):
+            return JoinSource(rewrite_source(source.left),
+                              rewrite_source(source.right),
+                              source.kind, source.condition)
+        if isinstance(source, SubquerySource):
+            return SubquerySource(rewrite_statement(source.statement),
+                                  source.alias)
+        return source
+
+    def rewrite_statement(node: Statement) -> Statement:
+        if isinstance(node, SelectStatement):
+            return replace(node, sources=tuple(
+                rewrite_source(s) for s in node.sources))
+        if isinstance(node, SetOperation):
+            return SetOperation(rewrite_statement(node.left), node.kind,
+                                rewrite_statement(node.right))
+        return node
+
+    new_branch = CteBranch(rewrite_statement(branch.statement),
+                           branch.computed_by)
+    new_branches = tuple(new_branch if b is branch else b
+                         for b in cte.branches)
+    return replace(cte, branches=new_branches)
+
+
+def linearize_statement(statement):
+    """Linearize every rewritable recursive CTE of a WITH statement."""
+    from repro.relational.sql.ast import WithStatement
+
+    if not isinstance(statement, WithStatement):
+        return statement
+    new_ctes = []
+    changed = False
+    for cte in statement.ctes:
+        rewritten = try_linearize(cte)
+        if rewritten is not None:
+            new_ctes.append(rewritten)
+            changed = True
+        else:
+            new_ctes.append(cte)
+    if not changed:
+        return statement
+    return replace(statement, ctes=tuple(new_ctes))

@@ -1,0 +1,21 @@
+"""Parsing entry point for with+ statements.
+
+The grammar lives in the shared SQL parser
+(:mod:`repro.relational.sql.parser`) — with+ is an *extension of SQL*, so
+its syntax is part of the SQL front end.  This module narrows the result
+type and gives the core package a dependency-clean entry point.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import ParseError
+from repro.relational.sql.ast import WithStatement
+from repro.relational.sql.parser import parse_statement
+
+
+def parse_withplus(text: str) -> WithStatement:
+    """Parse *text*, requiring a WITH statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, WithStatement):
+        raise ParseError("expected a WITH statement")
+    return statement

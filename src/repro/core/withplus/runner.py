@@ -1,0 +1,72 @@
+"""A friendly execution wrapper for with+ queries."""
+
+from __future__ import annotations
+
+from repro.relational.engine import Engine
+from repro.relational.psm import PsmProgram
+from repro.relational.recursive import WithExecutionResult
+from repro.relational.relation import Relation
+from repro.relational.sql.ast import WithStatement
+from repro.relational.sql.formatter import format_statement
+
+from .datalog_view import build_datalog_view
+from .parser import parse_withplus
+from .validate import validate
+
+
+class WithPlusQuery:
+    """A parsed, validated with+ query, runnable on any engine.
+
+        >>> q = WithPlusQuery('''
+        ...     with R(n) as (
+        ...       (select 0 as n)
+        ...       union
+        ...       (select n + 1 from R where n < 3)
+        ...     ) select n from R order by n''')
+        >>> engine = Engine("postgres")
+        >>> [int(n) for (n,) in q.run(engine).rows]
+        [0, 1, 2, 3]
+    """
+
+    def __init__(self, sql: str | WithStatement):
+        self.statement = (parse_withplus(sql) if isinstance(sql, str)
+                          else sql)
+        validate(self.statement)
+
+    def run(self, engine: Engine, mode: str | None = None) -> Relation:
+        return engine.execute(self.statement, mode=mode)
+
+    def run_detailed(self, engine: Engine,
+                     mode: str | None = None) -> WithExecutionResult:
+        return engine.execute_detailed(self.statement, mode=mode)
+
+    def to_psm(self, engine: Engine,
+               procedure_name: str = "F_Q") -> PsmProgram:
+        """The Algorithm 1 SQL/PSM translation under *engine*'s dialect."""
+        return engine.to_psm(self.statement, procedure_name)
+
+    def datalog_views(self):
+        """Temporal Datalog programs (Section 5) per recursive CTE."""
+        from repro.relational.recursive import cte_is_recursive
+
+        return {cte.name: build_datalog_view(cte)
+                for cte in self.statement.ctes if cte_is_recursive(cte)}
+
+    def sql(self) -> str:
+        """The with+ statement re-rendered as text."""
+        return format_statement(self.statement)
+
+    def linearized(self) -> "WithPlusQuery | None":
+        """The linear-recursion rewrite of this query, when the
+        Zhang–Yu–Troy closure conditions hold (see
+        :mod:`repro.core.withplus.linearize`); ``None`` otherwise."""
+        from .linearize import linearize_statement
+
+        rewritten = linearize_statement(self.statement)
+        if rewritten is self.statement:
+            return None
+        return WithPlusQuery(rewritten)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(c.name for c in self.statement.ctes)
+        return f"WithPlusQuery({names})"

@@ -1,0 +1,66 @@
+"""with+ validation: structural rules plus the Theorem 5.1 check.
+
+:func:`validate` runs, per recursive CTE:
+
+1. the structural rules of Section 6 (exactly one recursive subquery under
+   ``UNION BY UPDATE``; cycle-free ``COMPUTED BY``) — shared with the
+   engine's executor;
+2. the single-cycle condition of Theorem 5.1 — every cycle of the
+   Definition 9.1 dependency graph passes through the recursive relation;
+3. the XY-stratification test — the CTE's temporal Datalog view
+   (:mod:`.datalog_view`) must have a stratified bi-state transform.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import bi_state_transform, is_xy_program, is_xy_stratified
+from repro.relational.errors import StratificationError
+from repro.relational.recursive import (
+    cte_is_recursive,
+    validate_withplus as validate_structure,
+)
+from repro.relational.sql.ast import CommonTableExpression, WithStatement
+
+from ..depgraph import build_dependency_graph
+from .datalog_view import build_datalog_view
+
+
+def has_single_recursive_cycle(cte: CommonTableExpression) -> bool:
+    """True when every dependency-graph cycle goes through the recursive
+    relation (the Theorem 5.1 hypothesis)."""
+    graph = build_dependency_graph(cte)
+    for node in graph.nodes:
+        if node == cte.name:
+            continue
+        for cycle in graph.cycles_through(node):
+            if cte.name not in cycle:
+                return False
+    return True
+
+
+def check_theorem_5_1(cte: CommonTableExpression) -> None:
+    """Raise :class:`StratificationError` unless the CTE is XY-stratified."""
+    if not has_single_recursive_cycle(cte):
+        raise StratificationError(
+            f"CTE {cte.name!r} has a cycle avoiding the recursive relation;"
+            " Theorem 5.1 does not apply")
+    program = build_datalog_view(cte)
+    if not is_xy_program(program):
+        raise StratificationError(
+            f"the Datalog view of {cte.name!r} is not an XY-program")
+    if not is_xy_stratified(program):
+        raise StratificationError(
+            f"the bi-state transform of {cte.name!r} is not stratified")
+
+
+def validate(statement: WithStatement) -> None:
+    """Validate every recursive CTE of a with+ statement."""
+    for cte in statement.ctes:
+        if not cte_is_recursive(cte):
+            continue
+        validate_structure(cte)
+        check_theorem_5_1(cte)
+
+
+__all__ = ["validate", "check_theorem_5_1", "has_single_recursive_cycle",
+           "validate_structure", "bi_state_transform"]

@@ -1,0 +1,38 @@
+"""A small Datalog engine: stratified negation, monotonic min/max
+aggregation, semi-naive evaluation, and the XY-stratification test of
+Section 5 (Zaniolo et al.'s bi-state transform).
+
+Used three ways in the reproduction:
+
+* to *check* Theorem 5.1 — with+ queries are rewritten to Datalog rules
+  with temporal arguments and verified XY-stratified
+  (:mod:`repro.core.withplus.datalog_view`);
+* as the evaluation engine behind the SociaLite-like baseline
+  (:mod:`repro.graphsystems.socialite`);
+* as a reference semantics in tests (semi-naive TC vs SQL TC, etc.).
+"""
+
+from .terms import Constant, TemporalTerm, Term, Variable
+from .rules import Aggregate, Comparison, Literal, Rule
+from .program import Program
+from .stratification import predicate_strata, program_is_stratified
+from .seminaive import evaluate
+from .xy import bi_state_transform, is_xy_program, is_xy_stratified
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "TemporalTerm",
+    "Literal",
+    "Rule",
+    "Aggregate",
+    "Comparison",
+    "Program",
+    "program_is_stratified",
+    "predicate_strata",
+    "evaluate",
+    "is_xy_program",
+    "is_xy_stratified",
+    "bi_state_transform",
+]

@@ -1,0 +1,57 @@
+"""Datalog programs and their predicate dependency graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .rules import Rule
+
+
+@dataclass
+class Program:
+    """An ordered collection of rules plus the EDB (base facts)."""
+
+    rules: list[Rule] = field(default_factory=list)
+    facts: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def add_rule(self, rule: Rule) -> "Program":
+        self.rules.append(rule)
+        return self
+
+    def add_facts(self, predicate: str, rows: Iterable[tuple]) -> "Program":
+        self.facts.setdefault(predicate, set()).update(
+            tuple(r) for r in rows)
+        return self
+
+    @property
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by rules (intensional)."""
+        return {rule.head.predicate for rule in self.rules}
+
+    @property
+    def edb_predicates(self) -> set[str]:
+        """Base predicates: appear in bodies/facts but have no rules."""
+        read = {b.predicate for rule in self.rules for b in rule.body}
+        return (read | set(self.facts)) - self.idb_predicates
+
+    def dependency_edges(self) -> list[tuple[str, str, str]]:
+        """(body_pred, head_pred, label) edges; label '-' on negation."""
+        edges = []
+        for rule in self.rules:
+            for literal in rule.body:
+                label = "-" if literal.negated else "+"
+                # Aggregation in a rule head behaves like negation for
+                # stratification purposes (it is non-monotonic), unless the
+                # aggregate is lattice-monotonic (min/max in DeALS style).
+                if rule.aggregate is not None and \
+                        rule.aggregate.function in ("sum", "count", "avg"):
+                    label = "-"
+                edges.append((literal.predicate, rule.head.predicate, label))
+        return edges
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "\n".join(str(r) for r in self.rules)

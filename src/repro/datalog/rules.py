@@ -1,0 +1,116 @@
+"""Datalog rules: literals, comparisons, aggregation annotations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .terms import Constant, TemporalTerm, Term, Variable
+
+
+@dataclass(frozen=True)
+class Literal:
+    """``[¬] predicate(t1, ..., tn)``."""
+
+    predicate: str
+    args: tuple[Term, ...]
+    negated: bool = False
+
+    def variables(self) -> set[str]:
+        names = set()
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                names.add(arg.name)
+            elif isinstance(arg, TemporalTerm) and arg.base is not None:
+                names.add(arg.base)
+        return names
+
+    def temporal_args(self) -> list[TemporalTerm]:
+        return [a for a in self.args if isinstance(a, TemporalTerm)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(str(a) for a in self.args)
+        prefix = "¬" if self.negated else ""
+        return f"{prefix}{self.predicate}({body})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in predicate over bound variables, e.g. ``X < Y``.
+
+    ``fn`` receives the bindings dict and returns truthiness.  ``text`` is
+    for display only.
+    """
+
+    fn: Callable[[Mapping[str, object]], bool]
+    text: str = "<builtin>"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Head aggregation: group by the head's other variables, fold
+    ``function`` over ``source`` (a body variable or a callable of the
+    bindings).  ``min``/``max`` are monotonic in the lattice sense and may
+    appear in recursive rules (the DeALS/SociaLite style); ``sum``/``count``
+    are only sound in stratified positions."""
+
+    function: str
+    source: str | Callable[[Mapping[str, object]], object]
+
+    def value(self, bindings: Mapping[str, object]) -> object:
+        if callable(self.source):
+            return self.source(bindings)
+        return bindings[self.source]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body, comparisons`` with optional head aggregation.
+
+    When ``aggregate`` is set, the head's last argument position receives
+    the aggregated value and the remaining head variables form the group
+    key.
+    """
+
+    head: Literal
+    body: tuple[Literal, ...]
+    comparisons: tuple[Comparison, ...] = field(default=())
+    aggregate: Aggregate | None = None
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise ValueError("rule heads cannot be negated")
+
+    def is_recursive_in(self, predicates: set[str]) -> bool:
+        return any(b.predicate in predicates for b in self.body)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(b) for b in self.body] + \
+            [str(c) for c in self.comparisons]
+        return f"{self.head} :- {', '.join(parts)}"
+
+
+def ground(args: tuple[Term, ...],
+           bindings: Mapping[str, object]) -> tuple | None:
+    """Instantiate *args* under *bindings*; None when a variable is free."""
+    out = []
+    for arg in args:
+        if isinstance(arg, Constant):
+            out.append(arg.value)
+        elif isinstance(arg, Variable):
+            if arg.name not in bindings:
+                return None
+            out.append(bindings[arg.name])
+        elif isinstance(arg, TemporalTerm):
+            if arg.base is None:
+                out.append(arg.offset)
+            else:
+                if arg.base not in bindings:
+                    return None
+                out.append(bindings[arg.base] + arg.offset)  # type: ignore
+        else:
+            raise TypeError(f"unknown term {arg!r}")
+    return tuple(out)

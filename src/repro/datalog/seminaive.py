@@ -1,0 +1,291 @@
+"""Bottom-up evaluation: stratified, semi-naive, with monotonic min/max.
+
+The evaluator processes strata in ascending order.  Within a stratum:
+
+* **sum/count/avg aggregate rules** read only lower strata (that is what
+  their ``-`` dependency edges enforce), so they are evaluated once;
+* **plain rules** run to fixpoint with semi-naive deltas — each round, every
+  occurrence of a recursive body literal is in turn restricted to the
+  previous round's delta (this is the SociaLite/DeALS execution style);
+* **min/max aggregate rules** keep a best-value-per-group lattice: a new
+  derivation is a delta only when it improves the group's value, which is
+  how SociaLite evaluates recursive shortest-path aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+from repro.relational.errors import StratificationError
+
+from .program import Program
+from .rules import Comparison, Literal, Rule, ground
+from .stratification import predicate_strata
+from .terms import Constant, TemporalTerm, Variable
+
+Bindings = dict[str, object]
+Database = dict[str, set[tuple]]
+
+
+def _unify(literal: Literal, fact: tuple,
+           bindings: Bindings) -> Bindings | None:
+    if len(literal.args) != len(fact):
+        return None
+    out = dict(bindings)
+    for arg, value in zip(literal.args, fact):
+        if isinstance(arg, Constant):
+            if arg.value != value:
+                return None
+        elif isinstance(arg, Variable):
+            bound = out.get(arg.name, _UNSET)
+            if bound is _UNSET:
+                out[arg.name] = value
+            elif bound != value:
+                return None
+        elif isinstance(arg, TemporalTerm):
+            if arg.base is None:
+                if value != arg.offset:
+                    return None
+            else:
+                expected = out.get(arg.base, _UNSET)
+                if expected is _UNSET:
+                    out[arg.base] = value - arg.offset  # type: ignore
+                elif expected + arg.offset != value:  # type: ignore
+                    return None
+        else:
+            raise TypeError(f"unknown term {arg!r}")
+    return out
+
+
+_UNSET = object()
+
+
+class _FactIndex:
+    """Per-predicate index on the first argument.
+
+    Join performance in the semi-naive loop is dominated by literal
+    matching; indexing facts by their first argument turns the common
+    ``edge(S, T)`` probe with ``S`` bound from a full scan into a bucket
+    lookup, the way SociaLite's column layouts do.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, dict[object, list[tuple]]] = {}
+        self._sizes: dict[str, int] = {}
+
+    def candidates(self, predicate: str, first_value: object,
+                   database: Database) -> Iterable[tuple]:
+        facts = database.get(predicate, ())
+        bucket_map = self._buckets.get(predicate)
+        if bucket_map is None or self._sizes.get(predicate) != len(facts):
+            bucket_map = {}
+            for fact in facts:
+                if fact:
+                    bucket_map.setdefault(fact[0], []).append(fact)
+            self._buckets[predicate] = bucket_map
+            self._sizes[predicate] = len(facts)
+        return bucket_map.get(first_value, ())
+
+
+def _first_arg_value(literal: Literal,
+                     bindings: Bindings) -> tuple[bool, object]:
+    """(is_bound, value) for the literal's first argument under bindings."""
+    if not literal.args:
+        return False, None
+    arg = literal.args[0]
+    if isinstance(arg, Constant):
+        return True, arg.value
+    if isinstance(arg, Variable) and arg.name in bindings:
+        return True, bindings[arg.name]
+    return False, None
+
+
+def _match_rule(rule: Rule, database: Database,
+                delta_position: int | None,
+                delta: set[tuple] | None,
+                index: "_FactIndex | None" = None) -> Iterator[Bindings]:
+    """All binding environments satisfying the rule body.
+
+    When *delta_position* names a positive body-literal index, that literal
+    reads *delta* instead of the full relation (semi-naive restriction).
+    """
+    positives = [(i, lit) for i, lit in enumerate(rule.body)
+                 if not lit.negated]
+    negatives = [lit for lit in rule.body if lit.negated]
+    if index is None:
+        index = _FactIndex()
+
+    def relation_for(position_index: int, literal: Literal,
+                     bindings: Bindings) -> Iterable[tuple]:
+        if delta_position is not None and position_index == delta_position:
+            return delta or ()
+        bound, value = _first_arg_value(literal, bindings)
+        if bound:
+            return index.candidates(literal.predicate, value, database)
+        return database.get(literal.predicate, ())
+
+    def recurse(position: int, bindings: Bindings) -> Iterator[Bindings]:
+        if position == len(positives):
+            for negative in negatives:
+                key = ground(negative.args, bindings)
+                if key is None:
+                    raise StratificationError(
+                        f"negated literal {negative} has unbound variables")
+                if key in database.get(negative.predicate, ()):
+                    return
+            for comparison in rule.comparisons:
+                if not comparison.fn(bindings):
+                    return
+            yield bindings
+            return
+        position_index, literal = positives[position]
+        for fact in relation_for(position_index, literal, bindings):
+            unified = _unify(literal, fact, bindings)
+            if unified is not None:
+                yield from recurse(position + 1, unified)
+
+    yield from recurse(0, {})
+
+
+def _derive_plain(rule: Rule, database: Database,
+                  delta_position: int | None,
+                  delta: set[tuple] | None) -> set[tuple]:
+    out: set[tuple] = set()
+    for bindings in _match_rule(rule, database, delta_position, delta):
+        fact = ground(rule.head.args, bindings)
+        if fact is None:
+            raise StratificationError(
+                f"head of {rule} has unbound variables")
+        out.add(fact)
+    return out
+
+
+def _derive_aggregated(rule: Rule, database: Database,
+                       delta_position: int | None,
+                       delta: set[tuple] | None) -> dict[tuple, list]:
+    """Group-key → list of aggregate-source values for this evaluation."""
+    groups: dict[tuple, list] = defaultdict(list)
+    key_args = rule.head.args[:-1]
+    for bindings in _match_rule(rule, database, delta_position, delta):
+        key = ground(key_args, bindings)
+        if key is None:
+            raise StratificationError(
+                f"head of {rule} has unbound group variables")
+        groups[key].append(rule.aggregate.value(bindings))
+    return groups
+
+
+def _fold(function: str, values: list) -> object:
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    if function == "sum":
+        return sum(values)
+    if function == "count":
+        return len(values)
+    if function == "avg":
+        return sum(values) / len(values)
+    raise StratificationError(f"unknown aggregate {function!r}")
+
+
+def evaluate(program: Program,
+             max_rounds: int = 1_000_000) -> Database:
+    """Evaluate *program* bottom-up; returns predicate → set of facts."""
+    strata = predicate_strata(program)
+    database: Database = {p: set(rows) for p, rows in program.facts.items()}
+    idb = program.idb_predicates
+    levels = sorted({strata[p] for p in idb}) if idb else []
+    for level in levels:
+        predicates = {p for p in idb if strata[p] == level}
+        rules = [r for r in program.rules if r.head.predicate in predicates]
+        _evaluate_stratum(rules, predicates, database, max_rounds)
+    return database
+
+
+def _evaluate_stratum(rules: list[Rule], predicates: set[str],
+                      database: Database, max_rounds: int) -> None:
+    for predicate in predicates:
+        database.setdefault(predicate, set())
+
+    nonmonotonic = [r for r in rules if r.aggregate is not None
+                    and r.aggregate.function in ("sum", "count", "avg")]
+    monotonic_agg = [r for r in rules if r.aggregate is not None
+                     and r.aggregate.function in ("min", "max")]
+    plain = [r for r in rules if r.aggregate is None]
+
+    # Non-monotonic aggregates read only lower strata: evaluate once.
+    for rule in nonmonotonic:
+        for body in rule.body:
+            if body.predicate in predicates:
+                raise StratificationError(
+                    f"non-monotonic aggregate rule {rule} is recursive")
+        for key, values in _derive_aggregated(rule, database, None,
+                                              None).items():
+            database[rule.head.predicate].add(
+                key + (_fold(rule.aggregate.function, values),))
+
+    best: dict[str, dict[tuple, object]] = {
+        r.head.predicate: {} for r in monotonic_agg}
+    for predicate, lattice in best.items():
+        for fact in database[predicate]:
+            lattice[fact[:-1]] = fact[-1]
+
+    def improve(rule: Rule, key: tuple, value: object,
+                delta: set[tuple]) -> None:
+        predicate = rule.head.predicate
+        lattice = best[predicate]
+        current = lattice.get(key, _UNSET)
+        better = (current is _UNSET
+                  or (rule.aggregate.function == "min" and value < current)
+                  or (rule.aggregate.function == "max" and value > current))
+        if better:
+            if current is not _UNSET:
+                database[predicate].discard(key + (current,))
+            lattice[key] = value
+            fact = key + (value,)
+            database[predicate].add(fact)
+            delta.add(fact)
+
+    # Round 0: every rule against the full database.
+    delta: dict[str, set[tuple]] = {p: set() for p in predicates}
+    for rule in plain:
+        for fact in _derive_plain(rule, database, None, None):
+            if fact not in database[rule.head.predicate]:
+                database[rule.head.predicate].add(fact)
+                delta[rule.head.predicate].add(fact)
+    for rule in monotonic_agg:
+        for key, values in _derive_aggregated(rule, database, None,
+                                              None).items():
+            improve(rule, key, _fold(rule.aggregate.function, values),
+                    delta[rule.head.predicate])
+
+    rounds = 0
+    while any(delta.values()):
+        rounds += 1
+        if rounds > max_rounds:
+            raise StratificationError("evaluation did not converge")
+        new_delta: dict[str, set[tuple]] = {p: set() for p in predicates}
+        for rule in plain + monotonic_agg:
+            recursive_positions = [
+                i for i, lit in enumerate(rule.body)
+                if not lit.negated and lit.predicate in predicates]
+            for position in recursive_positions:
+                restricted = delta[rule.body[position].predicate]
+                if not restricted:
+                    continue
+                if rule.aggregate is None:
+                    for fact in _derive_plain(rule, database, position,
+                                              restricted):
+                        if fact not in database[rule.head.predicate]:
+                            database[rule.head.predicate].add(fact)
+                            new_delta[rule.head.predicate].add(fact)
+                else:
+                    groups = _derive_aggregated(rule, database, position,
+                                                restricted)
+                    for key, values in groups.items():
+                        improve(rule, key,
+                                _fold(rule.aggregate.function, values),
+                                new_delta[rule.head.predicate])
+        delta = new_delta

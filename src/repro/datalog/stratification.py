@@ -1,0 +1,67 @@
+"""Predicate-level stratification of Datalog programs.
+
+The classic test: a program is stratified iff its predicate dependency
+graph has no cycle through a negative edge.  :func:`predicate_strata`
+returns the least stratum assignment for a stratified program; the
+evaluation engine processes strata bottom-up so negated literals only ever
+read fully computed relations.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import StratificationError
+
+from .program import Program
+
+
+def _negative_edge_in_cycle(edges: list[tuple[str, str, str]]) -> bool:
+    adjacency: dict[str, list[tuple[str, str]]] = {}
+    nodes: set[str] = set()
+    for source, target, label in edges:
+        adjacency.setdefault(source, []).append((target, label))
+        nodes.update((source, target))
+    # A negative edge (u, v) is in a cycle iff v can reach u.
+    for source, target, label in edges:
+        if label != "-":
+            continue
+        stack = [target]
+        seen = {target}
+        while stack:
+            current = stack.pop()
+            if current == source:
+                return True
+            for nxt, _ in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+    return False
+
+
+def program_is_stratified(program: Program) -> bool:
+    """True when no negation (or non-monotonic aggregation) lies in a
+    recursive cycle."""
+    return not _negative_edge_in_cycle(program.dependency_edges())
+
+
+def predicate_strata(program: Program) -> dict[str, int]:
+    """Least stratum per predicate; raises on unstratifiable programs."""
+    if not program_is_stratified(program):
+        raise StratificationError("program is not stratified")
+    edges = program.dependency_edges()
+    predicates = ({p for e in edges for p in e[:2]}
+                  | program.idb_predicates | program.edb_predicates)
+    strata = {p: 0 for p in predicates}
+    changed = True
+    guard = len(predicates) + 1
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > guard:
+            raise StratificationError("stratum assignment diverged")
+        for source, target, label in edges:
+            required = strata[source] + (1 if label == "-" else 0)
+            if strata[target] < required:
+                strata[target] = required
+                changed = True
+    return strata

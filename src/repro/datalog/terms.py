@@ -1,0 +1,61 @@
+"""Datalog terms: variables, constants, and temporal (stage) terms.
+
+Temporal terms implement the XY-program device of Section 5: a discrete
+stage domain ``{0, 1, 2, ...}`` written ``0``, ``T``, ``s(T)``, ``s(s(T))``
+— here represented as a base variable plus a successor offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable (capitalised by convention)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A ground value."""
+
+    value: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class TemporalTerm:
+    """``s^offset(base)``: ``TemporalTerm("T", 1)`` is ``s(T)``;
+    ``TemporalTerm(None, 0)`` is the constant stage ``0``."""
+
+    base: str | None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("temporal offset must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = self.base if self.base is not None else "0"
+        for _ in range(self.offset):
+            inner = f"s({inner})"
+        return inner
+
+
+Term = Union[Variable, Constant, TemporalTerm]
+
+
+def var(name: str) -> Variable:
+    return Variable(name)
+
+
+def const(value: Any) -> Constant:
+    return Constant(value)

@@ -1,0 +1,132 @@
+"""XY-stratification (Section 5, following Zaniolo et al.).
+
+An **XY-program** is a Datalog program over mutually recursive predicates
+where (Definition 9.3):
+
+* (X-rule condition) every recursive predicate carries a distinguished
+  temporal argument — here, by convention, the **last** argument, a
+  :class:`~repro.datalog.terms.TemporalTerm`;
+* every recursive rule is an **X-rule** (all temporal arguments are the
+  same variable ``T``) or a **Y-rule** (head has ``s(T)``, some subgoal has
+  ``T``, the rest have ``T`` or ``s(T)``).
+
+The decidable test: transform the program to its **bi-state** version —
+recursive predicates with the head's temporal argument become
+``new_<pred>``, other occurrences become ``old_<pred>``, and temporal
+arguments are dropped — and check that the result is stratified.  A
+program that passes is locally stratified and has a unique stable model
+computed by iterated fixpoint, which is exactly Theorem 5.1's guarantee
+for with+ queries.
+"""
+
+from __future__ import annotations
+
+from .program import Program
+from .rules import Literal, Rule
+from .stratification import program_is_stratified
+from .terms import TemporalTerm
+
+
+def _temporal_of(literal: Literal) -> TemporalTerm | None:
+    """The literal's temporal argument (last position, by convention)."""
+    if literal.args and isinstance(literal.args[-1], TemporalTerm):
+        return literal.args[-1]
+    return None
+
+
+def recursive_predicates(program: Program) -> set[str]:
+    """Predicates in recursive cycles — approximated as every IDB predicate
+    reachable from itself through rule dependencies."""
+    edges = {(s, t) for s, t, _ in program.dependency_edges()}
+    idb = program.idb_predicates
+    reach: dict[str, set[str]] = {p: {t for s, t in edges if s == p}
+                                  for p in idb}
+    changed = True
+    while changed:
+        changed = False
+        for p in idb:
+            extra = set()
+            for q in reach[p]:
+                extra |= reach.get(q, set())
+            if not extra <= reach[p]:
+                reach[p] |= extra
+                changed = True
+    return {p for p in idb if p in reach[p]}
+
+
+def is_xy_program(program: Program) -> bool:
+    """Definition 9.3's syntactic check."""
+    recursive = recursive_predicates(program)
+    if not recursive:
+        return True
+    for rule in program.rules:
+        head_temporal = _temporal_of(rule.head)
+        involved = rule.head.predicate in recursive or any(
+            b.predicate in recursive for b in rule.body)
+        if not involved:
+            continue
+        if rule.head.predicate in recursive and head_temporal is None:
+            return False
+        body_temporals = [
+            _temporal_of(b) for b in rule.body if b.predicate in recursive]
+        if any(t is None for t in body_temporals):
+            return False
+        if head_temporal is None:
+            continue
+        bases = {t.base for t in body_temporals} | {head_temporal.base}
+        if len(bases) > 1:
+            return False  # one temporal variable per rule
+        offsets = [t.offset for t in body_temporals]
+        if all(o == head_temporal.offset for o in offsets) \
+                and head_temporal.offset in (0, 1):
+            # X-rule: every temporal argument is the same term (T or s(T)).
+            continue
+        if head_temporal.offset == 1:
+            # Y-rule: some subgoal at T, the rest at T or s(T).
+            if offsets and not any(o == 0 for o in offsets):
+                return False
+            if any(o not in (0, 1) for o in offsets):
+                return False
+        else:
+            return False
+    return True
+
+
+def bi_state_transform(program: Program) -> Program:
+    """The new_/old_ rewriting with temporal arguments removed."""
+    recursive = recursive_predicates(program)
+    out = Program(facts={p: set(rows) for p, rows in program.facts.items()})
+
+    def strip(literal: Literal, prefix: str) -> Literal:
+        args = literal.args
+        if args and isinstance(args[-1], TemporalTerm):
+            args = args[:-1]
+        return Literal(prefix + literal.predicate, args, literal.negated)
+
+    for rule in program.rules:
+        if rule.head.predicate not in recursive:
+            out.add_rule(rule)
+            continue
+        head_temporal = _temporal_of(rule.head)
+        head = strip(rule.head, "new_")
+        body = []
+        for literal in rule.body:
+            if literal.predicate not in recursive:
+                body.append(literal)
+                continue
+            literal_temporal = _temporal_of(literal)
+            same_stage = (head_temporal is not None
+                          and literal_temporal is not None
+                          and literal_temporal.offset == head_temporal.offset)
+            prefix = "new_" if same_stage else "old_"
+            body.append(strip(literal, prefix))
+        out.add_rule(Rule(head, tuple(body), rule.comparisons,
+                          rule.aggregate))
+    return out
+
+
+def is_xy_stratified(program: Program) -> bool:
+    """An XY-program is XY-stratified iff its bi-state version is stratified."""
+    if not is_xy_program(program):
+        return False
+    return program_is_stratified(bi_state_transform(program))

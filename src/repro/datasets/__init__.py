@@ -1,0 +1,32 @@
+"""Datasets: synthetic stand-ins for the paper's nine SNAP graphs."""
+
+from .catalog import (
+    DATASETS,
+    DIRECTED_KEYS,
+    UNDIRECTED_KEYS,
+    DatasetSpec,
+    load,
+    table3_row,
+)
+from .generators import (
+    erdos_renyi,
+    grid_graph,
+    preferential_attachment,
+    random_dag,
+)
+from .io import read_edge_list, write_edge_list
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "UNDIRECTED_KEYS",
+    "DIRECTED_KEYS",
+    "load",
+    "table3_row",
+    "preferential_attachment",
+    "erdos_renyi",
+    "random_dag",
+    "grid_graph",
+    "read_edge_list",
+    "write_edge_list",
+]

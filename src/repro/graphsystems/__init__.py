@@ -1,0 +1,24 @@
+"""Baseline graph engines standing in for PowerGraph, Giraph and SociaLite
+(the paper's Exp-B comparison systems), plus the shared graph container.
+"""
+
+from .graph import Graph
+from .gas import GASEngine, GASProgram, GASResult
+from .pregel import PregelEngine, PregelResult, VertexContext
+from .socialite import SocialiteResult
+
+from . import gas, pregel, socialite
+
+__all__ = [
+    "Graph",
+    "GASEngine",
+    "GASProgram",
+    "GASResult",
+    "PregelEngine",
+    "PregelResult",
+    "VertexContext",
+    "SocialiteResult",
+    "gas",
+    "pregel",
+    "socialite",
+]

@@ -1,0 +1,25 @@
+"""Dialect profiles emulating the three RDBMSs of the paper."""
+
+from .base import Dialect, FEATURE_ROWS
+from .oracle import OracleDialect
+from .db2 import Db2Dialect
+from .postgres import PostgresDialect
+
+DIALECTS: dict[str, type[Dialect]] = {
+    "oracle": OracleDialect,
+    "db2": Db2Dialect,
+    "postgres": PostgresDialect,
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Instantiate a dialect by name (``oracle``, ``db2``, ``postgres``)."""
+    try:
+        return DIALECTS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown dialect {name!r};"
+                         f" choose from {sorted(DIALECTS)}") from None
+
+
+__all__ = ["Dialect", "OracleDialect", "Db2Dialect", "PostgresDialect",
+           "DIALECTS", "FEATURE_ROWS", "get_dialect"]

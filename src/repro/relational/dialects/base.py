@@ -1,0 +1,126 @@
+"""Dialect profile base class.
+
+A dialect bundles three things:
+
+1. a **planner policy** name — how the profile builds joins/aggregations
+   (see :mod:`repro.relational.planner`);
+2. a **feature matrix** for the plain SQL'99 recursive ``with`` clause —
+   the rows of Table 1 in the paper, enforced when the engine runs in
+   ``mode="with"``;
+3. **strategy availability** — which union-by-update implementations the
+   profile's SQL surface offers (Exp-1): PostgreSQL lacks MERGE (pre-9.5)
+   but has ``UPDATE ... FROM``; Oracle and DB2 are the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Feature keys in presentation order, grouped as in the paper's Table 1.
+FEATURE_ROWS: tuple[tuple[str, str], ...] = (
+    ("A", "linear_recursion"),
+    ("A", "nonlinear_recursion"),
+    ("A", "mutual_recursion"),
+    ("B", "multiple_initial_queries"),
+    ("B", "multiple_recursive_queries"),
+    ("C", "setop_between_initial"),
+    ("C", "setop_across_initial_recursive"),
+    ("C", "setop_between_recursive"),
+    ("D", "negation"),
+    ("D", "aggregate_functions"),
+    ("D", "group_by_having"),
+    ("D", "partition_by"),
+    ("D", "distinct"),
+    ("D", "general_functions"),
+    ("D", "analytical_functions"),
+    ("D", "subquery_without_recursive_ref"),
+    ("D", "subquery_with_recursive_ref"),
+    ("E", "infinite_loop_detection"),
+    ("E", "cycle_detection"),
+    ("E", "cycle_clause"),
+    ("E", "search_clause"),
+)
+
+
+@dataclass
+class Dialect:
+    """Base dialect; subclasses override the profile fields."""
+
+    name: str = "generic"
+    policy_name: str = "hash-first"
+    #: Table 1 rows.  True = supported in the plain ``with`` clause,
+    #: False = prohibited, None = not applicable.
+    with_features: dict[str, bool | None] = field(default_factory=dict)
+    #: Union-by-update strategies the SQL surface offers, first = default.
+    union_by_update_strategies: tuple[str, ...] = (
+        "full_outer_join", "merge", "drop_alter")
+    #: PSM language name used in emitted procedure text.
+    psm_language: str = "SQL/PSM"
+
+    def supports_with_feature(self, feature: str) -> bool:
+        """True when the plain ``with`` clause accepts *feature*."""
+        return bool(self.with_features.get(feature, False))
+
+    def supports_union_by_update(self, strategy: str) -> bool:
+        return strategy in self.union_by_update_strategies
+
+    @property
+    def default_union_by_update(self) -> str:
+        return self.union_by_update_strategies[0]
+
+    # -- PSM text flavour -------------------------------------------------------
+
+    def procedure_header(self, name: str) -> str:
+        return f"CREATE PROCEDURE {name}()"
+
+    def procedure_footer(self) -> str:
+        return "END;"
+
+    def loop_open(self) -> str:
+        return "LOOP"
+
+    def loop_close(self) -> str:
+        return "END LOOP;"
+
+    def exit_when(self, condition: str) -> str:
+        return f"EXIT WHEN {condition};"
+
+    def declare_int(self, name: str) -> str:
+        return f"DECLARE {name} INTEGER DEFAULT 0;"
+
+    def create_temp_table(self, name: str, columns: str) -> str:
+        return f"CREATE TEMPORARY TABLE {name} ({columns});"
+
+    def insert_hint(self) -> str:
+        """Optimizer hint prefix for inserts (Oracle's /*+APPEND*/)."""
+        return ""
+
+
+def shared_sql99_features(**overrides: bool | None) -> dict[str, bool | None]:
+    """The Table 1 baseline every profile shares, with per-dialect overrides."""
+    features: dict[str, bool | None] = {
+        "linear_recursion": True,
+        "nonlinear_recursion": False,
+        "mutual_recursion": False,
+        "multiple_initial_queries": True,
+        "multiple_recursive_queries": False,
+        "setop_between_initial": True,
+        "setop_across_initial_recursive": False,
+        "setop_between_recursive": False,
+        "negation": False,
+        "aggregate_functions": False,
+        "group_by_having": False,
+        "partition_by": True,
+        "distinct": False,
+        "general_functions": False,
+        "analytical_functions": False,
+        "subquery_without_recursive_ref": True,
+        "subquery_with_recursive_ref": False,
+        "infinite_loop_detection": False,
+        "cycle_detection": False,
+        "cycle_clause": False,
+        "search_clause": False,
+    }
+    features.update(overrides)
+    return features

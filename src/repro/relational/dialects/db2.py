@@ -1,0 +1,38 @@
+"""The IBM DB2 10.5 Express-C profile.
+
+Planner: hash join but sort-based aggregation, making it consistently
+slower than the Oracle profile on the MV/MM-join workloads — matching the
+paper's ordering Oracle < DB2 < PostgreSQL.  Plain-``with`` features per
+Table 1: DB2 is the only system allowing multiple recursive subqueries, and
+the only one prohibiting general arithmetic/analytical functions in the
+recursive step.  MERGE available, ``UPDATE ... FROM`` not.
+"""
+
+from __future__ import annotations
+
+from .base import Dialect, shared_sql99_features
+
+
+class Db2Dialect(Dialect):
+    def __init__(self) -> None:
+        super().__init__(
+            name="db2",
+            policy_name="hash-join-sort-agg",
+            with_features=shared_sql99_features(
+                multiple_recursive_queries=True,
+                setop_between_recursive=False,
+                partition_by=True,
+                general_functions=False,
+                analytical_functions=False,
+            ),
+            union_by_update_strategies=("full_outer_join", "merge",
+                                        "drop_alter"),
+            psm_language="SQL PL",
+        )
+
+    def procedure_header(self, name: str) -> str:
+        return f"CREATE PROCEDURE {name}()\nLANGUAGE SQL\nBEGIN"
+
+    def create_temp_table(self, name: str, columns: str) -> str:
+        return (f"DECLARE GLOBAL TEMPORARY TABLE {name} ({columns})"
+                " ON COMMIT PRESERVE ROWS NOT LOGGED;")

@@ -1,0 +1,48 @@
+"""The Oracle 11gR2 profile.
+
+Planner: hash join + hash aggregation (the plans the paper reports Oracle's
+optimizer producing for recursive workloads, with or without temp-table
+indexes).  Plain-``with`` features per Table 1: partition-by and general /
+analytical functions allowed, distinct prohibited; looping control via
+``cycle``/``search`` and automatic cycle detection.  MERGE available,
+``UPDATE ... FROM`` not.
+"""
+
+from __future__ import annotations
+
+from .base import Dialect, shared_sql99_features
+
+
+class OracleDialect(Dialect):
+    def __init__(self) -> None:
+        super().__init__(
+            name="oracle",
+            policy_name="hash-first",
+            with_features=shared_sql99_features(
+                general_functions=True,
+                analytical_functions=True,
+                infinite_loop_detection=True,
+                cycle_detection=True,
+                cycle_clause=True,
+                search_clause=True,
+            ),
+            union_by_update_strategies=("full_outer_join", "merge",
+                                        "drop_alter"),
+            psm_language="PL/SQL",
+        )
+
+    def procedure_header(self, name: str) -> str:
+        return f"CREATE OR REPLACE PROCEDURE {name} AS"
+
+    def procedure_footer(self) -> str:
+        return f"END;\n/"
+
+    def declare_int(self, name: str) -> str:
+        return f"{name} INTEGER := 0;"
+
+    def create_temp_table(self, name: str, columns: str) -> str:
+        return (f"CREATE GLOBAL TEMPORARY TABLE {name} ({columns})"
+                " ON COMMIT PRESERVE ROWS;")
+
+    def insert_hint(self) -> str:
+        return "/*+APPEND*/ "

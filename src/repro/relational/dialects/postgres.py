@@ -1,0 +1,43 @@
+"""The PostgreSQL 9.4 profile.
+
+Planner: merge join + sort aggregation whenever statistics are stale —
+which they always are for the temp tables a recursive loop creates ("the
+optimizer does not have sufficient statistics of join attributes, in
+particular for temporary tables").  Sorted indexes on temp tables feed the
+merge join in key order, the Fig 10 effect.  Plain-``with`` features per
+Table 1: the only profile allowing ``distinct``, ``union`` across the
+initial/recursive boundary, and general/analytical functions.  No MERGE
+(pre-9.5); ``UPDATE ... FROM`` instead.
+"""
+
+from __future__ import annotations
+
+from .base import Dialect, shared_sql99_features
+
+
+class PostgresDialect(Dialect):
+    def __init__(self) -> None:
+        super().__init__(
+            name="postgres",
+            policy_name="merge-join",
+            with_features=shared_sql99_features(
+                setop_across_initial_recursive=True,
+                setop_between_recursive=None,
+                distinct=True,
+                general_functions=True,
+                analytical_functions=True,
+            ),
+            union_by_update_strategies=("full_outer_join", "update_from",
+                                        "drop_alter"),
+            psm_language="PL/pgSQL",
+        )
+
+    def procedure_header(self, name: str) -> str:
+        return (f"CREATE OR REPLACE FUNCTION {name}() RETURNS void AS $$\n"
+                "BEGIN")
+
+    def procedure_footer(self) -> str:
+        return "END;\n$$ LANGUAGE plpgsql;"
+
+    def create_temp_table(self, name: str, columns: str) -> str:
+        return f"CREATE TEMP TABLE {name} ({columns});"

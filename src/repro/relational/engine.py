@@ -1,0 +1,128 @@
+"""The public engine facade.
+
+``Engine`` glues the pieces together: parse SQL text, route plain queries
+through :class:`~repro.relational.sql.compiler.QueryRunner`, route
+recursive ``with``/``with+`` statements through
+:class:`~repro.relational.recursive.RecursiveExecutor`, and expose EXPLAIN
+and SQL/PSM translation.
+
+    >>> from repro.relational import Engine
+    >>> engine = Engine(dialect="oracle")
+    >>> engine.database.load_edge_table("E", [(1, 2), (2, 3)])  # doctest: +ELLIPSIS
+    <table E ...>
+    >>> engine.execute("SELECT count(*) AS m FROM E").rows
+    ((2,),)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .database import Database
+from .dialects import Dialect, get_dialect
+from .errors import FeatureNotSupportedError
+from .physical import explain_plan
+from .planner import POLICIES, PlannerPolicy
+from .psm import PsmProgram, translate_with_to_psm
+from .recursive import (
+    RecursiveExecutor,
+    WithExecutionResult,
+    cte_is_recursive,
+)
+from .relation import Relation
+from .sql.ast import Statement, WithStatement
+from .sql.compiler import QueryRunner
+from .sql.parser import parse_statement
+
+
+class Engine:
+    """A single-session engine bound to a dialect profile.
+
+    Parameters
+    ----------
+    dialect:
+        ``"oracle"``, ``"db2"``, ``"postgres"``, or a :class:`Dialect`.
+    database:
+        An existing catalog to attach to; a fresh one by default.
+    mode:
+        ``"with+"`` (default) accepts the paper's enhanced recursion;
+        ``"with"`` enforces the dialect's SQL'99 Table-1 restrictions.
+    """
+
+    def __init__(self, dialect: str | Dialect = "oracle",
+                 database: Database | None = None, mode: str = "with+"):
+        self.dialect = (dialect if isinstance(dialect, Dialect)
+                        else get_dialect(dialect))
+        self.database = database if database is not None else Database()
+        self.policy: PlannerPolicy = POLICIES[self.dialect.policy_name]()
+        self.mode = mode
+        self._ubu_strategy: str | None = None
+        self.temp_indexes: dict[str, Sequence[str]] = {}
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def union_by_update_strategy(self) -> str:
+        return self._ubu_strategy or self.dialect.default_union_by_update
+
+    @union_by_update_strategy.setter
+    def union_by_update_strategy(self, strategy: str | None) -> None:
+        if strategy is not None and \
+                not self.dialect.supports_union_by_update(strategy):
+            raise FeatureNotSupportedError(
+                self.dialect.name, f"union-by-update strategy {strategy}")
+        self._ubu_strategy = strategy
+
+    def set_temp_indexes(self, indexes: dict[str, Sequence[str]]) -> None:
+        """Columns to index (sorted index) on each temp table the recursive
+        executor creates — the Fig 10 experiment's knob."""
+        self.temp_indexes = dict(indexes)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, sql: str | Statement, mode: str | None = None) -> Relation:
+        """Run a statement and return its result relation."""
+        return self.execute_detailed(sql, mode=mode).relation
+
+    def execute_detailed(self, sql: str | Statement,
+                         mode: str | None = None) -> WithExecutionResult:
+        """Run a statement, returning per-iteration statistics for
+        recursive queries (used by the Fig 12/13 benchmarks)."""
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, WithStatement) and \
+                any(cte_is_recursive(c) for c in statement.ctes):
+            executor = RecursiveExecutor(
+                self.database, self.dialect, self.policy,
+                mode=mode or self.mode,
+                ubu_strategy=self._ubu_strategy,
+                temp_indexes=self.temp_indexes)
+            return executor.execute(statement)
+        runner = QueryRunner(self.database, self.policy)
+        return WithExecutionResult(relation=runner.run(statement))
+
+    def explain(self, sql: str | Statement) -> str:
+        """Physical plan of a non-recursive statement, as indented text."""
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        runner = QueryRunner(self.database, self.policy)
+        return explain_plan(runner.plan(statement))
+
+    def to_psm(self, sql: str | Statement,
+               procedure_name: str = "F_Q") -> PsmProgram:
+        """The SQL/PSM procedure Algorithm 1 would emit for *sql*."""
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(statement, WithStatement):
+            raise ValueError("to_psm expects a WITH statement")
+        return translate_with_to_psm(statement, self.dialect, procedure_name)
+
+    # -- convenience ------------------------------------------------------------------
+
+    def load_graph(self, graph, edge_table: str = "E",
+                   node_table: str = "V") -> None:
+        """Load a :class:`repro.graphsystems.graph.Graph` as E(F,T,ew) and
+        V(ID,vw) relations."""
+        self.database.load_edge_table(
+            edge_table,
+            [(u, v, w) for u, v, w in graph.weighted_edges()])
+        self.database.load_node_table(
+            node_table,
+            [(v, graph.node_weight(v)) for v in graph.nodes()])

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the relational engine.
+
+Every error raised by :mod:`repro.relational` derives from
+:class:`RelationalError`, mirroring the SQLSTATE-style class split that real
+RDBMSs use: schema/catalog problems, binding (name-resolution) problems,
+parse problems, runtime evaluation problems, and constraint violations.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed (duplicate columns, bad key, arity mismatch)."""
+
+
+class CatalogError(RelationalError):
+    """A table/index was not found, or a name collides in the catalog."""
+
+
+class ParseError(RelationalError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = "" if line is None else f" (line {line}, column {column})"
+        super().__init__(f"{message}{location}")
+
+
+class BindError(RelationalError):
+    """A name in a query could not be resolved, or resolved ambiguously."""
+
+
+class PlanError(RelationalError):
+    """A logical plan could not be converted into a physical plan."""
+
+
+class ExecutionError(RelationalError):
+    """A runtime failure while executing a physical plan."""
+
+
+class ConstraintError(RelationalError):
+    """A primary-key or not-null constraint was violated."""
+
+
+class FeatureNotSupportedError(RelationalError):
+    """The active dialect does not support the requested feature.
+
+    This is how the engine reproduces Table 1 of the paper: each dialect
+    profile rejects the recursive-``with`` features the corresponding RDBMS
+    rejects.
+    """
+
+    def __init__(self, dialect: str, feature: str):
+        self.dialect = dialect
+        self.feature = feature
+        super().__init__(f"dialect {dialect!r} does not support {feature}")
+
+
+class StratificationError(RelationalError):
+    """A recursive query is not (XY-)stratified and has no fixpoint guarantee."""
+
+
+class RecursionLimitError(ExecutionError):
+    """A recursive query exceeded its ``maxrecursion`` bound."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"recursion did not converge within maxrecursion {limit}")

@@ -1,0 +1,62 @@
+"""Physical (executable) operators for the relational engine.
+
+Operators follow the classic iterator model: each exposes an output
+:class:`~repro.relational.schema.Schema` and a ``rows()`` generator.  The
+planner (:mod:`repro.relational.planner`) assembles trees of these and the
+executor materialises the root into a
+:class:`~repro.relational.relation.Relation`.
+"""
+
+from .base import PhysicalOperator, explain_plan
+from .scan import IndexOrderedScan, RelationScan, TableScan
+from .filter import Filter
+from .project import Project
+from .joins import (
+    HashAntiJoin,
+    HashFullOuterJoin,
+    HashJoin,
+    HashLeftOuterJoin,
+    HashSemiJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    NotInAntiJoin,
+)
+from .aggregate import HashAggregate, SortAggregate
+from .setops import ExceptOp, IntersectOp, UnionAllOp, UnionDistinctOp
+from .sort import Sort
+from .distinct import Distinct
+from .limit import Limit
+from .materialize import Materialize
+from .rename import Requalify
+from .window import WindowAggregate, WindowSpec
+
+__all__ = [
+    "Requalify",
+    "WindowAggregate",
+    "WindowSpec",
+    "PhysicalOperator",
+    "explain_plan",
+    "TableScan",
+    "RelationScan",
+    "IndexOrderedScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "HashLeftOuterJoin",
+    "HashFullOuterJoin",
+    "HashSemiJoin",
+    "HashAntiJoin",
+    "NotInAntiJoin",
+    "HashAggregate",
+    "SortAggregate",
+    "UnionAllOp",
+    "UnionDistinctOp",
+    "ExceptOp",
+    "IntersectOp",
+    "Sort",
+    "Distinct",
+    "Limit",
+    "Materialize",
+]

@@ -1,0 +1,30 @@
+"""Duplicate elimination (SELECT DISTINCT)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Distinct(PhysicalOperator):
+    label = "Distinct"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row

@@ -1,0 +1,39 @@
+"""Filter: selection over a child operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..expressions import Expression, bind
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Filter(PhysicalOperator):
+    """Keeps the rows for which the predicate evaluates to TRUE.
+
+    SQL semantics: rows where the predicate is NULL are dropped too.
+    """
+
+    label = "Filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression):
+        self.child = child
+        self.predicate = bind(predicate, child.schema)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        evaluate = self.predicate.evaluate
+        for row in self.child.rows():
+            if evaluate(row) is True:
+                yield row
+
+    def detail(self) -> str:
+        return self.predicate.sql()

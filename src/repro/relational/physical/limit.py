@@ -1,0 +1,35 @@
+"""Row-count limiting (LIMIT / FETCH FIRST)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Limit(PhysicalOperator):
+    label = "Limit"
+
+    def __init__(self, child: PhysicalOperator, count: int):
+        self.child = child
+        self.count = count
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        emitted = 0
+        for row in self.child.rows():
+            if emitted >= self.count:
+                return
+            emitted += 1
+            yield row
+
+    def detail(self) -> str:
+        return str(self.count)

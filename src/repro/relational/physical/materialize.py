@@ -1,0 +1,35 @@
+"""Materialisation wrapper: pin a child's output so it can be re-read."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Materialize(PhysicalOperator):
+    """Caches the child's rows on first read; later reads replay the cache.
+
+    Used when a plan consumes the same input twice (e.g. nonlinear recursion
+    joining the recursive relation with itself).
+    """
+
+    label = "Materialize"
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self._cache: list[Row] | None = None
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.rows())
+        return iter(self._cache)

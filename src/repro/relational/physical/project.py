@@ -1,0 +1,46 @@
+"""Project: computed select-lists over a child operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..expressions import BoundColumn, Expression, bind
+from ..relation import Row
+from ..schema import Column, Schema
+from ..types import SqlType
+from .base import PhysicalOperator
+
+
+class Project(PhysicalOperator):
+    """Evaluates ``(expression, alias)`` pairs per input row."""
+
+    label = "Project"
+
+    def __init__(self, child: PhysicalOperator,
+                 items: Sequence[tuple[Expression, str]]):
+        self.child = child
+        self.items = [(bind(expr, child.schema), alias) for expr, alias in items]
+        columns = []
+        for bound, alias in self.items:
+            if isinstance(bound, BoundColumn):
+                sql_type = child.schema.columns[bound.index].sql_type
+            else:
+                sql_type = SqlType.DOUBLE
+            columns.append(Column(alias, sql_type))
+        self._schema = Schema(tuple(columns))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        evaluators = [bound.evaluate for bound, _ in self.items]
+        for row in self.child.rows():
+            yield tuple(evaluate(row) for evaluate in evaluators)
+
+    def detail(self) -> str:
+        return ", ".join(f"{bound.sql()} AS {alias}"
+                         for bound, alias in self.items)

@@ -1,0 +1,33 @@
+"""Requalify: re-label a child's output columns under a new relation alias."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Requalify(PhysicalOperator):
+    """Rows pass through; the schema is re-qualified as *alias* (ρ)."""
+
+    label = "Requalify"
+
+    def __init__(self, child: PhysicalOperator, alias: str):
+        self.child = child
+        self.alias = alias
+        self._schema = child.schema.rename_relation(alias)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        return self.child.rows()
+
+    def detail(self) -> str:
+        return self.alias

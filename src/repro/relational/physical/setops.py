@@ -1,0 +1,74 @@
+"""Set operators: UNION ALL, UNION, EXCEPT, INTERSECT."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import SchemaError
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class _SetOp(PhysicalOperator):
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        if left.schema.arity != right.schema.arity:
+            raise SchemaError(
+                f"set operation between arities {left.schema.arity}"
+                f" and {right.schema.arity}")
+        self.left = left
+        self.right = right
+
+    @property
+    def schema(self) -> Schema:
+        return self.left.schema.without_key()
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+
+class UnionAllOp(_SetOp):
+    label = "Union All"
+
+    def rows(self) -> Iterator[Row]:
+        yield from self.left.rows()
+        yield from self.right.rows()
+
+
+class UnionDistinctOp(_SetOp):
+    label = "Union"
+
+    def rows(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.left.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+        for row in self.right.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class ExceptOp(_SetOp):
+    label = "Except"
+
+    def rows(self) -> Iterator[Row]:
+        gone = set(self.right.rows())
+        seen: set[Row] = set()
+        for row in self.left.rows():
+            if row not in gone and row not in seen:
+                seen.add(row)
+                yield row
+
+
+class IntersectOp(_SetOp):
+    label = "Intersect"
+
+    def rows(self) -> Iterator[Row]:
+        kept = set(self.right.rows())
+        seen: set[Row] = set()
+        for row in self.left.rows():
+            if row in kept and row not in seen:
+                seen.add(row)
+                yield row

@@ -1,0 +1,45 @@
+"""Sort operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..expressions import Expression, bind
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class Sort(PhysicalOperator):
+    """Materialising sort on a list of key expressions (NULLS LAST)."""
+
+    label = "Sort"
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[Expression],
+                 descending: Sequence[bool] | None = None):
+        self.child = child
+        self.keys = tuple(keys)
+        self.descending = tuple(descending) if descending is not None \
+            else (False,) * len(self.keys)
+        self._bound = [bind(k, child.schema) for k in keys]
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        rows = list(self.child.rows())
+        # Stable multi-key sort: apply keys right-to-left.
+        for bound, desc in reversed(list(zip(self._bound, self.descending))):
+            evaluate = bound.evaluate
+            rows.sort(key=lambda row: ((evaluate(row) is None), evaluate(row)),
+                      reverse=desc)
+        return iter(rows)
+
+    def detail(self) -> str:
+        parts = [f"{k.sql()}{' DESC' if d else ''}"
+                 for k, d in zip(self.keys, self.descending)]
+        return ", ".join(parts)

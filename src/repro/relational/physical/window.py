@@ -1,0 +1,85 @@
+"""Window aggregation: ``agg(x) OVER (PARTITION BY ...)``.
+
+This is the analytical-function form the paper discusses for plain
+``with`` recursion in PostgreSQL/Oracle (Fig 9): unlike GROUP BY, every
+input row survives, annotated with its partition's aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..expressions import Expression, bind
+from ..relation import Row, _finish_aggregate
+from ..schema import Column, Schema
+from ..types import SqlType
+from .base import PhysicalOperator
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One window aggregate: function, argument, partition keys, output name."""
+
+    function: str
+    argument: Expression | None
+    partition_by: tuple[Expression, ...]
+    alias: str
+
+
+class WindowAggregate(PhysicalOperator):
+    """Materialises the child, computes each spec per partition, and emits
+    every input row extended with its window values."""
+
+    label = "Window Aggregate"
+
+    def __init__(self, child: PhysicalOperator, specs: Sequence[WindowSpec]):
+        self.child = child
+        self.specs = tuple(specs)
+        self._bound = []
+        for spec in self.specs:
+            argument = (bind(spec.argument, child.schema)
+                        if spec.argument is not None else None)
+            partition = [bind(p, child.schema) for p in spec.partition_by]
+            self._bound.append((argument, partition))
+        columns = child.schema.columns + tuple(
+            Column(spec.alias, SqlType.DOUBLE) for spec in self.specs)
+        self._schema = Schema(columns)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        rows = list(self.child.rows())
+        per_spec_values: list[dict[tuple, Any]] = []
+        for spec, (argument, partition) in zip(self.specs, self._bound):
+            buckets: dict[tuple, list[Any]] = {}
+            for row in rows:
+                key = tuple(p.evaluate(row) for p in partition)
+                values = buckets.setdefault(key, [])
+                if argument is None:
+                    values.append(1)
+                else:
+                    value = argument.evaluate(row)
+                    if value is not None:
+                        values.append(value)
+            per_spec_values.append({
+                key: _finish_aggregate(spec.function, values)
+                for key, values in buckets.items()})
+        for row in rows:
+            extras = []
+            for (argument, partition), finished in zip(self._bound,
+                                                       per_spec_values):
+                key = tuple(p.evaluate(row) for p in partition)
+                extras.append(finished[key])
+            yield row + tuple(extras)
+
+    def detail(self) -> str:
+        return ", ".join(
+            f"{s.function}(...) over (partition by"
+            f" {', '.join(p.sql() for p in s.partition_by)}) AS {s.alias}"
+            for s in self.specs)

@@ -1,0 +1,197 @@
+"""Planner policies: where dialect profiles shape physical plans.
+
+The compiler asks the active :class:`PlannerPolicy` to build joins and
+aggregations; the policy encodes the per-RDBMS behaviour the paper observed:
+
+* :class:`HashFirstPolicy` (Oracle profile) — hash join + hash aggregation,
+  regardless of indexes ("the optimizers do not choose a new query plan for
+  temporary tables, even when an index is constructed", Exp-A);
+* :class:`HashJoinSortAggPolicy` (DB2 profile) — hash join but sort-based
+  aggregation, making it systematically slower than the Oracle profile;
+* :class:`MergeJoinPolicy` (PostgreSQL profile) — merge join + sort
+  aggregation whenever a side lacks fresh statistics (temp tables in a
+  recursive loop always do), upgrading to an ordered index scan when a
+  sorted index exists on the join columns — the Fig 10 effect.  With fresh
+  statistics on both sides it plans hash joins like the others.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .expressions import ColumnRef, Expression
+from .physical import (
+    HashAggregate,
+    HashAntiJoin,
+    HashFullOuterJoin,
+    HashJoin,
+    HashLeftOuterJoin,
+    HashSemiJoin,
+    IndexOrderedScan,
+    MergeJoin,
+    NotInAntiJoin,
+    PhysicalOperator,
+    SortAggregate,
+    TableScan,
+)
+from .relation import AggregateSpec
+
+
+class PlannerPolicy:
+    """Choice points the compiler delegates to."""
+
+    name = "default"
+
+    def make_equi_join(self, left: PhysicalOperator, right: PhysicalOperator,
+                       left_keys: Sequence[Expression],
+                       right_keys: Sequence[Expression]) -> PhysicalOperator:
+        raise NotImplementedError
+
+    def make_left_outer_join(self, left, right, left_keys, right_keys):
+        return HashLeftOuterJoin(left, right, left_keys, right_keys)
+
+    def make_full_outer_join(self, left, right, left_keys, right_keys):
+        return HashFullOuterJoin(left, right, left_keys, right_keys)
+
+    def make_semi_join(self, left, right, left_keys, right_keys):
+        return HashSemiJoin(left, right, left_keys, right_keys)
+
+    def make_anti_join(self, left, right, left_keys, right_keys):
+        """NOT EXISTS / LEFT JOIN ... IS NULL plan."""
+        return HashAntiJoin(left, right, left_keys, right_keys)
+
+    def make_not_in_anti_join(self, left, right, left_keys, right_keys):
+        """NOT IN plan, with its NULL-aware bookkeeping."""
+        return NotInAntiJoin(left, right, left_keys, right_keys)
+
+    def make_aggregate(self, child: PhysicalOperator,
+                       keys: Sequence[Expression],
+                       aggregates: Sequence[AggregateSpec],
+                       key_aliases: Sequence[str]) -> PhysicalOperator:
+        raise NotImplementedError
+
+
+def _estimate_rows(node: PhysicalOperator) -> int | None:
+    """Cardinality estimate from catalog/statistics info, when available.
+
+    This is the statistics knowledge the commercial optimizers have and
+    PostgreSQL lacks on temp tables; the stats-aware policies use it to
+    put the smaller input on a hash join's build side.
+    """
+    from .physical import Filter, Project, RelationScan, Requalify
+
+    if isinstance(node, TableScan):
+        return len(node.table.rows)
+    if isinstance(node, IndexOrderedScan):
+        return len(node.table.rows)
+    if isinstance(node, RelationScan):
+        return len(node.relation)
+    if isinstance(node, (Filter, Project, Requalify)):
+        return _estimate_rows(node.children()[0])
+    return None
+
+
+def _stats_aware_hash_join(left, right, left_keys, right_keys) -> HashJoin:
+    left_size = _estimate_rows(left)
+    right_size = _estimate_rows(right)
+    build_side = "right"
+    if left_size is not None and right_size is not None \
+            and left_size < right_size:
+        build_side = "left"
+    return HashJoin(left, right, left_keys, right_keys, build_side)
+
+
+class HashFirstPolicy(PlannerPolicy):
+    """Hash join (smaller side as build) + hash aggregation — the Oracle
+    profile, with the plan quality its statistics afford."""
+
+    name = "hash-first"
+
+    def make_equi_join(self, left, right, left_keys, right_keys):
+        return _stats_aware_hash_join(left, right, left_keys, right_keys)
+
+    def make_aggregate(self, child, keys, aggregates, key_aliases):
+        return HashAggregate(child, keys, aggregates, key_aliases)
+
+
+class HashJoinSortAggPolicy(PlannerPolicy):
+    """Hash join with the default build side + sort-based aggregation —
+    the DB2 profile.
+
+    DB2 Express-C's optimizer plans hash joins like Oracle's but without
+    the same plan quality on this workload (no build-side choice here) and
+    with sort-based grouping, which keeps it measurably behind Oracle yet
+    ahead of the PostgreSQL profile's input-sorting merge joins — the
+    paper's overall ordering.
+    """
+
+    name = "hash-join-sort-agg"
+
+    def make_equi_join(self, left, right, left_keys, right_keys):
+        return HashJoin(left, right, left_keys, right_keys)
+
+    def make_aggregate(self, child, keys, aggregates, key_aliases):
+        return SortAggregate(child, keys, aggregates, key_aliases)
+
+
+class MergeJoinPolicy(PlannerPolicy):
+    """Merge join + hash aggregation on stale statistics (the PostgreSQL
+    profile: "the optimizer generates a sub-optimal query plan using merge
+    join and hash aggregation", Exp-A).
+
+    When a join input is a bare table scan whose table carries a sorted
+    index on exactly the join columns, the scan is replaced by an
+    :class:`IndexOrderedScan` so the merge join skips its sort — the
+    Fig 10 mechanism.
+    """
+
+    name = "merge-join"
+
+    def make_equi_join(self, left, right, left_keys, right_keys):
+        if self._both_sides_analyzed(left, right):
+            return HashJoin(left, right, left_keys, right_keys)
+        left = self._try_index_feed(left, left_keys)
+        right = self._try_index_feed(right, right_keys)
+        return MergeJoin(left, right, left_keys, right_keys)
+
+    def make_aggregate(self, child, keys, aggregates, key_aliases):
+        return HashAggregate(child, keys, aggregates, key_aliases)
+
+    @staticmethod
+    def _both_sides_analyzed(left: PhysicalOperator,
+                             right: PhysicalOperator) -> bool:
+        def analyzed(node: PhysicalOperator) -> bool:
+            return (isinstance(node, TableScan)
+                    and node.table.statistics.fresh
+                    and not node.table.temporary)
+
+        return analyzed(left) and analyzed(right)
+
+    @staticmethod
+    def _try_index_feed(node: PhysicalOperator,
+                        keys: Sequence[Expression]) -> PhysicalOperator:
+        from .indexes import SortedIndex
+
+        if not isinstance(node, TableScan):
+            return node
+        column_names: list[str] = []
+        for key in keys:
+            if not isinstance(key, ColumnRef):
+                return node
+            column_names.append(key.name)
+        try:
+            index = node.table.index_on(column_names)
+        except Exception:
+            return node
+        if index is None or not isinstance(index, SortedIndex):
+            return node
+        index_name = next(name for name, ix in node.table.indexes.items()
+                          if ix is index)
+        return IndexOrderedScan(node.table, index_name, node.alias)
+
+
+POLICIES: dict[str, type[PlannerPolicy]] = {
+    "hash-first": HashFirstPolicy,
+    "hash-join-sort-agg": HashJoinSortAggPolicy,
+    "merge-join": MergeJoinPolicy,
+}

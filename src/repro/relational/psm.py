@@ -1,0 +1,145 @@
+"""SQL/PSM translation of with+ queries (the textual side of Algorithm 1).
+
+The engine *executes* recursive queries through
+:mod:`repro.relational.recursive`; this module produces the equivalent
+SQL/PSM procedure **text** in the active dialect's flavour (PL/pgSQL,
+PL/SQL or SQL PL), which is the artifact the paper's Algorithm 1 generates
+and ships to the RDBMS.  ``examples/show_sql.py`` prints these procedures
+for the paper's figures, and tests assert on their structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dialects.base import Dialect
+from .recursive import cte_is_recursive, split_branches
+from .sql.ast import (
+    CommonTableExpression,
+    UnionKind,
+    WithStatement,
+)
+from .sql.formatter import format_statement
+
+
+@dataclass
+class PsmStep:
+    """One emitted statement with a structural kind tag (for tests)."""
+
+    kind: str
+    text: str
+
+
+@dataclass
+class PsmProgram:
+    """An ordered procedure body plus its dialect."""
+
+    name: str
+    dialect: str
+    steps: list[PsmStep] = field(default_factory=list)
+
+    def add(self, kind: str, text: str) -> None:
+        self.steps.append(PsmStep(kind, text))
+
+    def kinds(self) -> list[str]:
+        return [s.kind for s in self.steps]
+
+    def render(self) -> str:
+        return "\n".join(step.text for step in self.steps)
+
+
+def translate_with_to_psm(statement: WithStatement, dialect: Dialect,
+                          procedure_name: str = "F_Q") -> PsmProgram:
+    """Build the SQL/PSM procedure for a with/with+ statement."""
+    program = PsmProgram(procedure_name, dialect.name)
+    program.add("header", dialect.procedure_header(procedure_name))
+    recursive_ctes = [c for c in statement.ctes if cte_is_recursive(c)]
+    for i, cte in enumerate(recursive_ctes):
+        for j, _ in enumerate(_recursive_branches(cte)):
+            program.add("declare", "  " + dialect.declare_int(f"C_{i}_{j}"))
+    program.add("begin", "BEGIN")
+    for cte in statement.ctes:
+        if cte_is_recursive(cte):
+            _emit_recursive_cte(program, cte, dialect)
+        else:
+            _emit_plain_cte(program, cte, dialect)
+    program.add("body",
+                f"  -- final query over the recursive relation\n"
+                f"  {format_statement(statement.body)};")
+    program.add("footer", dialect.procedure_footer())
+    return program
+
+
+def _recursive_branches(cte: CommonTableExpression):
+    _, recursive = split_branches(cte)
+    return recursive
+
+
+def _columns_ddl(cte: CommonTableExpression) -> str:
+    if cte.columns:
+        return ", ".join(f"{c} DOUBLE PRECISION" for c in cte.columns)
+    return "/* schema inferred from the initial query */"
+
+
+def _emit_plain_cte(program: PsmProgram, cte: CommonTableExpression,
+                    dialect: Dialect) -> None:
+    program.add("create_temp",
+                "  " + dialect.create_temp_table(cte.name, _columns_ddl(cte)))
+    program.add("insert_initial",
+                f"  INSERT INTO {cte.name} {dialect.insert_hint()}"
+                f"{format_statement(cte.branches[0].statement)};")
+
+
+def _emit_recursive_cte(program: PsmProgram, cte: CommonTableExpression,
+                        dialect: Dialect) -> None:
+    initial, recursive = split_branches(cte)
+    program.add("create_temp",
+                "  " + dialect.create_temp_table(cte.name, _columns_ddl(cte)))
+    for branch in initial:
+        program.add("insert_initial",
+                    f"  INSERT INTO {cte.name} {dialect.insert_hint()}"
+                    f"{format_statement(branch.statement)};")
+    for branch in recursive:
+        for definition in branch.computed_by:
+            program.add("create_temp",
+                        "  " + dialect.create_temp_table(
+                            definition.name,
+                            ", ".join(f"{c} DOUBLE PRECISION"
+                                      for c in definition.columns)
+                            or "/* schema inferred */"))
+    program.add("loop_open", "  " + dialect.loop_open())
+    for j, branch in enumerate(recursive):
+        for definition in branch.computed_by:
+            program.add("truncate",
+                        f"    TRUNCATE TABLE {definition.name};")
+            program.add("insert_computed",
+                        f"    INSERT INTO {definition.name} "
+                        f"{dialect.insert_hint()}"
+                        f"{format_statement(definition.statement)};")
+        delta_name = f"{cte.name}_delta_{j}"
+        program.add("create_delta",
+                    f"    CREATE TEMPORARY TABLE {delta_name} AS "
+                    f"{format_statement(branch.statement)};")
+        program.add("assign_count",
+                    f"    SELECT COUNT(*) INTO C_0_{j} FROM {delta_name};")
+    exit_condition = " AND ".join(f"C_0_{j} = 0"
+                                  for j in range(len(recursive))) or "TRUE"
+    program.add("exit_check", "    " + dialect.exit_when(exit_condition))
+    for j in range(len(recursive)):
+        delta_name = f"{cte.name}_delta_{j}"
+        if cte.union_kind is UnionKind.UNION_BY_UPDATE:
+            key = ", ".join(cte.update_key) or "<whole row>"
+            program.add("union_by_update",
+                        f"    -- union by update on ({key})\n"
+                        f"    SELECT coalesce(...) FROM {cte.name} "
+                        f"FULL OUTER JOIN {delta_name} ON ...;")
+        elif cte.union_kind is UnionKind.UNION:
+            program.add("union",
+                        f"    INSERT INTO {cte.name} SELECT * FROM"
+                        f" {delta_name} EXCEPT SELECT * FROM {cte.name};")
+        else:
+            program.add("union_all",
+                        f"    INSERT INTO {cte.name} SELECT * FROM"
+                        f" {delta_name};")
+        program.add("drop_delta", f"    DROP TABLE {delta_name};")
+    program.add("loop_close", "  " + dialect.loop_close())

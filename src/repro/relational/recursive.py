@@ -1,0 +1,682 @@
+"""Recursive ``with``/``with+`` execution — the paper's Algorithm 1.
+
+A recursive CTE is processed exactly as the paper's PSM translation does:
+
+1. build a local dependency graph per subquery and check the
+   ``COMPUTED BY`` block is cycle-free;
+2. create a temp table for the recursive relation ``R`` and fill it from
+   the initial subqueries;
+3. loop: per recursive subquery, (re)fill its computed-by temp tables in
+   definition order, evaluate the subquery into a delta, then combine the
+   deltas into ``R`` with ``UNION ALL`` / ``UNION`` / ``UNION BY UPDATE``;
+4. exit when every delta is empty (inflationary kinds), when ``R`` reaches
+   a tuple-identical fixpoint (union-by-update), or when ``MAXRECURSION``
+   is reached.
+
+``mode="with"`` additionally enforces the SQL'99 restrictions of the
+active dialect (Table 1); ``mode="with+"`` (default) accepts the full
+enhanced language.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .database import Database
+from .dialects.base import Dialect
+from .errors import (
+    FeatureNotSupportedError,
+    PlanError,
+    RecursionLimitError,
+    StratificationError,
+)
+from .expressions import Expression, FunctionCall, contains_aggregate
+from .planner import PlannerPolicy
+from .relation import Relation
+from .sql.ast import (
+    CommonTableExpression,
+    CteBranch,
+    ExistsSubquery,
+    InSubquery,
+    JoinSource,
+    ScalarSubquery,
+    SelectStatement,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+    WindowCall,
+    WithStatement,
+)
+from .sql.compiler import QueryRunner
+from .strategies import apply_union_by_update
+from .table import Table
+
+#: Safety cap when a query carries no MAXRECURSION hint.
+DEFAULT_RECURSION_CAP = 10_000
+
+#: Safety cap on the recursive relation's size: a divergent UNION ALL can
+#: grow the table super-linearly long before the iteration cap triggers,
+#: so runaway row growth aborts the recursion early with a clear error.
+DEFAULT_ROW_CAP = 5_000_000
+
+
+@dataclass
+class IterationStat:
+    """Per-iteration measurements (Fig 12/13 are plotted from these)."""
+
+    iteration: int
+    delta_rows: int
+    total_rows: int
+    seconds: float
+
+
+@dataclass
+class WithExecutionResult:
+    """Result of a recursive with/with+ execution, with its statistics."""
+
+    relation: Relation
+    iterations: int = 0
+    per_iteration: list[IterationStat] = field(default_factory=list)
+    hit_maxrecursion: bool = False
+
+
+# -- reference detection -------------------------------------------------------
+
+
+def statement_references(statement: Statement, name: str) -> int:
+    """Count references to table/CTE *name* anywhere in *statement*."""
+    lowered = name.lower()
+    count = 0
+
+    def visit_expr(expr: Expression | None) -> None:
+        nonlocal count
+        if expr is None:
+            return
+        if isinstance(expr, InSubquery):
+            visit_expr(expr.operand)
+            visit_statement(expr.subquery)
+            return
+        if isinstance(expr, ExistsSubquery):
+            visit_statement(expr.subquery)
+            return
+        if isinstance(expr, ScalarSubquery):
+            visit_statement(expr.subquery)
+            return
+        for child in expr.children():
+            visit_expr(child)
+
+    def visit_source(source) -> None:
+        nonlocal count
+        if isinstance(source, TableRef):
+            if source.name.lower() == lowered:
+                count += 1
+        elif isinstance(source, SubquerySource):
+            visit_statement(source.statement)
+        elif isinstance(source, JoinSource):
+            visit_source(source.left)
+            visit_source(source.right)
+            visit_expr(source.condition)
+
+    def visit_statement(node: Statement) -> None:
+        if isinstance(node, SelectStatement):
+            for item in node.items:
+                visit_expr(item.expression)
+            for source in node.sources:
+                visit_source(source)
+            visit_expr(node.where)
+            for key in node.group_by:
+                visit_expr(key)
+            visit_expr(node.having)
+        elif isinstance(node, SetOperation):
+            visit_statement(node.left)
+            visit_statement(node.right)
+        elif isinstance(node, WithStatement):
+            for cte in node.ctes:
+                for branch in cte.branches:
+                    visit_statement(branch.statement)
+            visit_statement(node.body)
+
+    visit_statement(statement)
+    return count
+
+
+def branch_references(branch: CteBranch, name: str) -> int:
+    """References to *name* in a branch, including its COMPUTED BY block."""
+    total = statement_references(branch.statement, name)
+    for definition in branch.computed_by:
+        total += statement_references(definition.statement, name)
+    return total
+
+
+def cte_is_recursive(cte: CommonTableExpression) -> bool:
+    return any(branch_references(b, cte.name) for b in cte.branches)
+
+
+def split_branches(cte: CommonTableExpression
+                   ) -> tuple[list[CteBranch], list[CteBranch]]:
+    """Partition branches into (initial, recursive)."""
+    initial, recursive = [], []
+    for branch in cte.branches:
+        if branch_references(branch, cte.name):
+            recursive.append(branch)
+        else:
+            initial.append(branch)
+    return initial, recursive
+
+
+# -- with+ validation ----------------------------------------------------------
+
+
+def validate_withplus(cte: CommonTableExpression) -> None:
+    """Structural rules of the enhanced with clause (Section 6).
+
+    * ``UNION BY UPDATE`` admits exactly one recursive subquery (the update
+      is otherwise not uniquely determined);
+    * a COMPUTED BY block must be cycle-free: each definition may refer
+      only to base tables, the recursive relation and *earlier* definitions.
+    """
+    initial, recursive = split_branches(cte)
+    if cte.union_kind is UnionKind.UNION_BY_UPDATE and len(recursive) > 1:
+        raise StratificationError(
+            "union by update admits exactly one recursive subquery;"
+            f" {cte.name!r} has {len(recursive)}")
+    for branch in cte.branches:
+        all_names = [d.name.lower() for d in branch.computed_by]
+        defined: set[str] = set()
+        for definition in branch.computed_by:
+            if statement_references(definition.statement, definition.name):
+                raise StratificationError(
+                    f"computed-by relation {definition.name!r} refers to"
+                    " itself (cycle)")
+            for other in all_names:
+                if (other != definition.name.lower()
+                        and other not in defined
+                        and statement_references(definition.statement, other)):
+                    raise StratificationError(
+                        f"computed-by relation {definition.name!r} refers to"
+                        f" {other!r} before it is defined (cycle)")
+            defined.add(definition.name.lower())
+
+
+# -- SQL'99 restriction checking (Table 1) -----------------------------------------
+
+
+def _expression_has_negation(expr: Expression | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, (InSubquery, ExistsSubquery)) and expr.negated:
+        return True
+    from .expressions import InList
+    if isinstance(expr, InList) and expr.negated:
+        return True
+    return any(_expression_has_negation(c) for c in expr.children()
+               if isinstance(c, Expression))
+
+
+def _expression_has_window(expr: Expression | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, WindowCall):
+        return True
+    return any(_expression_has_window(c) for c in expr.children())
+
+
+def _expression_has_scalar_function(expr: Expression | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, FunctionCall):
+        return True
+    return any(_expression_has_scalar_function(c) for c in expr.children())
+
+
+def _subquery_expressions(statement: SelectStatement):
+    for item in statement.items:
+        if item.expression is not None:
+            yield item.expression
+    yield from (s for s in (statement.where, statement.having)
+                if s is not None)
+    yield from statement.group_by
+
+
+def check_sql99_restrictions(cte: CommonTableExpression,
+                             dialect: Dialect) -> None:
+    """Reject what the dialect's plain ``with`` clause prohibits (Table 1)."""
+
+    def refuse(feature: str) -> None:
+        raise FeatureNotSupportedError(dialect.name, feature)
+
+    if cte.union_kind is UnionKind.UNION_BY_UPDATE:
+        refuse("union by update (with+ extension)")
+    if cte.maxrecursion is not None:
+        refuse("maxrecursion (with+ extension)")
+    for branch in cte.branches:
+        if branch.computed_by:
+            refuse("computed by (with+ extension)")
+    initial, recursive = split_branches(cte)
+    if (cte.union_kind is UnionKind.UNION and recursive
+            and not dialect.supports_with_feature(
+                "setop_across_initial_recursive")):
+        refuse("UNION across initial and recursive queries")
+    if len(recursive) > 1 and not dialect.supports_with_feature(
+            "multiple_recursive_queries"):
+        refuse("multiple recursive subqueries")
+    for branch in recursive:
+        if statement_references(branch.statement, cte.name) > 1:
+            refuse("nonlinear recursion")
+        for statement in _leaf_selects(branch.statement):
+            _check_recursive_leaf(statement, cte, dialect, refuse)
+
+
+def _leaf_selects(statement: Statement):
+    if isinstance(statement, SelectStatement):
+        yield statement
+    elif isinstance(statement, SetOperation):
+        yield from _leaf_selects(statement.left)
+        yield from _leaf_selects(statement.right)
+
+
+def _check_recursive_leaf(statement: SelectStatement,
+                          cte: CommonTableExpression, dialect: Dialect,
+                          refuse) -> None:
+    if statement.group_by or statement.having is not None:
+        refuse("group by / having in a recursive query")
+    if any(contains_aggregate(e)
+           for e in _subquery_expressions(statement)):
+        refuse("aggregate functions in a recursive query")
+    if statement.distinct and not dialect.supports_with_feature("distinct"):
+        refuse("distinct in a recursive query")
+    if _expression_has_negation(statement.where):
+        refuse("negation in a recursive query")
+    if any(_expression_has_window(e)
+           for e in _subquery_expressions(statement)):
+        if not dialect.supports_with_feature("analytical_functions"):
+            refuse("analytical functions in a recursive query")
+    if any(_expression_has_scalar_function(e)
+           for e in _subquery_expressions(statement)):
+        if not dialect.supports_with_feature("general_functions"):
+            refuse("general functions in a recursive query")
+    for expr in _subquery_expressions(statement):
+        for sub in _embedded_statements(expr):
+            if statement_references(sub, cte.name):
+                refuse("subquery referencing the recursive relation")
+
+
+def _embedded_statements(expr: Expression):
+    if isinstance(expr, (InSubquery, ExistsSubquery, ScalarSubquery)):
+        yield expr.subquery
+    for child in expr.children():
+        yield from _embedded_statements(child)
+
+
+# -- execution ---------------------------------------------------------------------
+
+
+class RecursiveExecutor:
+    """Runs a full WITH statement, recursive CTEs included."""
+
+    def __init__(self, database: Database, dialect: Dialect,
+                 policy: PlannerPolicy, mode: str = "with+",
+                 ubu_strategy: str | None = None,
+                 temp_indexes: dict[str, Sequence[str]] | None = None):
+        if mode not in ("with", "with+"):
+            raise ValueError(f"mode must be 'with' or 'with+', not {mode!r}")
+        self.database = database
+        self.dialect = dialect
+        self.policy = policy
+        self.mode = mode
+        self.ubu_strategy = ubu_strategy or dialect.default_union_by_update
+        if not dialect.supports_union_by_update(self.ubu_strategy):
+            raise FeatureNotSupportedError(
+                dialect.name, f"union-by-update strategy {self.ubu_strategy}")
+        self.temp_indexes = dict(temp_indexes or {})
+
+    # -- top level -------------------------------------------------------------
+
+    def execute(self, statement: WithStatement) -> WithExecutionResult:
+        bindings: dict[str, Relation] = {}
+        stats = WithExecutionResult(relation=Relation.from_pairs((), ()))
+        created_temp_names: list[str] = []
+        try:
+            for cte in statement.ctes:
+                if cte_is_recursive(cte):
+                    result = self._run_recursive_cte(cte, bindings, stats)
+                else:
+                    result = self._run_plain_cte(cte, bindings)
+                bindings[cte.name.lower()] = result
+                created_temp_names.append(cte.name)
+            runner = QueryRunner(self.database, self.policy, bindings)
+            stats.relation = runner.run(statement.body)
+            return stats
+        finally:
+            self._cleanup(created_temp_names)
+
+    def _cleanup(self, names: list[str]) -> None:
+        for name in names:
+            if self.database.exists(name) and self.database.table(name).temporary:
+                self.database.drop_table(name)
+
+    def _run_plain_cte(self, cte: CommonTableExpression,
+                       bindings: dict[str, Relation]) -> Relation:
+        if len(cte.branches) != 1 or cte.branches[0].computed_by:
+            raise PlanError(
+                f"non-recursive CTE {cte.name!r} must be a single plain query")
+        runner = QueryRunner(self.database, self.policy, bindings)
+        result = runner.run(cte.branches[0].statement)
+        if cte.columns:
+            result = result.rename_columns(cte.columns)
+        return result
+
+    # -- recursive CTE ------------------------------------------------------------
+
+    def _run_recursive_cte(self, cte: CommonTableExpression,
+                           bindings: dict[str, Relation],
+                           stats: WithExecutionResult) -> Relation:
+        validate_withplus(cte)
+        if cte.search_clause is not None or cte.cycle_clause is not None:
+            return self._run_search_cycle_cte(cte, bindings, stats)
+        if self.mode == "with":
+            check_sql99_restrictions(cte, self.dialect)
+        initial, recursive = split_branches(cte)
+        if not initial:
+            raise PlanError(f"recursive CTE {cte.name!r} has no initial query")
+
+        runner = QueryRunner(self.database, self.policy, bindings)
+        current = runner.run(initial[0].statement)
+        for branch in initial[1:]:
+            extra = runner.run(branch.statement)
+            if cte.union_kind is UnionKind.UNION_ALL:
+                current = current.union_all(extra)
+            else:
+                current = current.union(extra)
+        if cte.columns:
+            current = current.rename_columns(cte.columns)
+
+        table = self.database.create_temp_table(cte.name, current.schema,
+                                                replace=True)
+        table.insert_relation(current)
+        self._maybe_index(table)
+
+        limit = cte.maxrecursion
+        cap = limit if limit is not None else DEFAULT_RECURSION_CAP
+        iteration = 0
+        hit_limit = False
+        computed_names: set[str] = set()
+        # Binding semantics for the recursive relation R:
+        #
+        # * COMPUTED BY definitions always read the full current R — that is
+        #   what Algorithm 1's temp table provides and what TopoSort's
+        #   ``max(L)`` / anti-joins require.
+        # * UNION ALL branch statements read the previous step's rows (the
+        #   SQL'99 *semi-naive* working table): full-relation binding would
+        #   re-derive every old row each round and diverge.
+        # * UNION in plain ``with`` mode is semi-naive too (how PostgreSQL
+        #   executes it); in with+ mode it reads the full relation — the
+        #   paper's Exp-C distinguishes exactly these two TC evaluations.
+        # * UNION BY UPDATE reads the full relation (value updates need it).
+        if cte.union_kind is UnionKind.UNION_ALL:
+            semi_naive = True
+        elif cte.union_kind is UnionKind.UNION:
+            semi_naive = self.mode == "with"
+        else:
+            semi_naive = False
+        working = current  # only consulted on the semi-naive path
+        while True:
+            if iteration >= cap:
+                if limit is None:
+                    raise RecursionLimitError(cap)
+                hit_limit = True
+                break
+            iteration += 1
+            started = time.perf_counter()
+            snapshot = table.snapshot()
+            statement_bindings = dict(bindings)
+            statement_bindings[cte.name.lower()] = working if semi_naive \
+                else snapshot
+            computed_bindings = dict(bindings)
+            computed_bindings[cte.name.lower()] = snapshot
+            deltas: list[Relation] = []
+            for branch in recursive:
+                delta = self._run_branch(branch, statement_bindings,
+                                         computed_bindings, computed_names)
+                deltas.append(delta)
+            changed, working = self._combine(cte, table, snapshot, deltas)
+            table = self.database.table(cte.name)  # drop/alter may swap it
+            elapsed = time.perf_counter() - started
+            stats.per_iteration.append(IterationStat(
+                iteration=iteration,
+                delta_rows=sum(len(d) for d in deltas),
+                total_rows=len(table),
+                seconds=elapsed))
+            if len(table) > DEFAULT_ROW_CAP:
+                raise RecursionLimitError(DEFAULT_ROW_CAP)
+            if not changed:
+                break
+        stats.iterations = iteration
+        stats.hit_maxrecursion = hit_limit
+        for name in computed_names:
+            if self.database.exists(name):
+                self.database.drop_table(name)
+        return table.snapshot()
+
+    # -- SEARCH / CYCLE (Oracle's looping control, Table 1 section E) --------
+
+    def _run_search_cycle_cte(self, cte: CommonTableExpression,
+                              bindings: dict[str, Relation],
+                              stats: WithExecutionResult) -> Relation:
+        """Row-provenance evaluation for SEARCH / CYCLE clauses.
+
+        Oracle tracks, per derived row, its derivation path: CYCLE marks a
+        row whose cycle-column values already occurred among its ancestors
+        (and stops expanding it); SEARCH exposes the breadth- or
+        depth-first derivation order as a sequence column.  Set-at-a-time
+        evaluation loses that provenance, so this path expands one working
+        row at a time — exact semantics, meant for the modest recursion
+        sizes these clauses serve.
+        """
+        for clause, feature in ((cte.search_clause, "search_clause"),
+                                (cte.cycle_clause, "cycle_clause")):
+            if clause is not None and \
+                    not self.dialect.supports_with_feature(feature):
+                raise FeatureNotSupportedError(
+                    self.dialect.name, feature.replace("_", " "))
+        initial, recursive = split_branches(cte)
+        if len(recursive) != 1 or recursive[0].computed_by \
+                or cte.union_kind is not UnionKind.UNION_ALL:
+            raise PlanError(
+                "SEARCH/CYCLE require a single plain UNION ALL recursive"
+                " subquery")
+        branch = recursive[0]
+        if statement_references(branch.statement, cte.name) != 1:
+            raise PlanError("SEARCH/CYCLE require linear recursion")
+
+        runner = QueryRunner(self.database, self.policy, bindings)
+        current = runner.run(initial[0].statement)
+        for extra_branch in initial[1:]:
+            current = current.union_all(runner.run(extra_branch.statement))
+        if cte.columns:
+            current = current.rename_columns(cte.columns)
+        schema = current.schema
+
+        cycle = cte.cycle_clause
+        search = cte.search_clause
+        cycle_idx = [schema.index_of(c) for c in cycle.columns] \
+            if cycle else []
+
+        # rows[i] = (row, parent_index, depth, ancestor_keys, is_cycle)
+        rows: list[tuple] = []
+        working: list[int] = []
+        for row in current.rows:
+            key = tuple(row[i] for i in cycle_idx) if cycle else None
+            path = frozenset([key]) if cycle else frozenset()
+            rows.append((row, None, 0, path, False))
+            working.append(len(rows) - 1)
+
+        cap = cte.maxrecursion if cte.maxrecursion is not None \
+            else DEFAULT_RECURSION_CAP
+        iteration = 0
+        while working:
+            if iteration >= cap:
+                if cte.maxrecursion is None:
+                    raise RecursionLimitError(cap)
+                stats.hit_maxrecursion = True
+                break
+            iteration += 1
+            started = time.perf_counter()
+            next_working: list[int] = []
+            produced = 0
+            for index in working:
+                parent_row, _, depth, path, _ = rows[index]
+                single = Relation(schema, [parent_row])
+                row_bindings = dict(bindings)
+                row_bindings[cte.name.lower()] = single
+                child_runner = QueryRunner(self.database, self.policy,
+                                           row_bindings)
+                for child in child_runner.run(branch.statement).rows:
+                    produced += 1
+                    if cycle:
+                        key = tuple(child[i] for i in cycle_idx)
+                        is_cycle = key in path
+                        child_path = path | {key}
+                    else:
+                        is_cycle = False
+                        child_path = path
+                    rows.append((child, index, depth + 1, child_path,
+                                 is_cycle))
+                    if not is_cycle:
+                        next_working.append(len(rows) - 1)
+            stats.per_iteration.append(IterationStat(
+                iteration=iteration, delta_rows=produced,
+                total_rows=len(rows),
+                seconds=time.perf_counter() - started))
+            working = next_working
+        stats.iterations = iteration
+
+        order = self._search_order(rows, schema, search)
+        out_columns = list(schema.columns)
+        out_rows: list[tuple] = []
+        from .schema import Column as _Column, Schema as _Schema
+        from .types import SqlType as _SqlType
+
+        if search is not None:
+            out_columns.append(_Column(search.set_column, _SqlType.INTEGER))
+        if cycle is not None:
+            out_columns.append(_Column(cycle.set_column, _SqlType.TEXT))
+        for rank, index in enumerate(order, start=1):
+            row, _, _, _, is_cycle = rows[index]
+            extended = row
+            if search is not None:
+                extended = extended + (rank,)
+            if cycle is not None:
+                extended = extended + (
+                    cycle.cycle_value if is_cycle else cycle.default_value,)
+            out_rows.append(extended)
+        return Relation(_Schema(tuple(out_columns)), out_rows)
+
+    @staticmethod
+    def _search_order(rows: list[tuple], schema,
+                      search) -> list[int]:
+        """Indices of *rows* in SEARCH order (insertion order when absent)."""
+        if search is None:
+            return list(range(len(rows)))
+        by_idx = [schema.index_of(c) for c in search.by]
+
+        def by_key(index: int):
+            return tuple(rows[index][0][i] for i in by_idx)
+
+        if search.order == "breadth":
+            return sorted(range(len(rows)),
+                          key=lambda i: (rows[i][2], by_key(i), i))
+        # depth-first: pre-order over the derivation forest
+        children: dict[int | None, list[int]] = {}
+        for index, entry in enumerate(rows):
+            children.setdefault(entry[1], []).append(index)
+        for kids in children.values():
+            kids.sort(key=lambda i: (by_key(i), i))
+        order: list[int] = []
+        stack = list(reversed(children.get(None, [])))
+        while stack:
+            index = stack.pop()
+            order.append(index)
+            stack.extend(reversed(children.get(index, [])))
+        return order
+
+    def _run_branch(self, branch: CteBranch,
+                    statement_bindings: dict[str, Relation],
+                    computed_bindings: dict[str, Relation],
+                    computed_names: set[str]) -> Relation:
+        """Fill the COMPUTED BY tables (which see the full R), then run the
+        branch statement (which may see a semi-naive binding for R)."""
+        statement_bindings = dict(statement_bindings)
+        computed_bindings = dict(computed_bindings)
+        for definition in branch.computed_by:
+            runner = QueryRunner(self.database, self.policy,
+                                 computed_bindings)
+            result = runner.run(definition.statement)
+            if definition.columns:
+                result = result.rename_columns(definition.columns)
+            aux = self.database.create_temp_table(definition.name,
+                                                  result.schema, replace=True)
+            aux.insert_relation(result)
+            self._maybe_index(aux)
+            computed_names.add(definition.name)
+            # Later definitions and the branch query read it via bindings.
+            view = aux.snapshot()
+            computed_bindings[definition.name.lower()] = view
+            statement_bindings[definition.name.lower()] = view
+        runner = QueryRunner(self.database, self.policy, statement_bindings)
+        return runner.run(branch.statement)
+
+    def _combine(self, cte: CommonTableExpression, table: Table,
+                 snapshot: Relation, deltas: list[Relation]
+                 ) -> tuple[bool, Relation]:
+        """Fold the deltas into the recursive table.
+
+        Returns ``(changed, working)`` where *working* is the relation the
+        next semi-naive step should see (the genuinely new rows).
+        """
+        if cte.union_kind is UnionKind.UNION_ALL:
+            added = 0
+            combined: list[tuple] = []
+            for delta in deltas:
+                added += table.insert_relation(delta)
+                combined.extend(delta.rows)
+            working = Relation(table.schema, combined)
+            return added > 0, working
+        if cte.union_kind is UnionKind.UNION:
+            existing = set(table.rows)
+            fresh: list[tuple] = []
+            for delta in deltas:
+                for row in delta.rows:
+                    coerced = tuple(row)
+                    if coerced not in existing:
+                        existing.add(coerced)
+                        table.insert(coerced)
+                        fresh.append(table.rows[-1])
+            working = Relation(table.schema, fresh)
+            return bool(fresh), working
+        # union by update — single delta guaranteed by validation
+        delta = deltas[0]
+        for extra in deltas[1:]:
+            delta = delta.union_all(extra)
+        aligned = delta.rename_columns(table.schema.names) \
+            if delta.schema.arity == table.schema.arity else delta
+        new_table = apply_union_by_update(self.database, table, aligned,
+                                          cte.update_key, self.ubu_strategy)
+        self._maybe_index(new_table)
+        after = new_table.snapshot()
+        return after != snapshot, after
+
+    def _maybe_index(self, table: Table) -> None:
+        columns = self.temp_indexes.get(table.name) \
+            or self.temp_indexes.get(table.name.lower())
+        if not columns:
+            return
+        index_name = f"ix_{table.name}"
+        if index_name in table.indexes:
+            # Write paths maintain existing indexes; no rebuild needed.
+            return
+        table.create_index(index_name, list(columns), kind="btree")

@@ -1,0 +1,179 @@
+"""Schemas: ordered, typed column lists with optional primary keys.
+
+A :class:`Schema` is immutable.  Operations that derive new relations
+(project, join, rename) derive new schemas through the helpers here, which
+also police the invariants that the rest of the engine assumes:
+
+* column names within a schema are unique (case-insensitive, like SQL);
+* a primary key refers only to existing columns;
+* qualified lookup (``E.F``) and unqualified lookup (``F``) both work, with
+  ambiguity detection on the unqualified path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .errors import SchemaError
+from .types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``qualifier`` is the relation name/alias the column belongs to.  It is
+    carried through joins so the binder can resolve ``E.F`` vs ``V.ID``.
+    """
+
+    name: str
+    sql_type: SqlType = SqlType.DOUBLE
+    qualifier: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def with_qualifier(self, qualifier: str | None) -> "Column":
+        return Column(self.name, self.sql_type, qualifier)
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.sql_type, self.qualifier)
+
+    def matches(self, name: str, qualifier: str | None = None) -> bool:
+        """True when this column answers to *name* (and *qualifier* if given)."""
+        if self.name.lower() != name.lower():
+            return False
+        if qualifier is None:
+            return True
+        return (self.qualifier or "").lower() == qualifier.lower()
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Column` with an optional primary key."""
+
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[str, str]] = set()
+        for col in self.columns:
+            key = ((col.qualifier or "").lower(), col.name.lower())
+            if key in seen:
+                raise SchemaError(f"duplicate column {col.qualified_name!r} in schema")
+            seen.add(key)
+        names = {c.name.lower() for c in self.columns}
+        for key_col in self.primary_key:
+            if key_col.lower() not in names:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def of(*specs: "str | tuple[str, SqlType] | Column",
+           primary_key: Sequence[str] = ()) -> "Schema":
+        """Build a schema from terse specs.
+
+        Accepts bare names (default DOUBLE type), ``(name, type)`` pairs, or
+        full :class:`Column` objects::
+
+            Schema.of(("F", SqlType.INTEGER), ("T", SqlType.INTEGER), "ew",
+                      primary_key=("F", "T"))
+        """
+        cols: list[Column] = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                cols.append(spec)
+            elif isinstance(spec, tuple):
+                name, sql_type = spec
+                cols.append(Column(name, sql_type))
+            else:
+                cols.append(Column(spec))
+        return Schema(tuple(cols), tuple(primary_key))
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def index_of(self, name: str, qualifier: str | None = None) -> int:
+        """Position of the column answering to *name* (0-based).
+
+        Raises :class:`SchemaError` when absent or ambiguous.
+        """
+        matches = [i for i, c in enumerate(self.columns) if c.matches(name, qualifier)]
+        label = f"{qualifier}.{name}" if qualifier else name
+        if not matches:
+            raise SchemaError(f"no column {label!r} in schema {self.names}")
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column {label!r} in schema {self.names}")
+        return matches[0]
+
+    def has_column(self, name: str, qualifier: str | None = None) -> bool:
+        return sum(1 for c in self.columns if c.matches(name, qualifier)) == 1
+
+    def column(self, name: str, qualifier: str | None = None) -> Column:
+        return self.columns[self.index_of(name, qualifier)]
+
+    def key_indexes(self) -> tuple[int, ...]:
+        """Positions of the primary-key columns (empty when keyless)."""
+        return tuple(self.index_of(name) for name in self.primary_key)
+
+    # -- derivation ----------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema of a projection; drops the primary key unless fully kept."""
+        names = list(names)
+        cols = tuple(self.column(n) for n in names)
+        kept = {c.name.lower() for c in cols}
+        pk = self.primary_key if all(k.lower() in kept for k in self.primary_key) else ()
+        return Schema(cols, pk)
+
+    def rename_relation(self, alias: str) -> "Schema":
+        """Requalify every column as belonging to *alias* (the ρ operation)."""
+        return Schema(tuple(c.with_qualifier(alias) for c in self.columns),
+                      self.primary_key)
+
+    def rename_columns(self, names: Sequence[str]) -> "Schema":
+        """Give the columns new names positionally, keeping types."""
+        if len(names) != len(self.columns):
+            raise SchemaError(
+                f"cannot rename {len(self.columns)} columns to {len(names)} names")
+        cols = tuple(c.renamed(n) for c, n in zip(self.columns, names))
+        return Schema(cols, ())
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a Cartesian product / join: columns of both inputs."""
+        return Schema(self.columns + other.columns, ())
+
+    def without_key(self) -> "Schema":
+        return Schema(self.columns, ())
+
+    def with_key(self, primary_key: Sequence[str]) -> "Schema":
+        return Schema(self.columns, tuple(primary_key))
+
+    def compatible_with(self, other: "Schema") -> bool:
+        """True when a set operation between the two schemas is legal (same arity)."""
+        return self.arity == other.arity
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.qualified_name} {c.sql_type}" for c in self.columns)
+        pk = f", primary key ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"({cols}{pk})"

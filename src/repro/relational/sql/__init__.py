@@ -1,0 +1,41 @@
+"""SQL-subset front end: lexer, AST, parser, binder/compiler, formatter.
+
+The grammar covers exactly what the paper's queries need — plain
+``SELECT``-``FROM``-``WHERE``-``GROUP BY`` blocks, inner/outer joins,
+``IN``/``EXISTS`` subqueries, set operations, ``WITH [RECURSIVE]`` — plus
+the paper's *with+* extensions: ``UNION BY UPDATE``, ``COMPUTED BY`` and
+``MAXRECURSION``.
+"""
+
+from .parser import parse_expression, parse_statement
+from .ast import (
+    ComputedDefinition,
+    CteBranch,
+    CommonTableExpression,
+    JoinSource,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+    WithStatement,
+)
+
+__all__ = [
+    "parse_statement",
+    "parse_expression",
+    "SelectStatement",
+    "SetOperation",
+    "WithStatement",
+    "CommonTableExpression",
+    "CteBranch",
+    "ComputedDefinition",
+    "SelectItem",
+    "OrderItem",
+    "TableRef",
+    "SubquerySource",
+    "JoinSource",
+    "UnionKind",
+]

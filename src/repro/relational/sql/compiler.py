@@ -1,0 +1,588 @@
+"""AST → physical plan compilation and execution.
+
+:class:`QueryRunner` turns parsed statements into physical plans (consulting
+the active :class:`~repro.relational.planner.PlannerPolicy` at every choice
+point) and executes them.  Derived tables, non-recursive CTEs and
+uncorrelated subqueries are materialised eagerly, the way the paper's PSM
+translation materialises every intermediate into a temp table.
+
+Recursive CTEs are *not* handled here — the engine routes them to
+:mod:`repro.relational.recursive`, the with+ → PSM translator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..database import Database
+from ..errors import BindError, PlanError, SchemaError
+from ..expressions import (
+    And,
+    BinaryOp,
+    BoundColumn,
+    CaseWhen,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from ..physical import (
+    Distinct,
+    Filter,
+    Limit,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    RelationScan,
+    Requalify,
+    Sort,
+    TableScan,
+    UnionAllOp,
+    UnionDistinctOp,
+    ExceptOp,
+    IntersectOp,
+)
+from ..planner import PlannerPolicy
+from ..relation import AggregateSpec, Relation
+from ..schema import Schema
+from .ast import (
+    ExistsSubquery,
+    InSubquery,
+    JoinKind,
+    JoinSource,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    SetOpKind,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+    WindowCall,
+    WithStatement,
+)
+
+
+class QueryRunner:
+    """Compiles and executes statements against a database + CTE bindings."""
+
+    def __init__(self, database: Database, policy: PlannerPolicy,
+                 bindings: dict[str, Relation] | None = None):
+        self.database = database
+        self.policy = policy
+        self.bindings = dict(bindings or {})
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, statement: Statement) -> Relation:
+        """Execute *statement*, returning its result relation."""
+        return self.plan(statement).execute()
+
+    def plan(self, statement: Statement) -> PhysicalOperator:
+        """Build the physical plan for *statement* (EXPLAIN entry point)."""
+        if isinstance(statement, SelectStatement):
+            return self._plan_select(statement)
+        if isinstance(statement, SetOperation):
+            left = self.plan(statement.left)
+            right = self.plan(statement.right)
+            ops = {SetOpKind.UNION_ALL: UnionAllOp,
+                   SetOpKind.UNION: UnionDistinctOp,
+                   SetOpKind.EXCEPT: ExceptOp,
+                   SetOpKind.INTERSECT: IntersectOp}
+            return ops[statement.kind](left, right)
+        if isinstance(statement, WithStatement):
+            return self._plan_with(statement)
+        raise PlanError(f"cannot plan statement {type(statement).__name__}")
+
+    # -- WITH (non-recursive path) --------------------------------------------
+
+    def _plan_with(self, statement: WithStatement) -> PhysicalOperator:
+        scoped = QueryRunner(self.database, self.policy, self.bindings)
+        for cte in statement.ctes:
+            if not cte.is_plain_definition:
+                raise PlanError(
+                    f"recursive CTE {cte.name!r} reached the non-recursive"
+                    " compiler; use the engine's with+ path")
+            branch = cte.branches[0]
+            if branch.computed_by:
+                raise PlanError("COMPUTED BY outside a recursive query")
+            result = scoped.run(branch.statement)
+            if cte.columns:
+                result = result.rename_columns(cte.columns)
+            scoped.bindings[cte.name.lower()] = result
+        return scoped.plan(statement.body)
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _scan_source(self, source) -> PhysicalOperator:
+        if isinstance(source, TableRef):
+            bound = self.bindings.get(source.name.lower())
+            if bound is not None:
+                return RelationScan(bound, source.binding_name)
+            if not self.database.exists(source.name):
+                raise BindError(f"no table or CTE named {source.name!r}")
+            table = self.database.table(source.name)
+            return TableScan(table, source.binding_name)
+        if isinstance(source, SubquerySource):
+            result = self.run(source.statement)
+            return RelationScan(result, source.alias)
+        if isinstance(source, JoinSource):
+            return self._plan_join_source(source)
+        raise PlanError(f"unknown FROM source {type(source).__name__}")
+
+    def _plan_join_source(self, source: JoinSource) -> PhysicalOperator:
+        left = self._scan_source(source.left)
+        right = self._scan_source(source.right)
+        if source.kind is JoinKind.CROSS:
+            return NestedLoopJoin(left, right, None)
+        if source.kind is JoinKind.RIGHT:
+            # Flip: RIGHT JOIN A B == LEFT JOIN B A with columns reordered.
+            # The paper's queries never depend on column order of a right
+            # join, but keep the schema order correct anyway via a project.
+            flipped = self._plan_join_source(
+                JoinSource(source.right, source.left, JoinKind.LEFT,
+                           source.condition))
+            items = [(ColumnRef(c.name, c.qualifier), c.name)
+                     for c in left.schema.columns]
+            items += [(ColumnRef(c.name, c.qualifier), c.name)
+                      for c in right.schema.columns]
+            return Project(flipped, items)
+        condition = source.condition
+        pairs, residual = _split_equi_condition(condition, left.schema,
+                                                right.schema)
+        if source.kind is JoinKind.INNER:
+            if pairs:
+                joined = self.policy.make_equi_join(
+                    left, right,
+                    [p[0] for p in pairs], [p[1] for p in pairs])
+            else:
+                return NestedLoopJoin(left, right, condition)
+            if residual is not None:
+                joined = Filter(joined, residual)
+            return joined
+        if not pairs:
+            raise PlanError("outer joins require at least one equality"
+                            " condition in this engine")
+        if residual is not None:
+            raise PlanError("outer joins support only equality conditions"
+                            " in this engine")
+        left_keys = [p[0] for p in pairs]
+        right_keys = [p[1] for p in pairs]
+        if source.kind is JoinKind.LEFT:
+            return self.policy.make_left_outer_join(left, right,
+                                                    left_keys, right_keys)
+        if source.kind is JoinKind.FULL:
+            return self.policy.make_full_outer_join(left, right,
+                                                    left_keys, right_keys)
+        raise PlanError(f"unsupported join kind {source.kind}")
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _plan_select(self, statement: SelectStatement) -> PhysicalOperator:
+        conjuncts = _flatten_and(statement.where)
+        plain: list[Expression] = []
+        subqueried: list[Expression] = []
+        for conjunct in conjuncts:
+            if _contains_subquery(conjunct):
+                subqueried.append(conjunct)
+            else:
+                plain.append(self._resolve_scalars(conjunct))
+
+        current = self._plan_from(statement.sources, plain)
+        for conjunct in subqueried:
+            current = self._apply_subquery_conjunct(current, conjunct)
+
+        needs_aggregate = (bool(statement.group_by)
+                           or statement.having is not None
+                           or any(item.expression is not None
+                                  and contains_aggregate(item.expression)
+                                  for item in statement.items))
+        has_windows = any(item.expression is not None
+                          and _contains_window(item.expression)
+                          for item in statement.items)
+        if needs_aggregate and has_windows:
+            raise PlanError("mixing GROUP BY aggregation and window"
+                            " functions is not supported")
+        pre_projection = current
+        if needs_aggregate:
+            current = self._plan_aggregate(current, statement)
+        elif has_windows:
+            current = self._plan_windows(current, statement)
+        else:
+            items = self._expand_items(statement.items, current.schema)
+            current = Project(current, items)
+        if statement.distinct:
+            current = Distinct(current)
+        if statement.order_by:
+            keys = [o.expression for o in statement.order_by]
+            descending = [o.descending for o in statement.order_by]
+            try:
+                current = Sort(current, keys, descending)
+            except SchemaError:
+                # ORDER BY may reference pre-projection columns (SQL allows
+                # ordering by source columns not in the select list) —
+                # unless DISTINCT already collapsed them away.
+                if statement.distinct or needs_aggregate or has_windows:
+                    raise
+                ordered = Sort(pre_projection, keys, descending)
+                items = self._expand_items(statement.items, ordered.schema)
+                current = Project(ordered, items)
+        if statement.limit is not None:
+            current = Limit(current, statement.limit)
+        return current
+
+    def _plan_from(self, sources, conjuncts: list[Expression]) -> PhysicalOperator:
+        if not sources:
+            # SELECT without FROM: one empty row feeding the projection.
+            return RelationScan(Relation(Schema(()), [()]))
+        remaining = list(conjuncts)
+        current = self._scan_source(sources[0])
+        current, remaining = self._apply_resolvable(current, remaining)
+        for source in sources[1:]:
+            right = self._scan_source(source)
+            pairs: list[tuple[Expression, Expression]] = []
+            used: list[Expression] = []
+            theta: Expression | None = None
+            for conjunct in remaining:
+                pair = _as_equi_pair(conjunct, current.schema, right.schema)
+                if pair is not None:
+                    pairs.append(pair)
+                    used.append(conjunct)
+            if pairs:
+                current = self.policy.make_equi_join(
+                    current, right,
+                    [p[0] for p in pairs], [p[1] for p in pairs])
+            else:
+                for conjunct in remaining:
+                    if _resolvable(conjunct, current.schema.concat(right.schema)) \
+                            and not _resolvable(conjunct, current.schema) \
+                            and not _resolvable(conjunct, right.schema):
+                        theta = conjunct
+                        used.append(conjunct)
+                        break
+                current = NestedLoopJoin(current, right, theta)
+            remaining = [c for c in remaining if not any(c is u for u in used)]
+            current, remaining = self._apply_resolvable(current, remaining)
+        if remaining:
+            unresolved = remaining[0]
+            raise BindError(
+                f"predicate {unresolved.sql()} references unknown columns")
+        return current
+
+    @staticmethod
+    def _apply_resolvable(current: PhysicalOperator,
+                          conjuncts: list[Expression]
+                          ) -> tuple[PhysicalOperator, list[Expression]]:
+        kept: list[Expression] = []
+        for conjunct in conjuncts:
+            if _resolvable(conjunct, current.schema):
+                current = Filter(current, conjunct)
+            else:
+                kept.append(conjunct)
+        return current, kept
+
+    # -- subquery conjuncts ----------------------------------------------------------
+
+    def _apply_subquery_conjunct(self, current: PhysicalOperator,
+                                 conjunct: Expression) -> PhysicalOperator:
+        if isinstance(conjunct, InSubquery):
+            sub = Requalify(RelationScan(self.run(conjunct.subquery)), "__sub")
+            if sub.schema.arity != 1:
+                raise PlanError("IN subquery must return exactly one column")
+            right_key = ColumnRef(sub.schema.columns[0].name, "__sub")
+            if conjunct.negated:
+                return self.policy.make_not_in_anti_join(
+                    current, sub, [conjunct.operand], [right_key])
+            return self.policy.make_semi_join(
+                current, sub, [conjunct.operand], [right_key])
+        if isinstance(conjunct, ExistsSubquery):
+            return self._apply_exists(current, conjunct)
+        raise PlanError(
+            f"subquery predicate {conjunct.sql()} must be a top-level"
+            " conjunct (IN / EXISTS)")
+
+    def _apply_exists(self, current: PhysicalOperator,
+                      node: ExistsSubquery) -> PhysicalOperator:
+        subquery = node.subquery
+        if not isinstance(subquery, SelectStatement):
+            raise PlanError("EXISTS supports plain SELECT subqueries only")
+        inner_conjuncts = _flatten_and(subquery.where)
+        inner = self._plan_from(subquery.sources, [])
+        outer_keys: list[Expression] = []
+        inner_keys: list[Expression] = []
+        inner_filters: list[Expression] = []
+        for conjunct in inner_conjuncts:
+            if _resolvable(conjunct, inner.schema):
+                inner_filters.append(conjunct)
+                continue
+            correlated = _as_equi_pair(conjunct, current.schema, inner.schema)
+            if correlated is None:
+                raise PlanError(
+                    f"unsupported correlated predicate {conjunct.sql()}"
+                    " in EXISTS")
+            outer_keys.append(correlated[0])
+            inner_keys.append(correlated[1])
+        for predicate in inner_filters:
+            inner = Filter(inner, predicate)
+        if not outer_keys:
+            # Uncorrelated EXISTS: either everything or nothing passes.
+            has_rows = any(True for _ in inner.rows())
+            keep = has_rows != node.negated
+            if keep:
+                return current
+            return RelationScan(Relation(current.schema, ()))
+        if node.negated:
+            return self.policy.make_anti_join(current, inner,
+                                              outer_keys, inner_keys)
+        return self.policy.make_semi_join(current, inner,
+                                          outer_keys, inner_keys)
+
+    # -- aggregation -------------------------------------------------------------------
+
+    def _plan_aggregate(self, current: PhysicalOperator,
+                        statement: SelectStatement) -> PhysicalOperator:
+        keys = [self._resolve_scalars(k) for k in statement.group_by]
+        collected: list[FunctionCall] = []
+
+        def collect(expr: Expression) -> None:
+            if is_aggregate_call(expr):
+                if expr not in collected:
+                    collected.append(expr)  # type: ignore[arg-type]
+                return
+            for child in expr.children():
+                collect(child)
+
+        resolved_items: list[SelectItem] = []
+        for item in statement.items:
+            if item.star:
+                raise PlanError("SELECT * cannot be combined with GROUP BY")
+            expr = self._resolve_scalars(item.expression)
+            resolved_items.append(SelectItem(expr, item.alias))
+            collect(expr)
+        having = (self._resolve_scalars(statement.having)
+                  if statement.having is not None else None)
+        if having is not None:
+            collect(having)
+
+        specs: list[AggregateSpec] = []
+        for i, call in enumerate(collected):
+            argument = call.args[0] if call.args else None
+            specs.append(AggregateSpec(call.name.lower(), argument,
+                                       f"__agg{i}"))
+
+        key_aliases: list[str] = []
+        seen_aliases: set[str] = set()
+        for i, key in enumerate(keys):
+            alias = key.name if isinstance(key, ColumnRef) else f"__key{i}"
+            if alias.lower() in seen_aliases:
+                alias = f"__key{i}"
+            seen_aliases.add(alias.lower())
+            key_aliases.append(alias)
+
+        aggregate = self.policy.make_aggregate(current, keys, specs,
+                                               key_aliases)
+
+        def rewrite(expr: Expression) -> Expression:
+            for key, alias in zip(keys, key_aliases):
+                if expr == key:
+                    return ColumnRef(alias)
+            if is_aggregate_call(expr):
+                index = collected.index(expr)  # type: ignore[arg-type]
+                return ColumnRef(f"__agg{index}")
+            return _rebuild(expr, rewrite)
+
+        top: PhysicalOperator = aggregate
+        if having is not None:
+            top = Filter(top, rewrite(having))
+        items: list[tuple[Expression, str]] = []
+        for i, item in enumerate(resolved_items):
+            rewritten = rewrite(item.expression)
+            alias = item.alias or _default_alias(item.expression, i)
+            items.append((rewritten, alias))
+        return Project(top, items)
+
+    def _plan_windows(self, current: PhysicalOperator,
+                      statement: SelectStatement) -> PhysicalOperator:
+        from ..physical import WindowAggregate, WindowSpec
+
+        collected: list[WindowCall] = []
+
+        def collect(expr: Expression) -> None:
+            if isinstance(expr, WindowCall):
+                if expr not in collected:
+                    collected.append(expr)
+                return
+            for child in expr.children():
+                collect(child)
+
+        resolved_items: list[SelectItem] = []
+        for item in statement.items:
+            if item.star:
+                raise PlanError("SELECT * cannot be combined with window"
+                                " functions in this engine")
+            expr = self._resolve_scalars(item.expression)
+            resolved_items.append(SelectItem(expr, item.alias))
+            collect(expr)
+        specs = [WindowSpec(call.function, call.argument, call.partition_by,
+                            f"__win{i}") for i, call in enumerate(collected)]
+        windowed = WindowAggregate(current, specs)
+
+        def rewrite(expr: Expression) -> Expression:
+            if isinstance(expr, WindowCall):
+                index = collected.index(expr)
+                return ColumnRef(f"__win{index}")
+            return _rebuild(expr, rewrite)
+
+        items = [(rewrite(item.expression),
+                  item.alias or _default_alias(item.expression, i))
+                 for i, item in enumerate(resolved_items)]
+        return Project(windowed, items)
+
+    # -- select-list helpers -------------------------------------------------------------
+
+    def _expand_items(self, items: Sequence[SelectItem],
+                      schema: Schema) -> list[tuple[Expression, str]]:
+        out: list[tuple[Expression, str]] = []
+        for i, item in enumerate(items):
+            if item.star:
+                for column in schema.columns:
+                    if (item.star_qualifier is None
+                            or (column.qualifier or "").lower()
+                            == item.star_qualifier.lower()):
+                        out.append((ColumnRef(column.name, column.qualifier),
+                                    column.name))
+                continue
+            expr = self._resolve_scalars(item.expression)
+            out.append((expr, item.alias or _default_alias(expr, i)))
+        return out
+
+    def _resolve_scalars(self, expr: Expression) -> Expression:
+        """Replace uncorrelated scalar subqueries with their value."""
+        if isinstance(expr, ScalarSubquery):
+            result = self.run(expr.subquery)
+            if result.schema.arity != 1:
+                raise PlanError("scalar subquery must return one column")
+            if len(result) > 1:
+                raise PlanError("scalar subquery returned more than one row")
+            value = result.rows[0][0] if result.rows else None
+            return Literal(value)
+        return _rebuild(expr, self._resolve_scalars)
+
+
+# -- tree utilities ---------------------------------------------------------------
+
+
+def _rebuild(expr: Expression, fn) -> Expression:
+    """Rebuild *expr* with *fn* applied to each child subtree."""
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, And):
+        return And(tuple(fn(o) for o in expr.operands))
+    if isinstance(expr, Or):
+        return Or(tuple(fn(o) for o in expr.operands))
+    if isinstance(expr, Not):
+        return Not(fn(expr.operand))
+    if isinstance(expr, Negate):
+        return Negate(fn(expr.operand))
+    if isinstance(expr, IsNull):
+        return IsNull(fn(expr.operand), expr.negated)
+    if isinstance(expr, InList):
+        return InList(fn(expr.operand), tuple(fn(i) for i in expr.items),
+                      expr.negated)
+    if isinstance(expr, CaseWhen):
+        branches = tuple((fn(c), fn(r)) for c, r in expr.branches)
+        default = fn(expr.default) if expr.default is not None else None
+        return CaseWhen(branches, default)
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(fn(a) for a in expr.args))
+    return expr
+
+
+def _flatten_and(expr: Expression | None) -> list[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: list[Expression] = []
+        for operand in expr.operands:
+            out.extend(_flatten_and(operand))
+        return out
+    return [expr]
+
+
+def _contains_subquery(expr: Expression) -> bool:
+    if isinstance(expr, (InSubquery, ExistsSubquery)):
+        return True
+    return any(_contains_subquery(c) for c in expr.children())
+
+
+def _contains_window(expr: Expression) -> bool:
+    if isinstance(expr, WindowCall):
+        return True
+    return any(_contains_window(c) for c in expr.children())
+
+
+def _resolvable(expr: Expression, schema: Schema) -> bool:
+    """True when every column reference in *expr* resolves in *schema*."""
+    if isinstance(expr, ColumnRef):
+        try:
+            schema.index_of(expr.name, expr.qualifier)
+            return True
+        except Exception:
+            return False
+    if isinstance(expr, BoundColumn):
+        return True
+    return all(_resolvable(c, schema) for c in expr.children())
+
+
+def _as_equi_pair(conjunct: Expression, left: Schema, right: Schema
+                  ) -> tuple[Expression, Expression] | None:
+    """If *conjunct* is ``a = b`` linking the two schemas, return the pair
+    oriented (left_expr, right_expr)."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    a, b = conjunct.left, conjunct.right
+    for first, second in ((a, b), (b, a)):
+        if (_resolvable(first, left) and not _resolvable(first, right)
+                and _resolvable(second, right)
+                and not _resolvable(second, left)):
+            return first, second
+    # Ambiguous references (same column name on both sides) fall back to
+    # strict qualifier-based resolution.
+    for first, second in ((a, b), (b, a)):
+        if _resolvable(first, left) and _resolvable(second, right):
+            return first, second
+    return None
+
+
+def _split_equi_condition(condition: Expression | None, left: Schema,
+                          right: Schema
+                          ) -> tuple[list[tuple[Expression, Expression]],
+                                     Expression | None]:
+    """Split an ON condition into equi-join key pairs plus a residual."""
+    pairs: list[tuple[Expression, Expression]] = []
+    residuals: list[Expression] = []
+    for conjunct in _flatten_and(condition):
+        pair = _as_equi_pair(conjunct, left, right)
+        if pair is not None:
+            pairs.append(pair)
+        else:
+            residuals.append(conjunct)
+    if not residuals:
+        return pairs, None
+    residual = residuals[0] if len(residuals) == 1 else And(tuple(residuals))
+    return pairs, residual
+
+
+def _default_alias(expr: Expression, position: int) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FunctionCall):
+        return expr.name.lower()
+    return f"c{position + 1}"

@@ -1,0 +1,163 @@
+"""Render statement ASTs back to SQL text.
+
+Used for EXPLAIN-style output, the emitted SQL/PSM procedures (the paper's
+Algorithm 1 produces real SQL text per dialect) and round-trip tests.
+"""
+
+from __future__ import annotations
+
+from ..expressions import Expression
+from .ast import (
+    CommonTableExpression,
+    CteBranch,
+    ExistsSubquery,
+    InSubquery,
+    JoinKind,
+    JoinSource,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    SetOpKind,
+    SetOperation,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+    WithStatement,
+)
+
+_JOIN_TEXT = {
+    JoinKind.INNER: "JOIN",
+    JoinKind.LEFT: "LEFT OUTER JOIN",
+    JoinKind.RIGHT: "RIGHT OUTER JOIN",
+    JoinKind.FULL: "FULL OUTER JOIN",
+    JoinKind.CROSS: "CROSS JOIN",
+}
+
+
+def format_expression(expr: Expression) -> str:
+    """Render an expression, expanding embedded subqueries."""
+    if isinstance(expr, InSubquery):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return (f"({format_expression(expr.operand)} {keyword}"
+                f" ({format_statement(expr.subquery)}))")
+    if isinstance(expr, ExistsSubquery):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"({keyword} ({format_statement(expr.subquery)}))"
+    if isinstance(expr, ScalarSubquery):
+        return f"({format_statement(expr.subquery)})"
+    return expr.sql()
+
+
+def _format_item(item: SelectItem) -> str:
+    if item.star:
+        return f"{item.star_qualifier}.*" if item.star_qualifier else "*"
+    text = format_expression(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _format_source(source) -> str:
+    if isinstance(source, TableRef):
+        if source.alias:
+            return f"{source.name} AS {source.alias}"
+        return source.name
+    if isinstance(source, SubquerySource):
+        return f"({format_statement(source.statement)}) AS {source.alias}"
+    if isinstance(source, JoinSource):
+        text = (f"{_format_source(source.left)} {_JOIN_TEXT[source.kind]}"
+                f" {_format_source(source.right)}")
+        if source.condition is not None:
+            text += f" ON {format_expression(source.condition)}"
+        return text
+    raise TypeError(f"unknown source {type(source).__name__}")
+
+
+def format_select(statement: SelectStatement) -> str:
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_format_item(i) for i in statement.items))
+    if statement.sources:
+        parts.append("FROM " + ", ".join(_format_source(s)
+                                         for s in statement.sources))
+    if statement.where is not None:
+        parts.append("WHERE " + format_expression(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY " + ", ".join(format_expression(g)
+                                             for g in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING " + format_expression(statement.having))
+    if statement.order_by:
+        rendered = [format_expression(o.expression)
+                    + (" DESC" if o.descending else "")
+                    for o in statement.order_by]
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    return " ".join(parts)
+
+
+def format_statement(statement: Statement) -> str:
+    if isinstance(statement, SelectStatement):
+        return format_select(statement)
+    if isinstance(statement, SetOperation):
+        op = {SetOpKind.UNION_ALL: "UNION ALL", SetOpKind.UNION: "UNION",
+              SetOpKind.EXCEPT: "EXCEPT",
+              SetOpKind.INTERSECT: "INTERSECT"}[statement.kind]
+        return (f"{format_statement(statement.left)} {op}"
+                f" {format_statement(statement.right)}")
+    if isinstance(statement, WithStatement):
+        ctes = ",\n".join(_format_cte(c) for c in statement.ctes)
+        recursive = "RECURSIVE " if statement.recursive else ""
+        return f"WITH {recursive}{ctes}\n{format_statement(statement.body)}"
+    raise TypeError(f"unknown statement {type(statement).__name__}")
+
+
+def _format_branch(branch: CteBranch) -> str:
+    text = f"({format_statement(branch.statement)}"
+    if branch.computed_by:
+        def body(definition) -> str:
+            # set-expression definitions must stay parenthesised so the
+            # re-parse does not stop at their UNION
+            rendered = format_statement(definition.statement)
+            if isinstance(definition.statement, SetOperation):
+                rendered = f"({rendered})"
+            return rendered
+
+        defs = ";\n    ".join(
+            f"{d.name}({', '.join(d.columns)}) AS {body(d)}"
+            if d.columns else f"{d.name} AS {body(d)}"
+            for d in branch.computed_by)
+        text += f"\n  COMPUTED BY\n    {defs}"
+    return text + ")"
+
+
+def _format_cte(cte: CommonTableExpression) -> str:
+    head = cte.name
+    if cte.columns:
+        head += f"({', '.join(cte.columns)})"
+    separator = {
+        UnionKind.UNION_ALL: "UNION ALL",
+        UnionKind.UNION: "UNION",
+        UnionKind.UNION_BY_UPDATE: "UNION BY UPDATE",
+    }[cte.union_kind]
+    if cte.union_kind is UnionKind.UNION_BY_UPDATE and cte.update_key:
+        separator += " " + ", ".join(cte.update_key)
+    body = f"\n  {separator}\n  ".join(_format_branch(b)
+                                       for b in cte.branches)
+    tail = f"\n  MAXRECURSION {cte.maxrecursion}" if cte.maxrecursion else ""
+    text = f"{head} AS (\n  {body}{tail}\n)"
+    if cte.search_clause is not None:
+        clause = cte.search_clause
+        text += (f"\nSEARCH {clause.order.upper()} FIRST BY"
+                 f" {', '.join(clause.by)} SET {clause.set_column}")
+    if cte.cycle_clause is not None:
+        clause = cte.cycle_clause
+        from ..types import sql_repr
+
+        text += (f"\nCYCLE {', '.join(clause.columns)} SET"
+                 f" {clause.set_column} TO {sql_repr(clause.cycle_value)}"
+                 f" DEFAULT {sql_repr(clause.default_value)}")
+    return text

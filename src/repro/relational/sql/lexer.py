@@ -1,0 +1,138 @@
+"""Hand-written tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tokens import KEYWORDS, OPERATORS, Token, TokenKind
+
+_DIGITS = frozenset("0123456789")
+
+
+def _is_digit(ch: str) -> bool:
+    # str.isdigit() accepts unicode digits (e.g. '²') that int() rejects;
+    # SQL numbers are ASCII.
+    return ch in _DIGITS
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text* into a list ending with an EOF token.
+
+    Supports ``--`` line comments and ``/* */`` block comments, single-quoted
+    strings with doubled-quote escaping, and double-quoted identifiers.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", line, column())
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch == "'":
+            start_line, start_col = line, column()
+            pos += 1
+            chars: list[str] = []
+            while True:
+                if pos >= n:
+                    raise ParseError("unterminated string literal",
+                                     start_line, start_col)
+                if text[pos] == "'":
+                    if pos + 1 < n and text[pos + 1] == "'":
+                        chars.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                if text[pos] == "\n":
+                    line += 1
+                    line_start = pos + 1
+                chars.append(text[pos])
+                pos += 1
+            value = "".join(chars)
+            tokens.append(Token(TokenKind.STRING, value, value,
+                                start_line, start_col))
+            continue
+        if ch == '"':
+            start_col = column()
+            end = text.find('"', pos + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted identifier", line, start_col)
+            name = text[pos + 1:end]
+            tokens.append(Token(TokenKind.IDENTIFIER, name, name, line, start_col))
+            pos = end + 1
+            continue
+        if _is_digit(ch) or (ch == "." and pos + 1 < n and _is_digit(text[pos + 1])):
+            start = pos
+            start_col = column()
+            while pos < n and (_is_digit(text[pos]) or text[pos] == "."):
+                pos += 1
+            if pos < n and text[pos] in "eE":
+                probe = pos + 1
+                if probe < n and text[probe] in "+-":
+                    probe += 1
+                if probe < n and _is_digit(text[probe]):
+                    pos = probe
+                    while pos < n and _is_digit(text[pos]):
+                        pos += 1
+            literal = text[start:pos]
+            if literal.count(".") > 1:
+                raise ParseError(f"malformed number {literal!r}", line, start_col)
+            value = float(literal) if ("." in literal or "e" in literal.lower()) \
+                else int(literal)
+            tokens.append(Token(TokenKind.NUMBER, literal, value, line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            start_col = column()
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, lowered,
+                                    line, start_col))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, word,
+                                    line, start_col))
+            continue
+        matched = False
+        for operator in OPERATORS:
+            if text.startswith(operator, pos):
+                symbol = "<>" if operator == "!=" else operator
+                tokens.append(Token(TokenKind.OPERATOR, symbol, symbol,
+                                    line, column()))
+                pos += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in "(),.;":
+            tokens.append(Token(TokenKind.PUNCT, ch, ch, line, column()))
+            pos += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, column()))
+    return tokens

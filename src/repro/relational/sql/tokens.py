@@ -1,0 +1,50 @@
+"""Token kinds and the reserved-word list for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words.  Anything else that looks like a word is an identifier.
+KEYWORDS = frozenset({
+    "select", "distinct", "from", "where", "group", "by", "having",
+    "order", "asc", "desc", "limit", "as", "on", "and", "or", "not",
+    "in", "exists", "is", "null", "true", "false", "case", "when",
+    "then", "else", "end", "union", "all", "except", "intersect",
+    "join", "left", "right", "full", "inner", "outer", "cross",
+    "with", "recursive", "update", "computed", "maxrecursion",
+    "between", "like", "values", "over", "partition",
+    "search", "cycle", "depth", "breadth", "first", "set", "to", "default",
+})
+
+OPERATORS = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*",
+             "/", "%")
+
+PUNCTUATION = ("(", ")", ",", ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.name}, {self.text!r})"

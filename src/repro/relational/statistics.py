@@ -1,0 +1,63 @@
+"""Table statistics used by the planner.
+
+The paper attributes PostgreSQL's sub-optimal recursive-query plans to
+missing statistics on temporary tables.  We model exactly that: statistics
+are collected by ``ANALYZE`` (here :meth:`TableStatistics.refresh`), the
+planner consults them when choosing join strategies, and — like PostgreSQL —
+**temporary tables are not auto-analyzed**, so a dialect that relies on
+fresh statistics degrades to its fallback plan for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .relation import Relation
+
+
+@dataclass
+class ColumnStatistics:
+    """Per-column summary: distinct count, null fraction, min/max."""
+
+    distinct_count: int = 0
+    null_fraction: float = 0.0
+    min_value: Any = None
+    max_value: Any = None
+
+
+@dataclass
+class TableStatistics:
+    """Row count plus per-column stats; ``fresh`` marks an analyzed table."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+    fresh: bool = False
+
+    def refresh(self, relation: "Relation") -> None:
+        """Recompute all statistics from *relation* (the ANALYZE operation)."""
+        self.row_count = len(relation)
+        self.columns = {}
+        for pos, column in enumerate(relation.schema.columns):
+            values = [row[pos] for row in relation.rows]
+            non_null = [v for v in values if v is not None]
+            stats = ColumnStatistics(
+                distinct_count=len(set(non_null)),
+                null_fraction=(1 - len(non_null) / len(values)) if values else 0.0,
+                min_value=min(non_null) if non_null else None,
+                max_value=max(non_null) if non_null else None,
+            )
+            self.columns[column.name.lower()] = stats
+        self.fresh = True
+
+    def invalidate(self) -> None:
+        """Mark statistics stale (called on writes)."""
+        self.fresh = False
+
+    def selectivity_of_equality(self, column: str) -> float:
+        """Estimated fraction of rows matching an equality predicate."""
+        stats = self.columns.get(column.lower())
+        if stats is None or stats.distinct_count == 0:
+            return 0.1
+        return 1.0 / stats.distinct_count

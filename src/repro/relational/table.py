@@ -1,0 +1,226 @@
+"""Mutable named tables: storage, constraints, indexes and statistics.
+
+A :class:`Table` wraps row storage with the write operations SQL/PSM
+programs need — insert, delete, truncate, per-key update (MERGE) — and
+maintains secondary indexes incrementally.  Reads go through
+:meth:`snapshot`, which exposes the current contents as an immutable
+:class:`~repro.relational.relation.Relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .errors import CatalogError, ConstraintError, SchemaError
+from .indexes import Index, make_index
+from .relation import Relation, Row
+from .schema import Schema
+from .statistics import TableStatistics
+from .types import coerce
+
+
+class Table:
+    """A named, mutable table in a database catalog."""
+
+    def __init__(self, name: str, schema: Schema, temporary: bool = False,
+                 enforce_key: bool = True):
+        self.name = name
+        self.schema = schema
+        self.temporary = temporary
+        self.enforce_key = enforce_key and bool(schema.primary_key)
+        self.rows: list[Row] = []
+        self.indexes: dict[str, Index] = {}
+        self.statistics = TableStatistics()
+        self._key_positions = schema.key_indexes() if schema.primary_key else ()
+        self._key_set: set[tuple] = set()
+
+    # -- reads -----------------------------------------------------------------
+
+    def snapshot(self) -> Relation:
+        """Current contents as an immutable relation."""
+        return Relation(self.schema, list(self.rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def row_key(self, row: Row) -> tuple:
+        return tuple(row[i] for i in self._key_positions)
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert one row, coercing values to the column types."""
+        if len(row) != self.schema.arity:
+            raise SchemaError(
+                f"insert of arity {len(row)} into {self.name}"
+                f" of arity {self.schema.arity}")
+        coerced = tuple(coerce(v, c.sql_type)
+                        for v, c in zip(row, self.schema.columns))
+        if self.enforce_key:
+            key = self.row_key(coerced)
+            if key in self._key_set:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name}")
+            self._key_set.add(key)
+        self.rows.append(coerced)
+        for index in self.indexes.values():
+            index.insert(coerced)
+        self.statistics.invalidate()
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def insert_relation(self, relation: Relation) -> int:
+        """Append all rows of *relation* (schemas must be arity-compatible)."""
+        if relation.schema.arity != self.schema.arity:
+            raise SchemaError(
+                f"cannot insert arity-{relation.schema.arity} relation"
+                f" into arity-{self.schema.arity} table {self.name}")
+        return self.insert_many(relation.rows)
+
+    def truncate(self) -> None:
+        """Remove all rows (the TRUNCATE TABLE of Algorithm 1's loop)."""
+        self.rows.clear()
+        self._key_set.clear()
+        for index in self.indexes.values():
+            index.clear()
+        self.statistics.invalidate()
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching *predicate*; returns the count removed."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        if removed:
+            self.rows = kept
+            self._rebuild_auxiliary()
+        return removed
+
+    def replace_contents(self, relation: Relation) -> None:
+        """Swap in entirely new contents (the drop/alter strategy's core)."""
+        if relation.schema.arity != self.schema.arity:
+            raise SchemaError(
+                f"cannot replace arity-{self.schema.arity} table {self.name}"
+                f" with arity-{relation.schema.arity} contents")
+        self.rows = [tuple(coerce(v, c.sql_type)
+                           for v, c in zip(row, self.schema.columns))
+                     for row in relation.rows]
+        self._rebuild_auxiliary()
+
+    def merge_by_key(self, source: Relation,
+                     key_columns: Sequence[str] | None = None) -> tuple[int, int]:
+        """SQL MERGE: update matching rows, insert the rest.
+
+        Matching is by the table's primary key unless *key_columns* is given.
+        Like the SQL standard, a source that matches the same target row more
+        than once is an error (the paper notes MERGE "checks and reports
+        duplicates in the source table").  Returns (updated, inserted).
+        """
+        if key_columns is None:
+            if not self.schema.primary_key:
+                raise ConstraintError(
+                    f"MERGE into {self.name} requires a key")
+            key_columns = self.schema.primary_key
+        target_positions = [self.schema.index_of(k) for k in key_columns]
+        source_positions = [source.schema.index_of(k) for k in key_columns]
+        by_key: dict[tuple, int] = {}
+        for pos, row in enumerate(self.rows):
+            by_key[tuple(row[i] for i in target_positions)] = pos
+        updated = inserted = 0
+        seen_source_keys: set[tuple] = set()
+        for row in source.rows:
+            key = tuple(row[i] for i in source_positions)
+            if key in seen_source_keys:
+                raise ConstraintError(
+                    f"MERGE source has duplicate key {key!r}")
+            seen_source_keys.add(key)
+            coerced = tuple(coerce(v, c.sql_type)
+                            for v, c in zip(row, self.schema.columns))
+            target_pos = by_key.get(key)
+            if target_pos is None:
+                by_key[key] = len(self.rows)
+                self.rows.append(coerced)
+                if self.enforce_key:
+                    self._key_set.add(self.row_key(coerced))
+                inserted += 1
+            else:
+                self.rows[target_pos] = coerced
+                updated += 1
+        self._rebuild_indexes()
+        self.statistics.invalidate()
+        return updated, inserted
+
+    def update_from(self, source: Relation,
+                    key_columns: Sequence[str]) -> int:
+        """PostgreSQL-style ``UPDATE ... FROM``: overwrite matching rows only.
+
+        Unlike MERGE it does not insert unmatched source rows and does not
+        police duplicate source keys (last match wins), which is exactly the
+        behavioural difference the paper calls out in Exp-1.
+        """
+        target_positions = [self.schema.index_of(k) for k in key_columns]
+        source_positions = [source.schema.index_of(k) for k in key_columns]
+        replacement: dict[tuple, Row] = {}
+        for row in source.rows:
+            key = tuple(row[i] for i in source_positions)
+            replacement[key] = tuple(coerce(v, c.sql_type)
+                                     for v, c in zip(row, self.schema.columns))
+        updated = 0
+        for pos, row in enumerate(self.rows):
+            key = tuple(row[i] for i in target_positions)
+            if key in replacement:
+                self.rows[pos] = replacement[key]
+                updated += 1
+        if updated:
+            self._rebuild_indexes()
+            self.statistics.invalidate()
+        return updated
+
+    # -- indexes & statistics ----------------------------------------------------
+
+    def create_index(self, index_name: str, columns: Sequence[str],
+                     kind: str = "btree") -> Index:
+        if index_name in self.indexes:
+            raise CatalogError(f"index {index_name!r} already exists on {self.name}")
+        positions = [self.schema.index_of(c) for c in columns]
+        index = make_index(kind, index_name, positions)
+        index.bulk_load(self.rows)
+        self.indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        if index_name not in self.indexes:
+            raise CatalogError(f"no index {index_name!r} on {self.name}")
+        del self.indexes[index_name]
+
+    def index_on(self, columns: Sequence[str]) -> Index | None:
+        """An index whose key is exactly *columns* (order-sensitive), if any."""
+        positions = tuple(self.schema.index_of(c) for c in columns)
+        for index in self.indexes.values():
+            if index.key_positions == positions:
+                return index
+        return None
+
+    def analyze(self) -> None:
+        """Refresh planner statistics (ANALYZE)."""
+        self.statistics.refresh(self.snapshot())
+
+    # -- internals -----------------------------------------------------------------
+
+    def _rebuild_indexes(self) -> None:
+        for index in self.indexes.values():
+            index.clear()
+            index.bulk_load(self.rows)
+
+    def _rebuild_auxiliary(self) -> None:
+        self._key_set = ({self.row_key(r) for r in self.rows}
+                         if self.enforce_key else set())
+        self._rebuild_indexes()
+        self.statistics.invalidate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "temp table" if self.temporary else "table"
+        return f"<{kind} {self.name} {self.schema.names} rows={len(self.rows)}>"

@@ -1,0 +1,88 @@
+"""The SQL-ish value domain used by the engine.
+
+The engine stores plain Python values in tuples.  This module centralises the
+conventions:
+
+* ``NULL`` is represented by Python ``None`` and follows three-valued logic
+  (3VL) in comparisons and boolean connectives (see :mod:`expressions`).
+* The supported column types are ``INTEGER``, ``DOUBLE``, ``TEXT`` and
+  ``BOOLEAN``.  Types are advisory: they drive coercion on insert and are
+  reported in schemas, but the executor is dynamically typed like SQLite.
+* ``INFINITY`` is the engine's stand-in for the unreachable distance used by
+  shortest-path algorithms (the paper initialises Bellman-Ford node weights
+  to infinity).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+#: Positive infinity, used as the "unreachable" distance.
+INFINITY = math.inf
+
+
+class SqlType(enum.Enum):
+    """Column types understood by the engine."""
+
+    INTEGER = "integer"
+    DOUBLE = "double precision"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_COERCERS = {
+    SqlType.INTEGER: int,
+    SqlType.DOUBLE: float,
+    SqlType.TEXT: str,
+    SqlType.BOOLEAN: bool,
+}
+
+
+def coerce(value: Any, sql_type: SqlType) -> Any:
+    """Coerce *value* to *sql_type*, passing NULL (``None``) through.
+
+    Floats representing infinity are preserved for ``DOUBLE`` and rejected
+    for ``INTEGER``.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.DOUBLE and isinstance(value, (int, float)):
+        return float(value)
+    if sql_type is SqlType.INTEGER and isinstance(value, float) and math.isinf(value):
+        raise ValueError("cannot store infinity in an INTEGER column")
+    return _COERCERS[sql_type](value)
+
+
+def infer_type(value: Any) -> SqlType:
+    """Infer the closest :class:`SqlType` for a Python value."""
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.DOUBLE
+    return SqlType.TEXT
+
+
+def is_null(value: Any) -> bool:
+    """True when *value* is SQL NULL."""
+    return value is None
+
+
+def sql_repr(value: Any) -> str:
+    """Render a value the way it would appear in SQL text."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and math.isinf(value):
+        return "'infinity'" if value > 0 else "'-infinity'"
+    return repr(value)

@@ -1,0 +1,98 @@
+"""Shared test fixtures: tiny graphs and relations used across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import preferential_attachment, random_dag
+from repro.graphsystems.graph import Graph
+from repro.relational import Engine
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A 5-node directed graph with known structure::
+
+        1 → 2 → 3
+        1 → 3   3 → 4
+        5 (isolated)
+    """
+    graph = Graph(directed=True, name="tiny")
+    for edge in [(1, 2), (2, 3), (1, 3), (3, 4)]:
+        graph.add_edge(*edge)
+    graph.add_node(5)
+    for node in graph.nodes():
+        graph.set_label(node, node % 2)
+        graph.set_node_weight(node, float(node))
+    return graph
+
+
+@pytest.fixture
+def small_directed() -> Graph:
+    graph = preferential_attachment(40, 4.0, directed=True, seed=11,
+                                    name="small-directed")
+    graph.randomize_node_weights(seed=12)
+    graph.randomize_labels(4, seed=13)
+    return graph
+
+
+@pytest.fixture
+def small_undirected() -> Graph:
+    graph = preferential_attachment(30, 6.0, directed=False, seed=21,
+                                    name="small-undirected")
+    graph.randomize_node_weights(seed=22)
+    graph.randomize_labels(4, seed=23)
+    return graph
+
+
+@pytest.fixture
+def small_dag() -> Graph:
+    return random_dag(30, 2.5, seed=31, name="small-dag")
+
+
+@pytest.fixture(params=["oracle", "db2", "postgres"])
+def any_engine(request) -> Engine:
+    """One engine per dialect profile."""
+    return Engine(request.param)
+
+
+@pytest.fixture
+def oracle_engine() -> Engine:
+    return Engine("oracle")
+
+
+@pytest.fixture
+def postgres_engine() -> Engine:
+    return Engine("postgres")
+
+
+@pytest.fixture
+def edges_relation() -> Relation:
+    return Relation.from_pairs(
+        ("F", "T", "ew"),
+        [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 2.0), (3, 4, 1.0)])
+
+
+@pytest.fixture
+def nodes_relation() -> Relation:
+    return Relation.from_pairs(
+        ("ID", "vw"), [(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)])
+
+
+def approx_equal(a, b, tol=1e-9) -> bool:
+    if a is None or b is None:
+        return a == b
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def assert_same_values(got: dict, expected: dict, tol=1e-9) -> None:
+    assert set(got) == set(expected), \
+        f"key mismatch: {set(got) ^ set(expected)}"
+    for key in expected:
+        g, e = got[key], expected[key]
+        if isinstance(g, tuple):
+            assert all(approx_equal(x, y, tol) for x, y in zip(g, e)), \
+                f"{key}: {g} != {e}"
+        else:
+            assert approx_equal(g, e, tol), f"{key}: {g} != {e}"

@@ -1,0 +1,158 @@
+"""The algebra+while implementations against the references, plus the
+registry's Table 2 metadata."""
+
+import pytest
+
+from repro.core.algorithms import (
+    apsp,
+    bellman_ford,
+    bfs,
+    bisimulation,
+    floyd_warshall,
+    pagerank,
+    tc,
+    wcc,
+)
+from repro.core.algorithms.registry import (
+    ALGORITHMS,
+    BENCHMARKED,
+    get_algorithm,
+    table2_rows,
+)
+
+from ..conftest import assert_same_values
+
+
+class TestAlgebraImplementations:
+    def test_tc(self, small_directed):
+        got = tc.run_algebra(small_directed).values
+        assert got == tc.run_reference(small_directed).values
+
+    def test_bfs(self, small_directed):
+        got = bfs.run_algebra(small_directed, source=0).values
+        assert_same_values(got, bfs.run_reference(small_directed, 0).values)
+
+    def test_wcc(self, small_directed):
+        got = wcc.run_algebra(small_directed).values
+        assert_same_values(got, wcc.run_reference(small_directed).values)
+
+    def test_bellman_ford(self, small_directed):
+        got = bellman_ford.run_algebra(small_directed, source=0).values
+        expected = bellman_ford.run_reference(small_directed, 0).values
+        assert_same_values(got, expected)
+
+    def test_floyd_warshall_squaring_converges_fast(self, small_directed):
+        result = floyd_warshall.run_algebra(small_directed)
+        expected = floyd_warshall.run_reference(small_directed).values
+        assert_same_values(result.values, expected)
+        # repeated squaring: iterations ≈ log2(diameter), far below n
+        assert result.iterations < small_directed.num_nodes // 2
+
+    def test_apsp(self, small_directed):
+        got = apsp.run_algebra(small_directed, depth=4).values
+        expected = apsp.run_reference(small_directed, depth=4).values
+        assert_same_values(got, expected)
+
+    def test_pagerank(self, small_directed):
+        got = pagerank.run_algebra(small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_pagerank_standard_variant_differs_from_paper_semantics(
+            self, tiny_graph):
+        standard = pagerank.run_standard(tiny_graph).values
+        paper = pagerank.run_reference(tiny_graph).values
+        # node 1 has no in-edges: paper semantics leaves it at 0, textbook
+        # PageRank gives it at least the teleport share.
+        assert paper[1] == 0.0
+        assert standard[1] > 0.0
+
+    def test_hits_algebra(self, small_directed):
+        from repro.core.algorithms import hits
+
+        got = hits.run_algebra(small_directed, iterations=8).values
+        expected = hits.run_reference(small_directed, iterations=8).values
+        assert_same_values(got, expected, tol=1e-7)
+
+    def test_kcore_algebra(self, small_undirected):
+        from repro.core.algorithms import kcore
+
+        got = kcore.run_algebra(small_undirected, k=4).values
+        assert got == kcore.run_reference(small_undirected, k=4).values
+
+    def test_label_propagation_algebra(self, small_directed):
+        from repro.core.algorithms import label_propagation
+
+        got = label_propagation.run_algebra(small_directed).values
+        expected = label_propagation.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+    def test_keyword_search_algebra(self, small_directed):
+        from repro.core.algorithms import keyword_search
+
+        got = keyword_search.run_algebra(small_directed).values
+        expected = keyword_search.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+    def test_bisimulation_reference_and_algebra_agree(self, small_directed):
+        ref = bisimulation.run_reference(small_directed).values
+        alg = bisimulation.run_algebra(small_directed).values
+        # same partition: equal classes induce the same equivalence
+        by_ref: dict = {}
+        for node, cls in ref.items():
+            by_ref.setdefault(cls, set()).add(node)
+        by_alg: dict = {}
+        for node, cls in alg.items():
+            by_alg.setdefault(cls, set()).add(node)
+        assert sorted(map(sorted, by_ref.values())) == \
+            sorted(map(sorted, by_alg.values()))
+
+    def test_bisimulation_respects_labels(self, tiny_graph):
+        classes = bisimulation.run_reference(tiny_graph).values
+        for a in tiny_graph.nodes():
+            for b in tiny_graph.nodes():
+                if classes[a] == classes[b]:
+                    assert tiny_graph.label(a) == tiny_graph.label(b)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm("pr").name == "PageRank"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            get_algorithm("XYZ")
+
+    def test_benchmarked_ten_all_have_sql(self):
+        assert len(BENCHMARKED) == 10
+        for key in BENCHMARKED:
+            assert get_algorithm(key).has_sql
+
+    def test_table2_classification_consistency(self):
+        """An algorithm marked nonlinear-only must reference its recursive
+        relation more than once (or fold mutual recursion via computed by)."""
+        rows = table2_rows()
+        assert len(rows) == len(ALGORITHMS)
+        fw = get_algorithm("FW")
+        assert fw.nonlinear and not fw.linear
+        pr = get_algorithm("PR")
+        assert pr.linear and not pr.nonlinear
+
+    def test_nonlinear_sql_really_is_nonlinear(self):
+        from repro.relational.recursive import statement_references
+        from repro.relational.sql.parser import parse_statement
+
+        statement = parse_statement(get_algorithm("FW").module.sql())
+        cte = statement.ctes[0]
+        recursive_branch = cte.branches[1]
+        # D as D1, D as D2 (the nonlinear self-join) plus the
+        # include-current arm of the min: three references in total.
+        assert statement_references(recursive_branch.statement,
+                                    cte.name) >= 2
+
+    def test_aggregates_declared_match_queries(self):
+        """Spot-check Table 2's aggregation column against the SQL text."""
+        assert "sum(" in get_algorithm("PR").module.sql(10)
+        assert "min(" in get_algorithm("SSSP").module.sql(0)
+        assert "count(" in get_algorithm("KC").module.sql(5)
+        assert "max(" in get_algorithm("KS").module.sql((0, 1, 2))

@@ -1,0 +1,201 @@
+"""Every with+ SQL algorithm against its plain-Python reference."""
+
+import pytest
+
+from repro.core.algorithms import (
+    apsp,
+    bellman_ford,
+    bfs,
+    diameter,
+    floyd_warshall,
+    hits,
+    kcore,
+    keyword_search,
+    ktruss,
+    label_propagation,
+    markov_clustering,
+    mis,
+    mnm,
+    pagerank,
+    rwr,
+    simrank,
+    tc,
+    toposort,
+    wcc,
+)
+from repro.relational import Engine
+
+from ..conftest import assert_same_values
+
+
+def engine():
+    return Engine("oracle")
+
+
+class TestTraversalFamily:
+    def test_tc(self, small_directed):
+        got = tc.run_sql(engine(), small_directed).values
+        assert got == tc.run_reference(small_directed).values
+
+    def test_tc_depth_bounded(self, small_directed):
+        # with+ full-relation binding: k iterations reach paths of k+1 hops
+        # (the initial step contributes hop 1).
+        got = tc.run_sql(engine(), small_directed, depth=2).values
+        assert got == tc.run_reference(small_directed, depth=3).values
+
+    def test_bfs(self, small_directed):
+        got = bfs.run_sql(engine(), small_directed, source=0).values
+        assert_same_values(got, bfs.run_reference(small_directed, 0).values)
+
+    def test_wcc(self, small_directed):
+        got = wcc.run_sql(engine(), small_directed).values
+        assert_same_values(got, wcc.run_reference(small_directed).values)
+
+    def test_wcc_disconnected(self, tiny_graph):
+        got = wcc.run_sql(engine(), tiny_graph).values
+        # node 5 is isolated: its own component
+        assert got[5] == 5.0
+        assert got[1] == got[4] == 1.0
+
+    def test_sssp(self, small_directed):
+        got = bellman_ford.run_sql(engine(), small_directed, source=0).values
+        expected = bellman_ford.run_reference(small_directed, 0).values
+        assert_same_values(got, expected)
+
+    def test_sssp_unreachable_is_none(self, tiny_graph):
+        got = bellman_ford.run_sql(engine(), tiny_graph, source=1).values
+        assert got[5] is None
+        assert got[4] == 2.0
+
+    def test_floyd_warshall(self, tiny_graph):
+        got = floyd_warshall.run_sql(engine(), tiny_graph).values
+        expected = floyd_warshall.run_reference(tiny_graph).values
+        # SQL result covers exactly the finite-distance pairs
+        assert_same_values(got, expected)
+
+    def test_apsp_matches_depth_bounded_reference(self, small_directed):
+        got = apsp.run_sql(engine(), small_directed, depth=4).values
+        expected = apsp.run_reference(small_directed, depth=4).values
+        assert_same_values(got, expected)
+
+    def test_toposort(self, small_dag):
+        got = toposort.run_sql(engine(), small_dag).values
+        assert_same_values(got, toposort.run_reference(small_dag).values)
+
+    @pytest.mark.parametrize("variant", toposort.ANTI_JOIN_VARIANTS)
+    def test_toposort_all_antijoin_variants_agree(self, small_dag, variant):
+        got = toposort.run_sql(engine(), small_dag, variant=variant).values
+        assert_same_values(got, toposort.run_reference(small_dag).values)
+
+    def test_diameter_estimate_close_to_exact(self, small_directed):
+        got = diameter.run_sql(engine(), small_directed).values["diameter"]
+        exact = diameter.run_reference(small_directed).values["diameter"]
+        assert abs(got - exact) <= 1
+
+
+class TestValueIterationFamily:
+    def test_pagerank(self, small_directed):
+        got = pagerank.run_sql(engine(), small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_pagerank_sums_to_at_most_one(self, small_directed):
+        got = pagerank.run_sql(engine(), small_directed).values
+        assert 0 < sum(got.values()) <= 1.0 + 1e-9
+
+    def test_rwr(self, small_directed):
+        got = rwr.run_sql(engine(), small_directed, restart_node=0).values
+        expected = rwr.run_reference(small_directed, 0).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_hits(self, small_directed):
+        got = hits.run_sql(engine(), small_directed).values
+        expected = hits.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-7)
+
+    def test_simrank(self, tiny_graph):
+        got = simrank.run_sql(engine(), tiny_graph, iterations=3).values
+        expected = simrank.run_reference(tiny_graph, iterations=3).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_simrank_diagonal_is_one(self, tiny_graph):
+        got = simrank.run_sql(engine(), tiny_graph, iterations=2).values
+        for node in tiny_graph.nodes():
+            assert got[(node, node)] == 1.0
+
+    def test_label_propagation(self, small_directed):
+        got = label_propagation.run_sql(engine(), small_directed).values
+        expected = label_propagation.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+    def test_keyword_search(self, small_directed):
+        got = keyword_search.run_sql(engine(), small_directed).values
+        expected = keyword_search.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+    def test_keyword_search_roots_subset_of_nodes(self, small_directed):
+        result = keyword_search.run_sql(engine(), small_directed)
+        assert keyword_search.roots(result) <= set(small_directed.nodes())
+
+    def test_markov_clusters_agree(self, small_undirected):
+        sql_values = markov_clustering.run_sql(
+            engine(), small_undirected, iterations=6).values
+        ref_values = markov_clustering.run_reference(
+            small_undirected, iterations=6).values
+        got = markov_clustering.clusters(sql_values)
+        expected = markov_clustering.clusters(ref_values)
+        agreement = sum(1 for k in expected if got.get(k) == expected[k])
+        assert agreement >= 0.9 * len(expected)
+
+
+class TestPruningFamily:
+    def test_kcore(self, small_undirected):
+        got = kcore.run_sql(engine(), small_undirected, k=4).values
+        expected = kcore.run_reference(small_undirected, k=4).values
+        assert got == expected
+
+    def test_kcore_members_have_core_degree(self, small_undirected):
+        got = kcore.run_sql(engine(), small_undirected, k=4).values
+        members = set(got)
+        for node in members:
+            neighbors = (set(small_undirected.out_neighbors(node))
+                         | set(small_undirected.in_neighbors(node)))
+            assert len(neighbors & members) >= 4
+
+    def test_ktruss(self, small_undirected):
+        got = ktruss.run_sql(engine(), small_undirected, k=3).values
+        expected = ktruss.run_reference(small_undirected, k=3).values
+        assert got == expected
+
+    def test_mis_is_maximal_independent(self, small_undirected):
+        result = mis.run_sql(engine(), small_undirected, seed=5)
+        assert mis.is_maximal_independent_set(small_undirected,
+                                              result.values)
+
+    def test_mis_reference_property(self, small_undirected):
+        result = mis.run_reference(small_undirected, seed=5)
+        assert mis.is_maximal_independent_set(small_undirected,
+                                              result.values)
+
+    def test_mnm_is_maximal_matching(self, small_undirected):
+        result = mnm.run_sql(engine(), small_undirected)
+        assert mnm.is_maximal_matching(small_undirected, result.values)
+
+    def test_mnm_matches_reference(self, small_undirected):
+        got = mnm.run_sql(engine(), small_undirected).values
+        expected = mnm.run_reference(small_undirected).values
+        assert_same_values(got, expected)
+
+
+class TestCrossDialectAgreement:
+    @pytest.mark.parametrize("dialect", ["oracle", "db2", "postgres"])
+    def test_pagerank_identical_across_dialects(self, small_directed,
+                                                dialect):
+        got = pagerank.run_sql(Engine(dialect), small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    @pytest.mark.parametrize("dialect", ["oracle", "db2", "postgres"])
+    def test_toposort_identical_across_dialects(self, small_dag, dialect):
+        got = toposort.run_sql(Engine(dialect), small_dag).values
+        assert_same_values(got, toposort.run_reference(small_dag).values)

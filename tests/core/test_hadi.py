@@ -1,0 +1,53 @@
+"""HADI — Flajolet-Martin diameter estimation (the paper's
+Diameter-Estimation citation)."""
+
+import pytest
+
+from repro.core.algorithms import diameter
+from repro.datasets import grid_graph, preferential_attachment
+
+
+class TestHadi:
+    def test_sketch_convergence_matches_exact_diameter(self):
+        graph = grid_graph(6, 6)
+        exact = diameter.run_reference(graph).values["diameter"]
+        hadi = diameter.run_hadi(graph, num_sketches=24).values
+        # sketches stop changing exactly one round after the last new
+        # reachability appears
+        assert hadi["exact_rounds"] - 1 == exact
+
+    def test_effective_diameter_below_exact(self):
+        graph = preferential_attachment(150, 5.0, directed=True, seed=2)
+        exact = diameter.run_reference(graph).values["diameter"]
+        effective = diameter.run_hadi(graph, num_sketches=24) \
+            .values["diameter"]
+        assert 1 <= effective <= exact
+
+    def test_pair_curve_monotone(self):
+        graph = preferential_attachment(80, 4.0, directed=True, seed=4)
+        curve = diameter.run_hadi(graph).values["pair_curve"]
+        # reachable-pair estimates grow as hops increase (same sketches,
+        # only ORed further)
+        assert all(b >= a * 0.999 for a, b in zip(curve, curve[1:]))
+
+    def test_estimate_scales_with_reachability(self):
+        # a clique reaches everything in 1 hop; a long path needs many
+        path = grid_graph(1, 30)
+        clique = preferential_attachment(30, 25.0, directed=False, seed=5)
+        path_hadi = diameter.run_hadi(path, num_sketches=24).values
+        clique_hadi = diameter.run_hadi(clique, num_sketches=24).values
+        assert clique_hadi["exact_rounds"] < path_hadi["exact_rounds"]
+
+    def test_deterministic_under_seed(self):
+        graph = preferential_attachment(60, 4.0, directed=True, seed=6)
+        a = diameter.run_hadi(graph, seed=9).values
+        b = diameter.run_hadi(graph, seed=9).values
+        assert a == b
+
+    def test_estimation_accuracy_band(self):
+        """FM counting: the final pair estimate lands within a factor-2
+        band of the true reachable-pair count on a connected graph."""
+        graph = grid_graph(5, 5)
+        hadi = diameter.run_hadi(graph, num_sketches=32, seed=1).values
+        true_pairs = graph.num_nodes * graph.num_nodes  # grid: all reach all
+        assert true_pairs / 2 <= hadi["pair_curve"][-1] <= true_pairs * 2

@@ -1,0 +1,146 @@
+"""Linearization of nonlinear recursion (the paper's future-work item).
+
+Rewrites ``R ∘ R`` closures to ``R ∘ B`` one-step extensions: the same
+fixpoint, traded between few-but-dense and many-but-sparse iterations.
+"""
+
+import pytest
+
+from repro.core.withplus import (
+    WithPlusQuery,
+    is_linearizable,
+    parse_withplus,
+    try_linearize,
+)
+from repro.datasets import preferential_attachment
+from repro.relational import Engine
+from repro.relational.recursive import split_branches, statement_references
+
+NONLINEAR_TC = """
+with R(F, T) as (
+  (select F, T from E)
+  union
+  (select R1.F, R2.T from R as R1, R as R2 where R1.T = R2.F)
+) select F, T from R
+"""
+
+NONLINEAR_MIN_PLUS = """
+with D(F, T, d) as (
+  (select F, T, d from E0)
+  union by update F, T
+  (select X.F, X.T, min(X.d) from
+     ((select D1.F, D2.T, D1.d + D2.d as d from D as D1, D as D2
+       where D1.T = D2.F)
+      union all
+      (select F, T, d from D)) as X
+   group by X.F, X.T)
+) select F, T, d from D
+"""
+
+
+def loaded_engine(graph):
+    engine = Engine("oracle")
+    engine.database.load_edge_table(
+        "E", [(u, v, w) for u, v, w in graph.weighted_edges()])
+    relation = engine.execute("select F, T, ew as d from E")
+    engine.database.register("E0", relation)
+    return engine
+
+
+class TestPreconditions:
+    def test_tc_self_join_is_linearizable(self):
+        cte = parse_withplus(NONLINEAR_TC).ctes[0]
+        assert is_linearizable(cte)
+
+    def test_min_plus_with_carry_arm_is_linearizable(self):
+        # the include-current arm (a lone `select ... from D`) is tolerated
+        cte = parse_withplus(NONLINEAR_MIN_PLUS).ctes[0]
+        assert is_linearizable(cte)
+
+    def test_linear_recursion_not_rewritten(self):
+        cte = parse_withplus("""
+            with R(F, T) as (
+              (select F, T from E)
+              union
+              (select R.F, E.T from R, E where R.T = E.F)
+            ) select * from R""").ctes[0]
+        assert not is_linearizable(cte)
+        assert try_linearize(cte) is None
+
+    def test_mixed_base_initial_blocks_rewrite(self):
+        # Floyd-Warshall's initial step reads E and V: not rewritable.
+        from repro.core.algorithms import floyd_warshall
+
+        cte = parse_withplus(floyd_warshall.sql()).ctes[0]
+        assert not is_linearizable(cte)
+
+    def test_union_all_not_rewritten(self):
+        cte = parse_withplus("""
+            with R(F, T) as (
+              (select F, T from E)
+              union all
+              (select R1.F, R2.T from R as R1, R as R2 where R1.T = R2.F)
+            ) select * from R""").ctes[0]
+        assert not is_linearizable(cte)
+
+
+class TestRewriteShape:
+    def test_second_reference_becomes_base(self):
+        cte = parse_withplus(NONLINEAR_TC).ctes[0]
+        rewritten = try_linearize(cte)
+        _, recursive = split_branches(rewritten)
+        assert statement_references(recursive[0].statement, "R") == 1
+        assert statement_references(recursive[0].statement, "E") == 1
+
+    def test_alias_preserved(self):
+        cte = parse_withplus(NONLINEAR_TC).ctes[0]
+        rewritten = try_linearize(cte)
+        _, recursive = split_branches(rewritten)
+        sources = recursive[0].statement.sources
+        assert sources[1].name == "E" and sources[1].alias == "R2"
+
+    def test_carry_arm_untouched(self):
+        cte = parse_withplus(NONLINEAR_MIN_PLUS).ctes[0]
+        rewritten = try_linearize(cte)
+        _, recursive = split_branches(rewritten)
+        # one self-join ref rewritten, the carry select-from-D kept
+        assert statement_references(recursive[0].statement, "D") == 2
+
+
+class TestSemantics:
+    @pytest.fixture
+    def graph(self):
+        return preferential_attachment(35, 3.0, directed=True, seed=8)
+
+    def test_tc_same_closure_fewer_vs_more_iterations(self, graph):
+        nonlinear = WithPlusQuery(NONLINEAR_TC)
+        linear = nonlinear.linearized()
+        assert linear is not None
+        engine_a = loaded_engine(graph)
+        engine_b = loaded_engine(graph)
+        detail_nl = nonlinear.run_detailed(engine_a)
+        detail_lin = linear.run_detailed(engine_b)
+        assert set(detail_nl.relation.rows) == set(detail_lin.relation.rows)
+        # squaring converges in no more rounds than one-step extension
+        assert detail_nl.iterations <= detail_lin.iterations
+
+    def test_min_plus_closure_same_distances(self, graph):
+        nonlinear = WithPlusQuery(NONLINEAR_MIN_PLUS)
+        linear = nonlinear.linearized()
+        assert linear is not None
+        got_nl = {(f, t): d for f, t, d in
+                  nonlinear.run(loaded_engine(graph)).rows}
+        got_lin = {(f, t): d for f, t, d in
+                   linear.run(loaded_engine(graph)).rows}
+        assert set(got_nl) == set(got_lin)
+        for pair in got_nl:
+            assert got_nl[pair] == pytest.approx(got_lin[pair])
+
+    def test_linearized_returns_none_when_not_applicable(self):
+        query = WithPlusQuery("""
+            with R(F, T) as (
+              (select F, T from E)
+              union
+              (select R.F, E.T from R, E where R.T = E.F)
+            ) select * from R""")
+        assert query.linearized() is None

@@ -1,0 +1,99 @@
+"""Matrix/vector views and the algebra+while fixpoint driver."""
+
+import pytest
+
+from repro.core.loop import fixpoint
+from repro.core.matrix import MatrixRelation, VectorRelation
+from repro.core.semiring import BOOLEAN, MIN_PLUS, PLUS_TIMES
+from repro.relational.errors import RecursionLimitError
+from repro.relational.relation import Relation
+
+
+class TestMatrixViews:
+    def test_matmul_dispatch(self):
+        a = MatrixRelation.from_entries([(0, 1, 1.0), (1, 2, 1.0)])
+        v = VectorRelation.from_items([(1, 5.0), (2, 7.0)])
+        assert (a @ v).to_dict() == {0: 5.0, 1: 7.0}
+        assert (a @ a).to_dict() == {(0, 2): 1.0}
+
+    def test_matmul_unknown_operand(self):
+        a = MatrixRelation.from_entries([(0, 1, 1.0)])
+        with pytest.raises(TypeError):
+            a @ 42
+
+    def test_semiring_carried_through(self):
+        a = MatrixRelation.from_dict({(0, 1): 2.0, (1, 2): 3.0}, MIN_PLUS)
+        assert (a @ a).to_dict() == {(0, 2): 5.0}
+        assert (a @ a).semiring is MIN_PLUS
+
+    def test_transpose_property(self):
+        a = MatrixRelation.from_entries([(0, 1, 1.0), (2, 0, 4.0)])
+        assert a.T.to_dict() == {(1, 0): 1.0, (0, 2): 4.0}
+        assert a.T.T.to_dict() == a.to_dict()
+
+    def test_vector_helpers(self):
+        v = VectorRelation.constant([1, 2, 3], 0.5)
+        assert v.to_dict() == {1: 0.5, 2: 0.5, 3: 0.5}
+        doubled = v.map_values(lambda w: w * 2)
+        assert doubled.to_dict() == {1: 1.0, 2: 1.0, 3: 1.0}
+
+    def test_with_semiring_swaps(self):
+        a = MatrixRelation.from_entries([(0, 1, 1.0)])
+        assert a.with_semiring(BOOLEAN).semiring is BOOLEAN
+
+
+class TestFixpoint:
+    def test_noninflationary_converges(self):
+        initial = Relation.from_pairs(("ID", "vw"), [(1, 16.0)])
+
+        def halve(current, iteration):
+            return current.replace_rows(
+                (i, max(w / 2, 1.0)) for i, w in current.rows)
+
+        result = fixpoint(initial, halve, key=("ID",))
+        assert result.relation.to_dict() == {1: 1.0}
+        assert result.stats.iterations == 5  # 16→8→4→2→1→1(stable)
+
+    def test_inflationary_accumulates(self):
+        initial = Relation.from_pairs(("x",), [(1,)])
+
+        def successor(current, iteration):
+            return current.replace_rows(
+                (x + 1,) for (x,) in current.rows if x < 4)
+
+        result = fixpoint(initial, successor, semantics="inflationary")
+        assert sorted(r[0] for r in result.relation.rows) == [1, 2, 3, 4]
+
+    def test_max_iterations_behaves_like_maxrecursion(self):
+        initial = Relation.from_pairs(("x",), [(0,)])
+
+        def bump(current, iteration):
+            return current.replace_rows((x + 1,) for (x,) in current.rows)
+
+        result = fixpoint(initial, bump, max_iterations=3)
+        assert result.stats.hit_limit
+        assert result.relation.rows == ((3,),)
+
+    def test_divergence_without_limit_raises(self):
+        initial = Relation.from_pairs(("x",), [(0,)])
+
+        def bump(current, iteration):
+            return current.replace_rows((x + 1,) for (x,) in current.rows)
+
+        with pytest.raises(RecursionLimitError):
+            fixpoint(initial, bump, safety_cap=10)
+
+    def test_unknown_semantics(self):
+        initial = Relation.from_pairs(("x",), [(0,)])
+        with pytest.raises(ValueError):
+            fixpoint(initial, lambda c, i: c, semantics="destructive")
+
+    def test_sizes_recorded(self):
+        initial = Relation.from_pairs(("x",), [(1,)])
+
+        def successor(current, iteration):
+            return current.replace_rows(
+                (x + 1,) for (x,) in current.rows if x < 3)
+
+        result = fixpoint(initial, successor, semantics="inflationary")
+        assert result.stats.sizes == [2, 3, 3]

@@ -1,0 +1,84 @@
+"""Semiring axioms (property-based) and folding behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.semiring import (
+    BOOLEAN,
+    MAX_MIN,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_TIMES,
+    PLUS_TIMES,
+    STANDARD_SEMIRINGS,
+    Semiring,
+)
+
+#: Valid carrier samples per semiring (several have restricted carriers).
+finite = st.floats(0.0, 1e6, allow_nan=False)
+carrier = {
+    "plus-times": finite,
+    "min-plus": st.one_of(finite, st.just(math.inf)),
+    "max-times": finite,
+    "min-times": st.one_of(finite, st.just(math.inf)),
+    "boolean": st.booleans(),
+    "max-min": st.one_of(finite, st.just(math.inf)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(STANDARD_SEMIRINGS))
+def test_axioms_on_fixed_samples(name):
+    semiring = STANDARD_SEMIRINGS[name]
+    if name == "boolean":
+        samples = [True, False]
+    elif name in ("plus-times", "max-times"):
+        # carriers without +inf (inf·0 and inf−inf are undefined there)
+        samples = [0.0, 1.0, 2.5, 7.0]
+    else:
+        samples = [0.0, 1.0, 2.5, 7.0, math.inf]
+    semiring.check_axioms(samples)
+
+
+@pytest.mark.parametrize("name", sorted(STANDARD_SEMIRINGS))
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_axioms_property_based(name, data):
+    semiring = STANDARD_SEMIRINGS[name]
+    samples = data.draw(st.lists(carrier[name], min_size=1, max_size=4))
+    semiring.check_axioms(samples)
+
+
+class TestFold:
+    def test_add_fold_empty_is_zero(self):
+        for semiring in STANDARD_SEMIRINGS.values():
+            assert semiring.add_fold([]) == semiring.zero
+
+    def test_min_plus_fold(self):
+        assert MIN_PLUS.add_fold([3.0, 1.0, 2.0]) == 1.0
+
+    def test_boolean_fold(self):
+        assert BOOLEAN.add_fold([False, True]) is True
+        assert BOOLEAN.add_fold([False, False]) is False
+
+    def test_agg_names_map_to_sql(self):
+        assert PLUS_TIMES.agg_name == "sum"
+        assert MIN_PLUS.agg_name == "min"
+        assert MAX_TIMES.agg_name == "max"
+        assert MIN_TIMES.agg_name == "min"
+        assert MAX_MIN.agg_name == "max"
+
+
+class TestMinTimesAnnihilation:
+    def test_inf_annihilates_zero_value(self):
+        # IEEE would give inf * 0 = nan; the semiring must give inf.
+        assert MIN_TIMES.multiply(math.inf, 0.0) == math.inf
+        assert MIN_TIMES.multiply(0.0, math.inf) == math.inf
+
+
+def test_custom_semiring_axiom_failure_detected():
+    broken = Semiring("broken", lambda a, b: a - b, lambda a, b: a * b,
+                      0.0, 1.0, "sum")  # subtraction is not commutative
+    with pytest.raises(AssertionError):
+        broken.check_axioms([1.0, 2.0])

@@ -1,0 +1,102 @@
+"""Dependency graphs (Definition 9.1) and stratification (Definition 9.2)."""
+
+import pytest
+
+from repro.core.depgraph import build_dependency_graph
+from repro.core.stratify import is_stratifiable, stratify
+from repro.relational.errors import StratificationError
+from repro.relational.sql.parser import parse_statement
+
+
+def cte_of(sql):
+    return parse_statement(sql).ctes[0]
+
+
+MONOTONE_TC = """
+    with TC(F, T) as (
+      (select F, T from E)
+      union all
+      (select TC.F, E.T from TC, E where TC.T = E.F)
+    ) select * from TC"""
+
+NEGATED_RECURSION = """
+    with R(ID) as (
+      (select ID from V)
+      union all
+      (select V.ID from V where V.ID not in (select ID from R))
+    ) select * from R"""
+
+STRATIFIED_NEGATION = """
+    with R(ID) as (
+      (select ID from V where ID not in (select T from E))
+      union all
+      (select R.ID from R, E where R.ID = E.F)
+    ) select * from R"""
+
+
+class TestDependencyGraph:
+    def test_nodes_and_kinds(self):
+        graph = build_dependency_graph(cte_of(MONOTONE_TC))
+        assert graph.nodes["TC"] == "recursive"
+        assert graph.nodes["E"] == "base"
+        assert any(kind == "select" for kind in graph.nodes.values())
+
+    def test_select_nodes_feed_recursive_node(self):
+        graph = build_dependency_graph(cte_of(MONOTONE_TC))
+        targets = {e.target for e in graph.edges}
+        assert "TC" in targets
+
+    def test_negated_subquery_gets_minus_edge(self):
+        graph = build_dependency_graph(cte_of(NEGATED_RECURSION))
+        assert graph.negative_edges()
+
+    def test_cycle_through_recursive_relation(self):
+        graph = build_dependency_graph(cte_of(MONOTONE_TC))
+        assert graph.cycles_through("TC")
+
+    def test_computed_by_nodes(self):
+        cte = cte_of("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select A.x from A computed by A(x) as select x + 1 from R;)
+            ) select * from R""")
+        graph = build_dependency_graph(cte)
+        assert graph.nodes["A"] == "computed"
+
+
+class TestStratification:
+    def test_monotone_recursion_is_stratifiable(self):
+        graph = build_dependency_graph(cte_of(MONOTONE_TC))
+        assert is_stratifiable(graph)
+        stratify(graph)  # must not raise
+
+    def test_negation_on_cycle_is_not_stratifiable(self):
+        graph = build_dependency_graph(cte_of(NEGATED_RECURSION))
+        assert graph.has_negative_cycle()
+        assert not is_stratifiable(graph)
+        with pytest.raises(StratificationError):
+            stratify(graph)
+
+    def test_stratified_negation_passes(self):
+        """Negation applied only to base relations is stratified —
+        SQL'99's allowance."""
+        graph = build_dependency_graph(cte_of(STRATIFIED_NEGATION))
+        assert is_stratifiable(graph)
+        strata = stratify(graph)
+        assert strata.stratum_count >= 1
+
+    def test_negated_dependency_strictly_below(self):
+        graph = build_dependency_graph(cte_of(STRATIFIED_NEGATION))
+        strata = stratify(graph)
+        for edge in graph.negative_edges():
+            assert strata.stratum_of(edge.source) < \
+                strata.stratum_of(edge.target)
+
+    def test_positive_dependency_not_above(self):
+        graph = build_dependency_graph(cte_of(MONOTONE_TC))
+        strata = stratify(graph)
+        for edge in graph.edges:
+            if edge.label == "+":
+                assert strata.stratum_of(edge.source) <= \
+                    strata.stratum_of(edge.target)

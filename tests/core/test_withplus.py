@@ -1,0 +1,149 @@
+"""The with+ public API: validation, Theorem 5.1, the query wrapper."""
+
+import pytest
+
+from repro.core.withplus import (
+    WithPlusQuery,
+    build_datalog_view,
+    check_theorem_5_1,
+    has_single_recursive_cycle,
+    parse_withplus,
+    validate,
+)
+from repro.datalog import is_xy_program, is_xy_stratified
+from repro.relational import Engine, ParseError, StratificationError
+
+PAGERANK = """
+with P(ID, W) as (
+  (select ID, 0.0 from V)
+  union by update ID
+  (select S.T, 0.85 * sum(P.W * S.ew) + 0.05 from P, S
+   where P.ID = S.F group by S.T)
+  maxrecursion 5
+)
+select ID, W from P
+"""
+
+TOPOSORT = """
+with Topo(ID, L) as (
+  (select ID, 0 from V where ID not in (select T from E))
+  union all
+  (select T_n.ID, T_n.L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     V_1(ID) as select V.ID from V where V.ID not in (select ID from Topo);
+     E_1(F, T) as select E.F, E.T from V_1, E where V_1.ID = E.F;
+     T_n(ID, L) as select V_1.ID, L_n.L from V_1, L_n
+                  where V_1.ID not in (select T from E_1);
+  )
+)
+select ID, L from Topo
+"""
+
+NONLINEAR = """
+with D(F, T, d) as (
+  (select F, T, ew from E)
+  union by update F, T
+  (select D1.F, D2.T, min(D1.d + D2.d) from D as D1, D as D2
+   where D1.T = D2.F group by D1.F, D2.T)
+  maxrecursion 4
+)
+select F, T, d from D
+"""
+
+
+class TestTheorem51:
+    @pytest.mark.parametrize("sql", [PAGERANK, TOPOSORT, NONLINEAR],
+                             ids=["pagerank", "toposort", "nonlinear"])
+    def test_paper_queries_are_xy_stratified(self, sql):
+        statement = parse_withplus(sql)
+        for cte in statement.ctes:
+            check_theorem_5_1(cte)  # must not raise
+
+    def test_single_cycle_condition_holds(self):
+        statement = parse_withplus(TOPOSORT)
+        assert has_single_recursive_cycle(statement.ctes[0])
+
+    def test_datalog_view_shapes(self):
+        statement = parse_withplus(PAGERANK)
+        program = build_datalog_view(statement.ctes[0])
+        assert is_xy_program(program)
+        assert is_xy_stratified(program)
+        heads = {rule.head.predicate for rule in program.rules}
+        assert "P" in heads
+
+    def test_ubu_view_contains_carryover_negation(self):
+        """Eq. 22: R(X, s(T)) :- R(X, T), ¬delta(X, s(T))."""
+        statement = parse_withplus(PAGERANK)
+        program = build_datalog_view(statement.ctes[0])
+        negated = [lit for rule in program.rules for lit in rule.body
+                   if lit.negated]
+        assert negated
+        assert any("delta" in lit.predicate for lit in negated)
+
+
+class TestValidation:
+    def test_multiple_ubu_branches_rejected(self):
+        with pytest.raises(StratificationError):
+            WithPlusQuery("""
+                with R(x) as (
+                  (select 1 as x)
+                  union by update x
+                  (select R.x from R)
+                  union by update x
+                  (select R.x + 1 from R)
+                ) select * from R""")
+
+    def test_computed_by_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            WithPlusQuery("""
+                with R(x) as (
+                  (select 1 as x)
+                  union all
+                  (select B.x from B
+                   computed by
+                     B(x) as select A.x from A;
+                     A(x) as select x from R;)
+                ) select * from R""")
+
+    def test_non_with_rejected(self):
+        with pytest.raises(ParseError):
+            parse_withplus("select 1 as x")
+
+    def test_validate_skips_plain_ctes(self):
+        validate(parse_withplus(
+            "with X as (select 1 as a) select a from X"))
+
+
+class TestWrapper:
+    @pytest.fixture
+    def engine(self):
+        e = Engine("oracle")
+        e.database.load_edge_table("E", [(1, 2), (2, 3)])
+        e.database.load_node_table("V", [(1, 0.0), (2, 0.0), (3, 0.0)])
+        e.database.register("S", e.execute("select F, T, ew from E"))
+        return e
+
+    def test_run(self, engine):
+        query = WithPlusQuery(PAGERANK)
+        result = query.run(engine)
+        assert len(result) == 3
+
+    def test_run_detailed_stats(self, engine):
+        detail = WithPlusQuery(PAGERANK).run_detailed(engine)
+        assert detail.iterations >= 1
+        assert detail.per_iteration
+
+    def test_sql_round_trip(self, engine):
+        rendered = WithPlusQuery(PAGERANK).sql()
+        assert "UNION BY UPDATE" in rendered
+        WithPlusQuery(rendered)  # re-validates
+
+    def test_to_psm(self, engine):
+        program = WithPlusQuery(PAGERANK).to_psm(engine)
+        assert program.dialect == "oracle"
+        assert "union_by_update" in program.kinds()
+
+    def test_datalog_views_keyed_by_cte(self, engine):
+        views = WithPlusQuery(TOPOSORT).datalog_views()
+        assert set(views) == {"Topo"}

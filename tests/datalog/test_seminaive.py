@@ -1,0 +1,195 @@
+"""The Datalog engine: semi-naive evaluation, negation, aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import (
+    Aggregate,
+    Comparison,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    evaluate,
+    predicate_strata,
+    program_is_stratified,
+)
+from repro.relational.errors import StratificationError
+
+X, Y, Z, D, W = (Variable(n) for n in "XYZDW")
+
+
+def tc_program(edges):
+    program = Program()
+    program.add_facts("edge", edges)
+    program.add_rule(Rule(Literal("tc", (X, Y)),
+                          (Literal("edge", (X, Y)),)))
+    program.add_rule(Rule(Literal("tc", (X, Z)),
+                          (Literal("tc", (X, Y)), Literal("edge", (Y, Z)))))
+    return program
+
+
+def closure_oracle(edges):
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+    out = set()
+    for start in {u for u, _ in edges}:
+        frontier = [start]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency.get(node, ()):
+                if (start, nxt) not in out:
+                    out.add((start, nxt))
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+    return out
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        database = evaluate(tc_program({(1, 2), (2, 3), (3, 4)}))
+        assert database["tc"] == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4),
+                                  (1, 4)}
+
+    def test_cycle_terminates(self):
+        database = evaluate(tc_program({(1, 2), (2, 1)}))
+        assert database["tc"] == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    @given(st.sets(st.tuples(st.integers(0, 6), st.integers(0, 6)),
+                   max_size=15))
+    @settings(max_examples=40)
+    def test_matches_bfs_closure(self, edges):
+        database = evaluate(tc_program(edges))
+        assert database.get("tc", set()) == closure_oracle(edges)
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        program = Program()
+        program.add_facts("node", {(1,), (2,), (3,)})
+        program.add_facts("edge", {(1, 2)})
+        # sink(X) :- node(X), ¬has_out(X);  has_out(X) :- edge(X, Y)
+        program.add_rule(Rule(Literal("has_out", (X,)),
+                              (Literal("edge", (X, Y)),)))
+        program.add_rule(Rule(Literal("sink", (X,)),
+                              (Literal("node", (X,)),
+                               Literal("has_out", (X,), negated=True))))
+        database = evaluate(program)
+        assert database["sink"] == {(2,), (3,)}
+
+    def test_unstratified_negation_rejected(self):
+        program = Program()
+        program.add_facts("node", {(1,)})
+        program.add_rule(Rule(Literal("p", (X,)),
+                              (Literal("node", (X,)),
+                               Literal("p", (X,), negated=True))))
+        assert not program_is_stratified(program)
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_strata_ordering(self):
+        program = Program()
+        program.add_rule(Rule(Literal("a", (X,)), (Literal("base", (X,)),)))
+        program.add_rule(Rule(Literal("b", (X,)),
+                              (Literal("a", (X,), negated=True),
+                               Literal("base", (X,)))))
+        strata = predicate_strata(program)
+        assert strata["a"] < strata["b"]
+
+
+class TestComparisons:
+    def test_builtin_filter(self):
+        program = Program()
+        program.add_facts("n", {(1,), (5,), (9,)})
+        program.add_rule(Rule(
+            Literal("big", (X,)), (Literal("n", (X,)),),
+            comparisons=(Comparison(lambda b: b["X"] > 3, "X > 3"),)))
+        assert evaluate(program)["big"] == {(5,), (9,)}
+
+
+class TestAggregation:
+    def test_monotone_min_shortest_path(self):
+        program = Program()
+        program.add_facts("edge", {(1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0)})
+        program.add_facts("start", {(1,)})
+        program.add_rule(Rule(
+            Literal("dist", (X, D)), (Literal("start", (X,)),),
+            aggregate=Aggregate("min", lambda b: 0.0)))
+        program.add_rule(Rule(
+            Literal("dist", (Y, D)),
+            (Literal("dist", (X, D)), Literal("edge", (X, Y, W))),
+            aggregate=Aggregate("min", lambda b: b["D"] + b["W"])))
+        dist = dict(evaluate(program)["dist"])
+        assert dist == {1: 0.0, 2: 1.0, 3: 2.0}
+
+    def test_monotone_aggregate_keeps_single_tuple_per_group(self):
+        program = Program()
+        program.add_facts("edge", {(1, 2, 1.0), (1, 2, 1.0)})
+        program.add_facts("start", {(1,)})
+        program.add_rule(Rule(
+            Literal("dist", (X, D)), (Literal("start", (X,)),),
+            aggregate=Aggregate("min", lambda b: 0.0)))
+        program.add_rule(Rule(
+            Literal("dist", (Y, D)),
+            (Literal("dist", (X, D)), Literal("edge", (X, Y, W))),
+            aggregate=Aggregate("min", lambda b: b["D"] + b["W"])))
+        result = evaluate(program)["dist"]
+        assert len([f for f in result if f[0] == 2]) == 1
+
+    def test_sum_aggregate_stratified_only(self):
+        program = Program()
+        program.add_facts("sale", {(1, 10.0), (1, 5.0), (2, 3.0)})
+        program.add_rule(Rule(
+            Literal("total", (X, W)), (Literal("sale", (X, D)),),
+            aggregate=Aggregate("sum", "D")))
+        totals = dict(evaluate(program)["total"])
+        assert totals == {1: 15.0, 2: 3.0}
+
+    def test_recursive_sum_rejected(self):
+        program = Program()
+        program.add_facts("seed", {(1, 1.0)})
+        program.add_rule(Rule(
+            Literal("acc", (X, W)),
+            (Literal("acc", (X, D)),),
+            aggregate=Aggregate("sum", "D")))
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_count(self):
+        program = Program()
+        program.add_facts("edge", {(1, 2), (1, 3), (2, 3)})
+        program.add_rule(Rule(
+            Literal("outdeg", (X, D)), (Literal("edge", (X, Y)),),
+            aggregate=Aggregate("count", lambda b: 1)))
+        assert dict(evaluate(program)["outdeg"]) == {1: 2, 2: 1}
+
+
+class TestSafety:
+    def test_unbound_head_variable_rejected(self):
+        program = Program()
+        program.add_facts("n", {(1,)})
+        program.add_rule(Rule(Literal("p", (X, Y)),
+                              (Literal("n", (X,)),)))
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_unbound_negated_variable_rejected(self):
+        program = Program()
+        program.add_facts("n", {(1,)})
+        program.add_facts("m", {(1, 2)})
+        program.add_rule(Rule(
+            Literal("p", (X,)),
+            (Literal("n", (X,)), Literal("m", (X, Y), negated=True))))
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_constants_in_body(self):
+        program = Program()
+        program.add_facts("edge", {(1, 2), (2, 3)})
+        program.add_rule(Rule(Literal("from_one", (Y,)),
+                              (Literal("edge", (Constant(1), Y)),)))
+        assert evaluate(program)["from_one"] == {(2,)}

@@ -1,0 +1,118 @@
+"""Datalog building blocks: terms, literals, rules, programs."""
+
+import pytest
+
+from repro.datalog import (
+    Aggregate,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    TemporalTerm,
+    Variable,
+)
+from repro.datalog.rules import ground
+from repro.datalog.terms import const, var
+
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestTerms:
+    def test_shorthand_constructors(self):
+        assert var("Z") == Variable("Z")
+        assert const(3) == Constant(3)
+
+    def test_temporal_rendering(self):
+        assert str(TemporalTerm("T", 0)) == "T"
+        assert str(TemporalTerm("T", 2)) == "s(s(T))"
+        assert str(TemporalTerm(None, 0)) == "0"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalTerm("T", -1)
+
+
+class TestLiterals:
+    def test_variables_collects_temporal_bases(self):
+        literal = Literal("p", (X, Constant(1), TemporalTerm("T", 1)))
+        assert literal.variables() == {"X", "T"}
+
+    def test_temporal_args(self):
+        literal = Literal("p", (X, TemporalTerm("T", 1)))
+        assert len(literal.temporal_args()) == 1
+
+    def test_rendering(self):
+        assert str(Literal("edge", (X, Y), negated=True)) == "¬edge(X, Y)"
+
+
+class TestGround:
+    def test_variables_substituted(self):
+        assert ground((X, Constant(7), Y), {"X": 1, "Y": 2}) == (1, 7, 2)
+
+    def test_unbound_returns_none(self):
+        assert ground((X,), {}) is None
+
+    def test_temporal_offset_applied(self):
+        assert ground((TemporalTerm("T", 2),), {"T": 3}) == (5,)
+
+    def test_temporal_constant(self):
+        assert ground((TemporalTerm(None, 0),), {}) == (0,)
+
+
+class TestRules:
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Literal("p", (X,), negated=True), ())
+
+    def test_is_recursive_in(self):
+        rule = Rule(Literal("p", (X,)), (Literal("q", (X,)),))
+        assert rule.is_recursive_in({"q"})
+        assert not rule.is_recursive_in({"r"})
+
+    def test_rendering(self):
+        rule = Rule(Literal("p", (X,)), (Literal("q", (X,)),))
+        assert str(rule) == "p(X) :- q(X)"
+
+    def test_aggregate_value_from_variable_or_callable(self):
+        by_name = Aggregate("min", "X")
+        by_callable = Aggregate("min", lambda b: b["X"] * 2)
+        assert by_name.value({"X": 4}) == 4
+        assert by_callable.value({"X": 4}) == 8
+
+
+class TestProgram:
+    def test_idb_edb_partition(self):
+        program = Program()
+        program.add_facts("edge", {(1, 2)})
+        program.add_rule(Rule(Literal("tc", (X, Y)),
+                              (Literal("edge", (X, Y)),)))
+        assert program.idb_predicates == {"tc"}
+        assert program.edb_predicates == {"edge"}
+
+    def test_dependency_edges_label_negation(self):
+        program = Program()
+        program.add_rule(Rule(Literal("p", (X,)),
+                              (Literal("q", (X,), negated=True),)))
+        assert ("q", "p", "-") in program.dependency_edges()
+
+    def test_nonmonotonic_aggregate_labelled_negative(self):
+        program = Program()
+        program.add_rule(Rule(Literal("total", (X, Y)),
+                              (Literal("sale", (X, Y)),),
+                              aggregate=Aggregate("sum", "Y")))
+        assert ("sale", "total", "-") in program.dependency_edges()
+
+    def test_monotonic_aggregate_stays_positive(self):
+        program = Program()
+        program.add_rule(Rule(Literal("best", (X, Y)),
+                              (Literal("offer", (X, Y)),),
+                              aggregate=Aggregate("min", "Y")))
+        assert ("offer", "best", "+") in program.dependency_edges()
+
+    def test_rules_for(self):
+        program = Program()
+        rule = Rule(Literal("p", (X,)), (Literal("q", (X,)),))
+        program.add_rule(rule)
+        assert program.rules_for("p") == [rule]
+        assert program.rules_for("q") == []

@@ -1,0 +1,150 @@
+"""XY-stratification: Definition 9.3, the bi-state transform, and the
+paper's proof-sketch programs."""
+
+from repro.datalog import (
+    Literal,
+    Program,
+    Rule,
+    TemporalTerm,
+    Variable,
+    bi_state_transform,
+    is_xy_program,
+    is_xy_stratified,
+    program_is_stratified,
+)
+from repro.datalog.xy import recursive_predicates
+
+X, Y, Z, W, W1, W2 = (Variable(n) for n in ("X", "Y", "Z", "W", "W1", "W2"))
+T0 = TemporalTerm("T", 0)
+T1 = TemporalTerm("T", 1)
+
+
+def mv_join_program():
+    """The paper's first proof-sketch program:
+    R(Y, W, s(T)) :- S(X, Y, W2), R(X, W1, T), W = ⊕(W1 ⊙ W2)."""
+    program = Program()
+    program.add_rule(Rule(Literal("R", (Y, W, T1)),
+                          (Literal("S", (X, Y, W2)),
+                           Literal("R", (X, W1, T0)))))
+    return program
+
+
+def nonlinear_mm_program():
+    """R(X, Y, W, s(T)) :- R(X, Z, W1, T), R(Z, Y, W2, T)."""
+    program = Program()
+    program.add_rule(Rule(Literal("R", (X, Y, W, T1)),
+                          (Literal("R", (X, Z, W1, T0)),
+                           Literal("R", (Z, Y, W2, T0)))))
+    return program
+
+
+def anti_join_program():
+    """R(X, Y, s(T)) :- B(X, Y), ¬R(X, T) — negation on the recursive
+    relation, staged."""
+    program = Program()
+    program.add_rule(Rule(Literal("R", (X, Y, T1)),
+                          (Literal("B", (X, Y)),
+                           Literal("R", (X, T0), negated=True))))
+    return program
+
+
+def union_by_update_program():
+    """Eq. 22's staged form: the survivor rule plus the delta rule."""
+    program = Program()
+    program.add_rule(Rule(Literal("R", (X, W1, T1)),
+                          (Literal("B", (X, W1)),
+                           Literal("R", (X, W2, T0), negated=True))))
+    program.add_rule(Rule(Literal("R", (X, W2, T1)),
+                          (Literal("R", (X, W2, T0)),)))
+    return program
+
+
+class TestXyProgramRecognition:
+    def test_mv_join_is_xy(self):
+        assert is_xy_program(mv_join_program())
+
+    def test_nonlinear_mm_is_xy(self):
+        assert is_xy_program(nonlinear_mm_program())
+
+    def test_anti_join_is_xy(self):
+        assert is_xy_program(anti_join_program())
+
+    def test_union_by_update_is_xy(self):
+        assert is_xy_program(union_by_update_program())
+
+    def test_missing_temporal_arg_rejected(self):
+        program = Program()
+        program.add_rule(Rule(Literal("R", (X,)),
+                              (Literal("R", (X,)),)))
+        assert not is_xy_program(program)
+
+    def test_mixed_temporal_variables_rejected(self):
+        program = Program()
+        program.add_rule(Rule(
+            Literal("R", (X, TemporalTerm("T", 1))),
+            (Literal("R", (X, TemporalTerm("U", 0))),)))
+        assert not is_xy_program(program)
+
+    def test_skipping_stages_rejected(self):
+        program = Program()
+        program.add_rule(Rule(
+            Literal("R", (X, TemporalTerm("T", 2))),
+            (Literal("R", (X, T0)),)))
+        assert not is_xy_program(program)
+
+    def test_non_recursive_program_trivially_xy(self):
+        program = Program()
+        program.add_rule(Rule(Literal("p", (X,)), (Literal("q", (X,)),)))
+        assert is_xy_program(program)
+
+
+class TestBiStateTransform:
+    def test_prefixes_and_stripping(self):
+        transformed = bi_state_transform(mv_join_program())
+        rule = transformed.rules[0]
+        assert rule.head.predicate == "new_R"
+        body_preds = [b.predicate for b in rule.body]
+        assert "old_R" in body_preds
+        assert "S" in body_preds  # base predicates untouched
+        # temporal arguments removed from recursive predicates
+        assert len(rule.head.args) == 2
+
+    def test_same_stage_becomes_new(self):
+        program = Program()
+        program.add_rule(Rule(Literal("A", (X, T1)),
+                              (Literal("B", (X, T1)),)))
+        program.add_rule(Rule(Literal("B", (X, T1)),
+                              (Literal("A", (X, T0)),)))
+        transformed = bi_state_transform(program)
+        first = transformed.rules[0]
+        assert first.body[0].predicate == "new_B"
+
+    def test_recursive_predicate_detection(self):
+        program = union_by_update_program()
+        assert recursive_predicates(program) == {"R"}
+
+
+class TestXyStratification:
+    def test_paper_programs_all_xy_stratified(self):
+        for factory in (mv_join_program, nonlinear_mm_program,
+                        anti_join_program, union_by_update_program):
+            assert is_xy_stratified(factory()), factory.__name__
+
+    def test_bi_state_of_ubu_is_stratified(self):
+        transformed = bi_state_transform(union_by_update_program())
+        assert program_is_stratified(transformed)
+
+    def test_same_stage_negation_cycle_rejected(self):
+        # R(X, s(T)) :- B(X), ¬R(X, s(T)) — negation within the same
+        # stage puts ¬new_R on new_R's own cycle: not XY-stratified.
+        program = Program()
+        program.add_rule(Rule(Literal("R", (X, T1)),
+                              (Literal("B", (X,)),
+                               Literal("R", (X, T1), negated=True))))
+        assert is_xy_program(program)
+        assert not is_xy_stratified(program)
+
+    def test_plain_stratified_program_passes(self):
+        program = Program()
+        program.add_rule(Rule(Literal("p", (X,)), (Literal("q", (X,)),)))
+        assert is_xy_stratified(program)

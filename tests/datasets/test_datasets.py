@@ -1,0 +1,143 @@
+"""Generators, the Table 3 catalog, and edge-list I/O."""
+
+import math
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    DIRECTED_KEYS,
+    UNDIRECTED_KEYS,
+    erdos_renyi,
+    grid_graph,
+    load,
+    preferential_attachment,
+    random_dag,
+    read_edge_list,
+    table3_row,
+    write_edge_list,
+)
+
+
+class TestGenerators:
+    def test_preferential_attachment_determinism(self):
+        a = preferential_attachment(60, 5.0, seed=9)
+        b = preferential_attachment(60, 5.0, seed=9)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_average_degree_tracks_target(self):
+        g = preferential_attachment(400, 8.0, directed=True, seed=1)
+        measured = 2.0 * g.num_edges / g.num_nodes
+        assert 0.6 * 8.0 <= measured <= 1.4 * 8.0
+
+    def test_skewed_degree_distribution(self):
+        g = preferential_attachment(400, 6.0, directed=True, seed=2)
+        degrees = sorted((g.in_degree(v) for v in g.nodes()), reverse=True)
+        average = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * average  # hubs exist
+
+    def test_no_self_loops(self):
+        g = preferential_attachment(100, 5.0, seed=3)
+        assert all(u != v for u, v in g.edges())
+
+    def test_erdos_renyi_size(self):
+        g = erdos_renyi(200, 6.0, directed=True, seed=4)
+        assert abs(g.num_edges - 1200) <= 120
+
+    def test_random_dag_is_acyclic(self):
+        g = random_dag(80, 3.0, seed=5)
+        assert all(u < v for u, v in g.edges())
+
+    def test_grid_graph_shape(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 2 * (3 * 3 + 2 * 4)  # undirected, both dirs
+
+    def test_tiny_n(self):
+        assert preferential_attachment(0, 3.0).num_nodes == 0
+        assert preferential_attachment(1, 3.0).num_nodes == 1
+
+
+class TestCatalog:
+    def test_nine_datasets(self):
+        assert len(DATASETS) == 9
+        assert set(UNDIRECTED_KEYS) | set(DIRECTED_KEYS) == set(DATASETS)
+
+    def test_directedness_matches_paper(self):
+        for key in UNDIRECTED_KEYS:
+            assert not DATASETS[key].directed
+        for key in DIRECTED_KEYS:
+            assert DATASETS[key].directed
+
+    def test_load_memoises(self):
+        assert load("YT", 0.1) is load("YT", 0.1)
+
+    def test_scale_changes_size(self):
+        small = load("WG", 0.1)
+        large = load("WG", 0.3)
+        assert large.num_nodes > small.num_nodes
+
+    def test_density_ordering_preserved(self):
+        """OK and GP are the densest graphs, WT the sparsest — the axis
+        the paper's experiments read off Table 3."""
+        rows = {key: table3_row(key, 0.3) for key in DATASETS}
+        degrees = {key: row["avg_degree"] for key, row in rows.items()}
+        assert degrees["OK"] == max(degrees[k] for k in UNDIRECTED_KEYS)
+        assert degrees["GP"] == max(degrees[k] for k in DIRECTED_KEYS)
+        assert degrees["WT"] == min(degrees.values())
+
+    def test_avg_degree_within_band(self):
+        for key, spec in DATASETS.items():
+            row = table3_row(key, 0.5)
+            target = min(spec.average_degree,
+                         spec.paper_average_degree)
+            assert row["avg_degree"] == pytest.approx(target, rel=0.45), key
+
+    def test_row_fields(self):
+        row = table3_row("PC", 0.2)
+        assert row["paper_nodes"] == 3_774_768
+        assert row["directed"] is True
+        assert row["diameter"] >= 1
+
+    def test_generated_graphs_have_weights_and_labels(self):
+        g = load("WV", 0.2)
+        weights = [g.node_weight(v) for v in g.nodes()]
+        assert all(0.0 <= w <= 20.0 for w in weights)
+        assert len({g.label(v) for v in g.nodes()}) > 1
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path, small_directed):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_directed, path)
+        loaded = read_edge_list(path, directed=True)
+        assert set(loaded.edges()) == set(small_directed.edges())
+
+    def test_undirected_round_trip_halves_file(self, tmp_path,
+                                               small_undirected):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_undirected, path)
+        body = [line for line in path.read_text().splitlines()
+                if not line.startswith("#")]
+        assert len(body) == small_undirected.num_edges // 2
+        loaded = read_edge_list(path, directed=False)
+        assert set(loaded.edges()) == set(small_undirected.edges())
+
+    def test_comments_and_weights(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# SNAP header\n% other comment\n\n1\t2\n2 3 0.5\n")
+        g = read_edge_list(path)
+        assert g.has_edge(1, 2)
+        assert g.out_neighbors(2)[3] == 0.5
+
+    def test_weights_preserved(self, tmp_path):
+        g = preferential_attachment(20, 3.0, seed=6)
+        for u, v in list(g.edges())[:3]:
+            g._out[u][v] = 2.5
+            g._in[v][u] = 2.5
+        path = tmp_path / "w.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert math.isclose(
+            sum(w for _, _, w in loaded.weighted_edges()),
+            sum(w for _, _, w in g.weighted_edges()))

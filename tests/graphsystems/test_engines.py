@@ -1,0 +1,104 @@
+"""The three baseline engines (GAS / Pregel / SociaLite) against the
+algorithm references — all four execution models must agree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import bellman_ford, pagerank, wcc
+from repro.datasets import preferential_attachment
+from repro.graphsystems import gas, pregel, socialite
+from repro.graphsystems.graph import Graph
+
+from ..conftest import assert_same_values
+
+
+class TestGAS:
+    def test_pagerank(self, small_directed):
+        got = gas.pagerank(small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_sssp(self, small_directed):
+        got = gas.sssp(small_directed, 0).values
+        expected = bellman_ford.run_reference(small_directed, 0).values
+        assert_same_values(got, expected)
+
+    def test_sssp_converges_via_active_set(self, small_directed):
+        result = gas.sssp(small_directed, 0)
+        assert result.supersteps < small_directed.num_nodes
+
+    def test_wcc(self, small_directed):
+        got = gas.wcc(small_directed).values
+        expected = wcc.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+
+class TestPregel:
+    def test_pagerank(self, small_directed):
+        got = pregel.pagerank(small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_sssp(self, small_directed):
+        got = pregel.sssp(small_directed, 0).values
+        expected = bellman_ford.run_reference(small_directed, 0).values
+        assert_same_values(got, expected)
+
+    def test_wcc(self, small_directed):
+        got = pregel.wcc(small_directed).values
+        expected = wcc.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+    def test_messages_counted(self, small_directed):
+        result = pregel.pagerank(small_directed, iterations=3)
+        assert result.messages_sent > 0
+
+    def test_vote_to_halt_terminates(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+
+        def compute(ctx, messages):
+            ctx.vote_to_halt()
+            return ctx.value
+
+        result = pregel.PregelEngine().run(g, compute,
+                                           {v: 0 for v in g.nodes()})
+        assert result.supersteps == 1
+
+
+class TestSocialite:
+    def test_pagerank(self, small_directed):
+        got = socialite.pagerank(small_directed).values
+        expected = pagerank.run_reference(small_directed).values
+        assert_same_values(got, expected, tol=1e-9)
+
+    def test_sssp(self, small_directed):
+        got = socialite.sssp(small_directed, 0).values
+        expected = bellman_ford.run_reference(small_directed, 0).values
+        assert_same_values(got, expected)
+
+    def test_wcc(self, small_directed):
+        got = socialite.wcc(small_directed).values
+        expected = wcc.run_reference(small_directed).values
+        assert_same_values(got, expected)
+
+
+graph_strategy = st.builds(
+    lambda n, seed: preferential_attachment(max(n, 4), 3.0, directed=True,
+                                            seed=seed),
+    st.integers(5, 25), st.integers(0, 50))
+
+
+@given(graph_strategy)
+@settings(max_examples=15, deadline=None)
+def test_all_engines_agree_on_sssp(graph):
+    expected = bellman_ford.run_reference(graph, 0).values
+    for runner in (gas.sssp, pregel.sssp, socialite.sssp):
+        assert_same_values(runner(graph, 0).values, expected)
+
+
+@given(graph_strategy)
+@settings(max_examples=15, deadline=None)
+def test_all_engines_agree_on_wcc(graph):
+    expected = wcc.run_reference(graph).values
+    for runner in (gas.wcc, pregel.wcc, socialite.wcc):
+        assert_same_values(runner(graph).values, expected)

@@ -1,0 +1,76 @@
+"""The shared graph container."""
+
+from repro.graphsystems.graph import Graph
+
+
+class TestConstruction:
+    def test_directed_edges(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, 0.5)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.out_neighbors(1) == {2: 0.5}
+        assert g.in_neighbors(2) == {1: 0.5}
+
+    def test_undirected_stores_both_directions(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.num_edges == 2  # stored directed edges
+
+    def test_from_edges_with_weights(self):
+        g = Graph.from_edges([(1, 2), (2, 3, 0.25)])
+        assert g.out_neighbors(2)[3] == 0.25
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node(7, weight=3.0, label=2)
+        assert 7 in set(g.nodes())
+        assert g.node_weight(7) == 3.0
+        assert g.label(7) == 2
+
+
+class TestMetrics:
+    def test_degrees(self):
+        g = Graph.from_edges([(1, 2), (1, 3), (3, 1)])
+        assert g.out_degree(1) == 2
+        assert g.in_degree(1) == 1
+        assert g.degree(1) == 2  # distinct neighbours {2, 3}
+
+    def test_average_degree(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert g.average_degree == 2 / 3
+
+    def test_bfs_eccentricity(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert g.bfs_eccentricity(1) == 3
+        assert g.bfs_eccentricity(4) == 0
+
+    def test_estimated_diameter_path(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(6)], directed=False)
+        assert g.estimated_diameter(probes=7) == 6
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.estimated_diameter() == 0
+        assert g.average_degree == 0.0
+
+
+class TestRandomisation:
+    def test_node_weights_deterministic(self):
+        a = Graph.from_edges([(1, 2), (2, 3)])
+        b = Graph.from_edges([(1, 2), (2, 3)])
+        a.randomize_node_weights(seed=5)
+        b.randomize_node_weights(seed=5)
+        assert all(a.node_weight(v) == b.node_weight(v) for v in a.nodes())
+
+    def test_weights_in_range(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        g.randomize_node_weights(0.0, 20.0)
+        assert all(0.0 <= g.node_weight(v) <= 20.0 for v in g.nodes())
+
+    def test_labels_within_count(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        g.randomize_labels(4)
+        assert all(0 <= g.label(v) < 4 for v in g.nodes())

@@ -1,0 +1,84 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_lists_algorithms_and_datasets(self, capsys):
+        code, out = run_cli(capsys, "list", "--scale", "0.15")
+        assert code == 0
+        assert "PageRank" in out
+        assert "U.S. Patent Citation" in out
+        assert "Table 2" in out and "Table 3" in out
+
+
+class TestRun:
+    def test_run_pagerank(self, capsys):
+        code, out = run_cli(capsys, "run", "pr", "--dataset", "WV",
+                            "--scale", "0.15", "--limit", "3")
+        assert code == 0
+        assert "PageRank on WV" in out
+        assert "15 iterations" in out
+
+    def test_run_toposort_uses_dag_twin(self, capsys):
+        code, out = run_cli(capsys, "run", "TS", "--dataset", "WV",
+                            "--scale", "0.15")
+        assert code == 0
+        assert "TopoSort" in out
+
+    def test_run_without_sql_form_fails_cleanly(self, capsys):
+        code = main(["run", "BSIM", "--dataset", "WV", "--scale", "0.15"])
+        assert code == 2
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            main(["run", "NOPE", "--scale", "0.15"])
+
+
+class TestSqlAndPsm:
+    @pytest.mark.parametrize("key", ["PR", "SSSP", "KS", "KC", "HITS",
+                                     "TS", "FW", "APSP", "RWR", "SR",
+                                     "LP", "MIS", "MNM", "WCC", "TC",
+                                     "BFS", "KT", "MCL", "DIAM"])
+    def test_sql_prints_a_with_statement(self, capsys, key):
+        code, out = run_cli(capsys, "sql", key, "--scale", "0.15")
+        assert code == 0
+        assert out.lower().startswith("with")
+
+    def test_psm_flavoured_by_dialect(self, capsys):
+        code, out = run_cli(capsys, "psm", "PR", "--dialect", "postgres",
+                            "--scale", "0.15")
+        assert code == 0
+        assert "plpgsql" in out
+
+
+class TestQueryAndExplain:
+    def test_adhoc_query(self, capsys):
+        code, out = run_cli(capsys, "query",
+                            "select count(*) as n from V",
+                            "--dataset", "WV", "--scale", "0.15")
+        assert code == 0
+        assert "n" in out
+
+    def test_adhoc_recursive_query(self, capsys):
+        code, out = run_cli(
+            capsys, "query",
+            "with R(x) as ((select 1 as x) union all"
+            " (select R.x + 1 from R where R.x < 3)) select x from R",
+            "--dataset", "WV", "--scale", "0.15")
+        assert code == 0
+
+    def test_explain_shows_plan(self, capsys):
+        code, out = run_cli(capsys, "explain",
+                            "select F, T from E where F = 1",
+                            "--dataset", "WV", "--scale", "0.15")
+        assert code == 0
+        assert "Seq Scan" in out

@@ -1,0 +1,19 @@
+"""Docstring examples must stay runnable."""
+
+import doctest
+
+import pytest
+
+import repro.core.withplus.runner
+import repro.relational.engine
+
+MODULES = [repro.relational.engine, repro.core.withplus.runner]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,19 @@
+"""Every example script must run clean (they double as API smoke tests)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.stem for s in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=240)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"

@@ -1,0 +1,96 @@
+"""Property-based invariants of the SQL algorithms on random graphs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import (
+    hits,
+    kcore,
+    simrank,
+    tc,
+    toposort,
+    wcc,
+)
+from repro.datasets import preferential_attachment, random_dag
+from repro.relational import Engine
+
+graphs = st.builds(
+    lambda n, seed: preferential_attachment(max(n, 5), 3.0, directed=True,
+                                            seed=seed),
+    st.integers(6, 18), st.integers(0, 25))
+
+dags = st.builds(
+    lambda n, seed: random_dag(max(n, 5), 2.0, seed=seed),
+    st.integers(6, 20), st.integers(0, 25))
+
+
+@given(dags)
+@settings(max_examples=10, deadline=None)
+def test_toposort_levels_respect_edges(dag):
+    levels = toposort.run_sql(Engine("oracle"), dag).values
+    assert set(levels) == set(dag.nodes())
+    for u, v in dag.edges():
+        assert levels[u] < levels[v]
+
+
+@given(graphs)
+@settings(max_examples=10, deadline=None)
+def test_wcc_labels_are_component_minima(graph):
+    labels = wcc.run_sql(Engine("oracle"), graph).values
+    # every node's label is some node id ≤ its own
+    for node, label in labels.items():
+        assert label <= node
+        assert label in labels
+    # endpoints of every edge share a label
+    for u, v in graph.edges():
+        assert labels[u] == labels[v]
+
+
+@given(graphs)
+@settings(max_examples=8, deadline=None)
+def test_tc_is_transitive_and_contains_edges(graph):
+    closure = set(tc.run_sql(Engine("oracle"), graph).values)
+    edges = set(graph.edges())
+    assert edges <= closure
+    sample = list(closure)[:50]
+    for (a, b) in sample:
+        for (c, d) in sample:
+            if b == c:
+                assert (a, d) in closure
+
+
+@given(graphs)
+@settings(max_examples=6, deadline=None)
+def test_simrank_symmetric_and_bounded(graph):
+    values = simrank.run_sql(Engine("oracle"), graph, iterations=3).values
+    for (a, b), score in values.items():
+        assert -1e-12 <= score <= 1.0 + 1e-9
+        if (b, a) in values:
+            assert values[(b, a)] == pytest.approx(score)
+    for node in graph.nodes():
+        assert values[(node, node)] == 1.0
+
+
+@given(graphs)
+@settings(max_examples=6, deadline=None)
+def test_hits_normalised(graph):
+    values = hits.run_sql(Engine("oracle"), graph, iterations=6).values
+    hub_norm = sum(h * h for h, _ in values.values())
+    auth_norm = sum(a * a for _, a in values.values())
+    assert hub_norm == pytest.approx(1.0)
+    assert auth_norm == pytest.approx(1.0)
+    assert all(h >= 0 and a >= 0 for h, a in values.values())
+
+
+@given(graphs, st.integers(2, 5))
+@settings(max_examples=8, deadline=None)
+def test_kcore_is_maximal_and_consistent(graph, k):
+    members = set(kcore.run_sql(Engine("oracle"), graph, k=k).values)
+    neighbors = {v: set(graph.out_neighbors(v)) | set(graph.in_neighbors(v))
+                 for v in graph.nodes()}
+    # every member has >= k neighbours inside the core
+    for node in members:
+        assert len(neighbors[node] & members) >= k
+    # maximality: no excluded node could join the core
+    for node in set(graph.nodes()) - members:
+        assert len(neighbors[node] & members) < k

@@ -1,0 +1,189 @@
+"""End-to-end query execution through the compiler (parse → plan → run)."""
+
+import pytest
+
+from repro.relational import BindError, Engine, PlanError
+
+
+@pytest.fixture
+def engine() -> Engine:
+    e = Engine("oracle")
+    e.database.load_edge_table(
+        "E", [(1, 2, 1.0), (2, 3, 1.0), (1, 3, 2.0), (3, 4, 1.0)])
+    e.database.load_node_table("V", [(1, 10.0), (2, 20.0), (3, 30.0),
+                                     (4, 40.0), (5, 50.0)])
+    return e
+
+
+def rows(engine, sql):
+    return engine.execute(sql).rows
+
+
+class TestProjectionsAndFilters:
+    def test_select_star(self, engine):
+        assert len(rows(engine, "select * from E")) == 4
+
+    def test_computed_columns(self, engine):
+        out = rows(engine, "select ID, vw / 10 as tenth from V where ID = 2")
+        assert out == ((2, 2.0),)
+
+    def test_case_expression(self, engine):
+        out = rows(engine,
+                   "select ID, case when ID < 3 then 'low' else 'high' end"
+                   " as bucket from V where ID in (1, 4) order by ID")
+        assert out == ((1, "low"), (4, "high"))
+
+    def test_select_without_from(self, engine):
+        assert rows(engine, "select 1 + 2 as three") == ((3,),)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(BindError):
+            engine.execute("select * from ghost")
+
+    def test_unknown_column(self, engine):
+        from repro.relational import RelationalError
+
+        with pytest.raises(RelationalError):
+            engine.execute("select nope from V")
+
+
+class TestJoins:
+    def test_implicit_join_with_where(self, engine):
+        out = rows(engine, "select E.F, V.vw from E, V where E.T = V.ID"
+                           " order by E.F, V.vw")
+        assert len(out) == 4
+
+    def test_three_way_join(self, engine):
+        out = rows(engine,
+                   "select A.F, C.T from E as A, E as B, E as C"
+                   " where A.T = B.F and B.T = C.F")
+        assert sorted(out) == [(1, 4)]
+
+    def test_explicit_left_join_is_null(self, engine):
+        out = rows(engine,
+                   "select V.ID from V left outer join E on V.ID = E.T"
+                   " where E.T is null order by V.ID")
+        assert out == ((1,), (5,))
+
+    def test_full_outer_join_coalesce(self, engine):
+        out = rows(engine, """
+            select coalesce(A.ID, B.ID) as ID
+            from (select ID from V where ID < 3) as A
+            full outer join (select ID from V where ID > 2) as B
+            on A.ID = B.ID order by ID""")
+        assert out == ((1,), (2,), (3,), (4,), (5,))
+
+    def test_theta_join_nested_loop(self, engine):
+        out = rows(engine,
+                   "select count(*) as c from V as A, V as B"
+                   " where A.ID < B.ID")
+        assert out == ((10,),)
+
+
+class TestSubqueries:
+    def test_in_subquery_semi_join(self, engine):
+        out = rows(engine,
+                   "select ID from V where ID in (select T from E)"
+                   " order by ID")
+        assert out == ((2,), (3,), (4,))
+
+    def test_not_in_subquery(self, engine):
+        out = rows(engine,
+                   "select ID from V where ID not in (select T from E)"
+                   " order by ID")
+        assert out == ((1,), (5,))
+
+    def test_correlated_not_exists(self, engine):
+        out = rows(engine, """
+            select ID from V
+            where not exists (select T from E where E.T = V.ID)
+            order by ID""")
+        assert out == ((1,), (5,))
+
+    def test_correlated_exists_with_inner_filter(self, engine):
+        out = rows(engine, """
+            select ID from V
+            where exists (select 1 from E where E.F = V.ID and E.ew > 1.5)
+            order by ID""")
+        assert out == ((1,),)
+
+    def test_scalar_subquery(self, engine):
+        out = rows(engine,
+                   "select ID from V where vw > (select 25 as hm)"
+                   " order by ID")
+        assert out == ((3,), (4,), (5,))
+
+    def test_in_subquery_must_be_single_column(self, engine):
+        with pytest.raises(PlanError):
+            engine.execute("select 1 from V where ID in (select F, T from E)")
+
+
+class TestAggregation:
+    def test_group_by_with_expression_head(self, engine):
+        out = rows(engine,
+                   "select T, 2 * sum(ew) + 1 as s from E group by T"
+                   " order by T")
+        assert out == ((2, 3.0), (3, 7.0), (4, 3.0))
+
+    def test_having(self, engine):
+        out = rows(engine,
+                   "select F, count(*) as c from E group by F"
+                   " having count(*) > 1")
+        assert out == ((1, 2),)
+
+    def test_multiple_aggregates(self, engine):
+        out = rows(engine,
+                   "select min(vw) as lo, max(vw) as hi, count(*) as c"
+                   " from V")
+        assert out == ((10.0, 50.0, 5),)
+
+    def test_group_key_usable_in_select_expression(self, engine):
+        out = rows(engine,
+                   "select T + 100 as shifted, count(*) as c from E"
+                   " group by T order by shifted")
+        assert out[0] == (102, 1)
+
+    def test_star_with_group_by_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.execute("select * from E group by F")
+
+
+class TestWindowFunctions:
+    def test_partition_sum(self, engine):
+        out = rows(engine, """
+            select distinct T, sum(ew) over (partition by T) as s
+            from E order by T""")
+        assert out == ((2, 1.0), (3, 3.0), (4, 1.0))
+
+    def test_window_keeps_every_row(self, engine):
+        out = rows(engine,
+                   "select F, count(ew) over (partition by F) as c from E")
+        assert len(out) == 4
+
+
+class TestSetOpsAndCtes:
+    def test_union_dedups(self, engine):
+        out = rows(engine,
+                   "(select F from E) union (select T from E)")
+        assert len(out) == 4
+
+    def test_except(self, engine):
+        out = rows(engine, "(select ID from V) except (select T from E)")
+        assert sorted(out) == [(1,), (5,)]
+
+    def test_plain_cte_chain(self, engine):
+        out = rows(engine, """
+            with Big as (select ID from V where vw > 25),
+                 Count as (select count(*) as c from Big)
+            select c from Count""")
+        assert out == ((3,),)
+
+    def test_cte_column_rename(self, engine):
+        out = rows(engine,
+                   "with X(a, b) as (select F, T from E)"
+                   " select a from X where b = 4")
+        assert out == ((3,),)
+
+    def test_order_by_limit(self, engine):
+        out = rows(engine, "select ID from V order by vw desc limit 2")
+        assert out == ((5,), (4,))

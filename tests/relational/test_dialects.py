@@ -1,0 +1,84 @@
+"""Dialect profiles: the Table 1 feature matrix and strategy availability."""
+
+import pytest
+
+from repro.relational.dialects import DIALECTS, get_dialect
+from repro.relational.dialects.base import FEATURE_ROWS
+
+#: Table 1 of the paper, transcribed: feature -> (postgres, db2, oracle).
+PAPER_TABLE_1 = {
+    "linear_recursion": (True, True, True),
+    "nonlinear_recursion": (False, False, False),
+    "mutual_recursion": (False, False, False),
+    "multiple_initial_queries": (True, True, True),
+    "multiple_recursive_queries": (False, True, False),
+    "setop_between_initial": (True, True, True),
+    "setop_across_initial_recursive": (True, False, False),
+    "negation": (False, False, False),
+    "aggregate_functions": (False, False, False),
+    "group_by_having": (False, False, False),
+    "partition_by": (True, True, True),
+    "distinct": (True, False, False),
+    "general_functions": (True, False, True),
+    "analytical_functions": (True, False, True),
+    "subquery_without_recursive_ref": (True, True, True),
+    "subquery_with_recursive_ref": (False, False, False),
+    "infinite_loop_detection": (False, False, True),
+    "cycle_detection": (False, False, True),
+    "cycle_clause": (False, False, True),
+    "search_clause": (False, False, True),
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("feature", sorted(PAPER_TABLE_1))
+    def test_feature_matches_paper(self, feature):
+        expected = PAPER_TABLE_1[feature]
+        for dialect_name, value in zip(("postgres", "db2", "oracle"),
+                                       expected):
+            dialect = get_dialect(dialect_name)
+            assert bool(dialect.with_features.get(feature)) == value, \
+                f"{dialect_name}.{feature}"
+
+    def test_feature_rows_cover_paper_rows(self):
+        declared = {feature for _, feature in FEATURE_ROWS}
+        assert set(PAPER_TABLE_1) <= declared
+
+
+class TestStrategyAvailability:
+    def test_postgres_has_no_merge(self):
+        dialect = get_dialect("postgres")
+        assert not dialect.supports_union_by_update("merge")
+        assert dialect.supports_union_by_update("update_from")
+
+    def test_oracle_db2_have_merge_not_update_from(self):
+        for name in ("oracle", "db2"):
+            dialect = get_dialect(name)
+            assert dialect.supports_union_by_update("merge")
+            assert not dialect.supports_union_by_update("update_from")
+
+    def test_default_is_full_outer_join_everywhere(self):
+        # the strategy the paper settles on after Exp-1
+        for name in DIALECTS:
+            assert get_dialect(name).default_union_by_update == \
+                "full_outer_join"
+
+
+class TestPsmFlavour:
+    def test_procedure_headers_differ(self):
+        headers = {name: get_dialect(name).procedure_header("F_Q")
+                   for name in DIALECTS}
+        assert "plpgsql" in get_dialect("postgres").procedure_footer()
+        assert headers["oracle"].startswith("CREATE OR REPLACE PROCEDURE")
+        assert "LANGUAGE SQL" in headers["db2"]
+
+    def test_oracle_temp_table_ddl(self):
+        ddl = get_dialect("oracle").create_temp_table("T", "a INT")
+        assert "GLOBAL TEMPORARY" in ddl
+
+    def test_oracle_append_hint(self):
+        assert "APPEND" in get_dialect("oracle").insert_hint()
+
+    def test_unknown_dialect(self):
+        with pytest.raises(ValueError):
+            get_dialect("mysql")

@@ -1,0 +1,140 @@
+"""The Engine facade: dispatch, configuration, statistics plumbing."""
+
+import pytest
+
+from repro.graphsystems.graph import Graph
+from repro.relational import Engine, FeatureNotSupportedError
+from repro.relational.database import Database
+from repro.relational.dialects import OracleDialect
+
+
+class TestConstruction:
+    def test_dialect_by_name_or_instance(self):
+        assert Engine("oracle").dialect.name == "oracle"
+        assert Engine(OracleDialect()).dialect.name == "oracle"
+
+    def test_unknown_dialect(self):
+        with pytest.raises(ValueError):
+            Engine("sqlite")
+
+    def test_shared_database(self):
+        database = Database()
+        a = Engine("oracle", database=database)
+        b = Engine("postgres", database=database)
+        a.database.load_node_table("V", [(1, 0.0)])
+        assert b.execute("select count(*) as c from V").rows == ((1,),)
+
+    def test_bad_mode_rejected_at_execution(self):
+        engine = Engine("oracle", mode="with?")
+        engine.database.load_edge_table("E", [(1, 2)])
+        with pytest.raises(ValueError):
+            engine.execute("""
+                with R(F) as ((select F from E) union all
+                  (select R.F from R where R.F < 0)) select * from R""")
+
+
+class TestConfiguration:
+    def test_default_ubu_strategy_is_dialects(self):
+        assert Engine("postgres").union_by_update_strategy == \
+            "full_outer_join"
+
+    def test_ubu_strategy_validated_against_dialect(self):
+        engine = Engine("postgres")
+        with pytest.raises(FeatureNotSupportedError):
+            engine.union_by_update_strategy = "merge"
+        engine.union_by_update_strategy = "update_from"
+        assert engine.union_by_update_strategy == "update_from"
+
+    def test_ubu_strategy_reset(self):
+        engine = Engine("oracle")
+        engine.union_by_update_strategy = "merge"
+        engine.union_by_update_strategy = None
+        assert engine.union_by_update_strategy == "full_outer_join"
+
+    def test_temp_indexes_copied(self):
+        engine = Engine("postgres")
+        spec = {"P": ["ID"]}
+        engine.set_temp_indexes(spec)
+        spec["P"] = ["other"]
+        assert engine.temp_indexes["P"] == ["ID"]
+
+
+class TestDispatch:
+    def test_plain_select_goes_through_query_runner(self):
+        engine = Engine("oracle")
+        engine.database.load_node_table("V", [(1, 5.0)])
+        detail = engine.execute_detailed("select vw from V")
+        assert detail.iterations == 0
+        assert detail.relation.rows == ((5.0,),)
+
+    def test_recursive_with_goes_through_executor(self):
+        engine = Engine("oracle")
+        engine.database.load_edge_table("E", [(1, 2), (2, 3)])
+        detail = engine.execute_detailed("""
+            with R(F, T) as (
+              (select F, T from E)
+              union
+              (select R.F, E.T from R, E where R.T = E.F)
+            ) select count(*) as c from R""")
+        assert detail.iterations >= 1
+        assert detail.relation.rows == ((3,),)
+
+    def test_nonrecursive_with_stays_in_query_runner(self):
+        engine = Engine("oracle")
+        engine.database.load_node_table("V", [(1, 0.0), (2, 0.0)])
+        detail = engine.execute_detailed(
+            "with X as (select ID from V) select count(*) as c from X")
+        assert detail.iterations == 0
+
+    def test_temp_tables_cleaned_up_after_recursion(self):
+        engine = Engine("oracle")
+        engine.database.load_edge_table("E", [(1, 2)])
+        # Note the anti-join: computed-by blocks read the *full* R, so a
+        # union-all recursion must filter out already-derived rows to
+        # converge (exactly the TopoSort pattern).
+        engine.execute("""
+            with R(F) as (
+              (select F from E)
+              union all
+              (select A.F from A
+               computed by A(F) as select R.F + 1 as F from R
+                           where R.F < 3
+                           and R.F + 1 not in (select F from R);)
+            ) select * from R""")
+        assert not engine.database.exists("R")
+        assert not engine.database.exists("A")
+
+
+class TestLoadGraph:
+    def test_load_graph_creates_paper_relations(self):
+        graph = Graph.from_edges([(1, 2, 0.5), (2, 3, 1.5)])
+        graph.set_node_weight(1, 7.0)
+        engine = Engine("oracle")
+        engine.load_graph(graph)
+        edges = engine.execute("select F, T, ew from E order by F")
+        assert edges.rows == ((1, 2, 0.5), (2, 3, 1.5))
+        nodes = engine.execute("select vw from V where ID = 1")
+        assert nodes.rows == ((7.0,),)
+
+
+class TestStatistics:
+    def test_analyze_marks_fresh_and_collects(self):
+        engine = Engine("oracle")
+        table = engine.database.load_node_table(
+            "V", [(1, 1.0), (2, 2.0), (2 + 1, None)])
+        stats = table.statistics
+        assert stats.fresh
+        assert stats.row_count == 3
+        id_stats = stats.columns["id"]
+        assert id_stats.distinct_count == 3
+        vw_stats = stats.columns["vw"]
+        assert vw_stats.null_fraction == pytest.approx(1 / 3)
+        assert vw_stats.min_value == 1.0 and vw_stats.max_value == 2.0
+
+    def test_selectivity_estimate(self):
+        engine = Engine("oracle")
+        table = engine.database.load_node_table(
+            "V", [(i, float(i % 2)) for i in range(10)])
+        assert table.statistics.selectivity_of_equality("vw") == \
+            pytest.approx(0.5)
+        assert table.statistics.selectivity_of_equality("ghost") == 0.1

@@ -1,0 +1,171 @@
+"""Expression evaluation: 3VL, functions, binding."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.errors import ExecutionError, SchemaError
+from repro.relational.expressions import (
+    And,
+    BinaryOp,
+    BoundColumn,
+    CaseWhen,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    bind,
+    col,
+    contains_aggregate,
+    is_aggregate_call,
+    lit,
+)
+from repro.relational.schema import Schema
+
+
+def ev(expr, row=()):
+    return expr.evaluate(row)
+
+
+class TestThreeValuedLogic:
+    def test_arithmetic_with_null_is_null(self):
+        assert ev(BinaryOp("+", lit(1), lit(None))) is None
+        assert ev(BinaryOp("*", lit(None), lit(2))) is None
+
+    def test_comparison_with_null_is_null(self):
+        assert ev(BinaryOp("=", lit(1), lit(None))) is None
+        assert ev(BinaryOp("<", lit(None), lit(None))) is None
+
+    def test_and_kleene(self):
+        assert ev(And((lit(True), lit(None)))) is None
+        assert ev(And((lit(False), lit(None)))) is False
+        assert ev(And((lit(True), lit(True)))) is True
+
+    def test_or_kleene(self):
+        assert ev(Or((lit(False), lit(None)))) is None
+        assert ev(Or((lit(True), lit(None)))) is True
+        assert ev(Or((lit(False), lit(False)))) is False
+
+    def test_not_null_is_null(self):
+        assert ev(Not(lit(None))) is None
+        assert ev(Not(lit(False))) is True
+
+    def test_is_null_never_returns_null(self):
+        assert ev(IsNull(lit(None))) is True
+        assert ev(IsNull(lit(1))) is False
+        assert ev(IsNull(lit(None), negated=True)) is False
+
+    def test_in_list_null_semantics(self):
+        # 1 IN (2, NULL) is NULL; 1 IN (1, NULL) is TRUE
+        assert ev(InList(lit(1), (lit(2), lit(None)))) is None
+        assert ev(InList(lit(1), (lit(1), lit(None)))) is True
+        # 1 NOT IN (2, NULL) is NULL (the NOT IN trap)
+        assert ev(InList(lit(1), (lit(2), lit(None)), negated=True)) is None
+        assert ev(InList(lit(None), (lit(1),))) is None
+
+
+class TestArithmetic:
+    def test_integer_division_stays_integral_when_exact(self):
+        assert ev(BinaryOp("/", lit(6), lit(3))) == 2
+
+    def test_division_gives_float_otherwise(self):
+        assert ev(BinaryOp("/", lit(7), lit(2))) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            ev(BinaryOp("/", lit(1), lit(0)))
+
+    def test_negate(self):
+        assert ev(Negate(lit(5))) == -5
+        assert ev(Negate(lit(None))) is None
+
+    def test_concatenation(self):
+        assert ev(BinaryOp("||", lit("a"), lit("b"))) == "ab"
+
+
+class TestFunctions:
+    def test_sqrt(self):
+        assert ev(FunctionCall("sqrt", (lit(9.0),))) == 3.0
+
+    def test_coalesce(self):
+        assert ev(FunctionCall("coalesce", (lit(None), lit(2), lit(3)))) == 2
+        assert ev(FunctionCall("coalesce", (lit(None), lit(None)))) is None
+
+    def test_least_greatest_skip_nulls(self):
+        assert ev(FunctionCall("least", (lit(None), lit(5), lit(2)))) == 2
+        assert ev(FunctionCall("greatest", (lit(1), lit(None)))) == 1
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            ev(FunctionCall("frobnicate", ()))
+
+    def test_case_when(self):
+        expr = CaseWhen(((BinaryOp("=", lit(1), lit(2)), lit("a")),
+                         (BinaryOp("=", lit(1), lit(1)), lit("b"))),
+                        lit("c"))
+        assert ev(expr) == "b"
+
+    def test_case_default(self):
+        expr = CaseWhen(((lit(False), lit("a")),), lit("dflt"))
+        assert ev(expr) == "dflt"
+
+    def test_case_without_default_yields_null(self):
+        assert ev(CaseWhen(((lit(False), lit("a")),))) is None
+
+
+class TestAggregateDetection:
+    def test_is_aggregate_call(self):
+        assert is_aggregate_call(FunctionCall("sum", (col("x"),)))
+        assert not is_aggregate_call(FunctionCall("sqrt", (col("x"),)))
+
+    def test_contains_aggregate_nested(self):
+        expr = BinaryOp("+", FunctionCall("max", (col("x"),)), lit(1))
+        assert contains_aggregate(expr)
+        assert not contains_aggregate(BinaryOp("+", col("x"), lit(1)))
+
+
+class TestBinding:
+    def test_bind_resolves_positions(self):
+        schema = Schema.of("a", "b")
+        bound = bind(BinaryOp("+", col("a"), col("b")), schema)
+        assert bound.evaluate((10, 20)) == 30
+
+    def test_bind_qualified(self):
+        schema = Schema.of("x").rename_relation("R")
+        bound = bind(col("R.x"), schema)
+        assert isinstance(bound, BoundColumn)
+        assert bound.evaluate((7,)) == 7
+
+    def test_bind_missing_column(self):
+        with pytest.raises(SchemaError):
+            bind(col("nope"), Schema.of("a"))
+
+    def test_unbound_column_cannot_evaluate(self):
+        with pytest.raises(ExecutionError):
+            ev(ColumnRef("x"), (1,))
+
+
+class TestPropertyBased:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparison_trichotomy(self, a, b):
+        lt = ev(BinaryOp("<", lit(a), lit(b)))
+        eq = ev(BinaryOp("=", lit(a), lit(b)))
+        gt = ev(BinaryOp(">", lit(a), lit(b)))
+        assert [lt, eq, gt].count(True) == 1
+
+    @given(st.lists(st.one_of(st.booleans(), st.none()), max_size=6))
+    def test_de_morgan_under_3vl(self, values):
+        operands = tuple(lit(v) for v in values) or (lit(True),)
+        left = ev(Not(And(operands)))
+        right = ev(Or(tuple(Not(o) for o in operands)))
+        assert left == right
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_sqrt_squares_back(self, x):
+        root = ev(FunctionCall("sqrt", (lit(x),)))
+        assert math.isclose(root * root, x, rel_tol=1e-9, abs_tol=1e-9)

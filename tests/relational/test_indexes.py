@@ -1,0 +1,98 @@
+"""Hash and sorted indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.indexes import HashIndex, SortedIndex, make_index
+
+
+ROWS = [(3, "c"), (1, "a"), (2, "b"), (1, "a2"), (None, "n")]
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        ix = HashIndex("ix", [0])
+        ix.bulk_load(ROWS)
+        assert {r[1] for r in ix.lookup((1,))} == {"a", "a2"}
+        assert ix.lookup((99,)) == []
+
+    def test_incremental_insert(self):
+        ix = HashIndex("ix", [0])
+        ix.insert((5, "e"))
+        assert ix.lookup((5,)) == [(5, "e")]
+
+    def test_clear(self):
+        ix = HashIndex("ix", [0])
+        ix.bulk_load(ROWS)
+        ix.clear()
+        assert ix.lookup((1,)) == []
+
+
+class TestSortedIndex:
+    def test_ordered_rows(self):
+        ix = SortedIndex("ix", [0])
+        ix.bulk_load(ROWS)
+        keys = [r[0] for r in ix.ordered_rows()]
+        assert keys == sorted(keys)
+
+    def test_null_keys_segregated(self):
+        ix = SortedIndex("ix", [0])
+        ix.bulk_load(ROWS)
+        assert (None, "n") not in ix.ordered_rows()
+        assert len(ix) == len(ROWS)
+
+    def test_lookup(self):
+        ix = SortedIndex("ix", [0])
+        ix.bulk_load(ROWS)
+        assert {r[1] for r in ix.lookup((1,))} == {"a", "a2"}
+
+    def test_range_scan(self):
+        ix = SortedIndex("ix", [0])
+        ix.bulk_load([(i, i) for i in range(10)])
+        assert [r[0] for r in ix.range_scan((3,), (6,))] == [3, 4, 5, 6]
+
+    def test_range_scan_open_ended(self):
+        ix = SortedIndex("ix", [0])
+        ix.bulk_load([(i, i) for i in range(5)])
+        assert [r[0] for r in ix.range_scan(low=(3,))] == [3, 4]
+        assert [r[0] for r in ix.range_scan(high=(1,))] == [0, 1]
+
+    def test_incremental_insert_preserves_order(self):
+        ix = SortedIndex("ix", [0])
+        for key in (5, 1, 3, 2, 4):
+            ix.insert((key, None))
+        assert ix.ordered_keys() == [(1,), (2,), (3,), (4,), (5,)]
+
+    def test_ordered_keys_match_rows(self):
+        ix = SortedIndex("ix", [1])  # index on second column
+        ix.bulk_load([("x", 2), ("y", 1)])
+        assert ix.ordered_keys() == [(1,), (2,)]
+        assert ix.ordered_rows() == [("y", 1), ("x", 2)]
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_index("hash", "a", [0]), HashIndex)
+        assert isinstance(make_index("btree", "a", [0]), SortedIndex)
+        assert isinstance(make_index("sorted", "a", [0]), SortedIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("bitmap", "a", [0])
+
+
+@given(st.lists(st.integers(-50, 50), max_size=60))
+def test_sorted_index_agrees_with_sort(keys):
+    ix = SortedIndex("ix", [0])
+    ix.bulk_load([(k, i) for i, k in enumerate(keys)])
+    assert [k for (k,) in ix.ordered_keys()] == sorted(keys)
+
+
+@given(st.lists(st.integers(0, 10), max_size=40), st.integers(0, 10))
+def test_hash_and_sorted_lookup_agree(keys, probe):
+    rows = [(k, i) for i, k in enumerate(keys)]
+    hash_ix = HashIndex("h", [0])
+    sorted_ix = SortedIndex("s", [0])
+    hash_ix.bulk_load(rows)
+    sorted_ix.bulk_load(rows)
+    assert sorted(hash_ix.lookup((probe,))) == sorted(sorted_ix.lookup((probe,)))

@@ -1,0 +1,69 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.relational.errors import ParseError
+from repro.relational.sql.lexer import tokenize
+from repro.relational.sql.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT Foo FROM bar")
+        assert tokens[0].text == "select"
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].text == "Foo"  # identifiers keep case
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e-06 3E2")
+        assert [t.value for t in tokens[:-1]] == [1, 2.5, 1e-06, 300.0]
+
+    def test_malformed_number(self):
+        with pytest.raises(ParseError):
+            tokenize("1.2.3")
+
+    def test_string_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"From"')[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.text == "From"
+
+    def test_operators(self):
+        assert texts("a <> b != c <= d || e") == \
+            ["a", "<>", "b", "<>", "c", "<=", "d", "||", "e"]
+
+    def test_comments_skipped(self):
+        assert texts("select -- comment\n 1 /* block\n comment */ + 2") == \
+            ["select", "1", "+", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never ends")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("select\n  x")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @")

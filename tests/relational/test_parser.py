@@ -1,0 +1,266 @@
+"""Parser: the SQL subset and the with+ extensions."""
+
+import pytest
+
+from repro.relational.errors import ParseError
+from repro.relational.expressions import (
+    And,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+)
+from repro.relational.sql.ast import (
+    ExistsSubquery,
+    InSubquery,
+    JoinKind,
+    JoinSource,
+    SelectStatement,
+    SetOpKind,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+    UnionKind,
+    WindowCall,
+    WithStatement,
+)
+from repro.relational.sql.parser import parse_expression, parse_statement
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("select 1 as one")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.items[0].alias == "one"
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("select *, E.* from E")
+        assert stmt.items[0].star and stmt.items[0].star_qualifier is None
+        assert stmt.items[1].star_qualifier == "E"
+
+    def test_alias_without_as(self):
+        stmt = parse_statement("select F src from E")
+        assert stmt.items[0].alias == "src"
+
+    def test_from_aliases(self):
+        stmt = parse_statement("select 1 from E as A, E B")
+        assert stmt.sources[0].alias == "A"
+        assert stmt.sources[1].alias == "B"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_statement(
+            "select F, count(*) c from E where T > 1 group by F"
+            " having count(*) > 2 order by F desc limit 5")
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("select distinct F from E").distinct
+
+    def test_derived_table(self):
+        stmt = parse_statement(
+            "select X.a from (select F as a from E) as X")
+        assert isinstance(stmt.sources[0], SubquerySource)
+        assert stmt.sources[0].alias == "X"
+
+    def test_explicit_joins(self):
+        stmt = parse_statement(
+            "select 1 from A left outer join B on A.x = B.y"
+            " full outer join C on B.y = C.z")
+        outer = stmt.sources[0]
+        assert isinstance(outer, JoinSource)
+        assert outer.kind is JoinKind.FULL
+        assert outer.left.kind is JoinKind.LEFT
+
+    def test_cross_join(self):
+        stmt = parse_statement("select 1 from A cross join B")
+        assert stmt.sources[0].kind is JoinKind.CROSS
+        assert stmt.sources[0].condition is None
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        from repro.relational.expressions import Or
+
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[1], And)
+
+    def test_not_in_list(self):
+        expr = parse_expression("x not in (1, 2, 3)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("x in (select F from E)")
+        assert isinstance(expr, InSubquery) and not expr.negated
+
+    def test_not_in_subquery_shorthand(self):
+        # The paper's Fig 5 writes "ID not in select E.T from E"
+        stmt = parse_statement(
+            "select ID from V where ID not in select T from E")
+        assert isinstance(stmt.where, InSubquery)
+        assert stmt.where.negated
+
+    def test_exists(self):
+        expr = parse_expression("not exists (select 1 from E)")
+        assert isinstance(expr, ExistsSubquery) and expr.negated
+
+    def test_between(self):
+        expr = parse_expression("x between 1 and 5")
+        assert isinstance(expr, And)
+
+    def test_not_between(self):
+        assert isinstance(parse_expression("x not between 1 and 5"), Not)
+
+    def test_is_null(self):
+        expr = parse_expression("x is not null")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_case(self):
+        expr = parse_expression(
+            "case when x = 1 then 'one' else 'other' end")
+        assert isinstance(expr, CaseWhen)
+        assert expr.default == Literal("other")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("case else 1 end")
+
+    def test_window_call(self):
+        expr = parse_expression("sum(w * ew) over (partition by T)")
+        assert isinstance(expr, WindowCall)
+        assert expr.function == "sum"
+        assert expr.partition_by == (ColumnRef("T"),)
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert isinstance(expr, FunctionCall) and expr.args == ()
+
+    def test_unary_minus(self):
+        from repro.relational.expressions import Negate
+
+        assert isinstance(parse_expression("-x"), Negate)
+
+
+class TestSetOperations:
+    def test_union_all_chain(self):
+        stmt = parse_statement("select 1 union all select 2 union select 3")
+        assert isinstance(stmt, SetOperation)
+        assert stmt.kind is SetOpKind.UNION
+        assert stmt.left.kind is SetOpKind.UNION_ALL
+
+    def test_except_intersect(self):
+        stmt = parse_statement("select 1 except select 2")
+        assert stmt.kind is SetOpKind.EXCEPT
+        stmt = parse_statement("select 1 intersect select 2")
+        assert stmt.kind is SetOpKind.INTERSECT
+
+
+class TestWith:
+    def test_plain_cte(self):
+        stmt = parse_statement(
+            "with X as (select F, T from E) select count(*) c from X")
+        assert isinstance(stmt, WithStatement)
+        assert stmt.ctes[0].is_plain_definition
+
+    def test_recursive_union_all(self):
+        stmt = parse_statement("""
+            with R(F, T) as (
+              (select F, T from E)
+              union all
+              (select R.F, E.T from R, E where R.T = E.F)
+            ) select * from R""")
+        cte = stmt.ctes[0]
+        assert cte.columns == ("F", "T")
+        assert cte.union_kind is UnionKind.UNION_ALL
+        assert len(cte.branches) == 2
+
+    def test_union_by_update_with_key(self):
+        stmt = parse_statement("""
+            with P(ID, W) as (
+              (select ID, 0.0 from V)
+              union by update ID
+              (select P.ID, P.W from P)
+              maxrecursion 10
+            ) select * from P""")
+        cte = stmt.ctes[0]
+        assert cte.union_kind is UnionKind.UNION_BY_UPDATE
+        assert cte.update_key == ("ID",)
+        assert cte.maxrecursion == 10
+
+    def test_union_by_update_keyless(self):
+        stmt = parse_statement("""
+            with C(ID) as (
+              (select ID from V) union by update (select C.ID from C)
+            ) select * from C""")
+        assert stmt.ctes[0].update_key == ()
+
+    def test_computed_by(self):
+        stmt = parse_statement("""
+            with T(ID, L) as (
+              (select ID, 0 from V)
+              union all
+              (select A.ID, A.L from A
+               computed by
+                 M(L) as select max(L) + 1 from T;
+                 A(ID, L) as select V.ID, M.L from V, M;
+              )
+            ) select * from T""")
+        branch = stmt.ctes[0].branches[1]
+        assert [d.name for d in branch.computed_by] == ["M", "A"]
+        assert branch.computed_by[0].columns == ("L",)
+
+    def test_parenthesised_set_expression_branch(self):
+        stmt = parse_statement("""
+            with D(F, T) as (
+              ((select F, T from E) union (select T as F, F as T from E))
+              union by update F, T
+              (select D.F, D.T from D)
+            ) select * from D""")
+        assert isinstance(stmt.ctes[0].branches[0].statement, SetOperation)
+        assert stmt.ctes[0].update_key == ("F", "T")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("""
+                with R(x) as (
+                  (select 1 as x) union all (select 2)
+                  union by update (select R.x from R)
+                ) select * from R""")
+
+    def test_multiple_ctes(self):
+        stmt = parse_statement(
+            "with A as (select 1 as x), B as (select x from A)"
+            " select * from B")
+        assert [c.name for c in stmt.ctes] == ["A", "B"]
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("select 1 bogus extra tokens !")
+
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse_statement("select 1 from")
+
+    def test_error_carries_position(self):
+        try:
+            parse_statement("select from x")
+        except ParseError as exc:
+            assert exc.line == 1
+            assert exc.column is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,50 @@
+"""Parser robustness: malformed input must raise ParseError, never hang
+or crash with non-engine exceptions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.errors import ParseError, RelationalError
+from repro.relational.sql.parser import parse_statement
+
+
+MALFORMED = [
+    "select",
+    "select from",
+    "with R as select 1",            # missing parens
+    "select 1 union",
+    "select * from (select 1)",      # derived table without alias
+    "select a from b where",
+    "select count( from x",
+    "with R(a as (select 1) select * from R",
+    "select 1 order by",
+    "select x in from y",
+    "search depth first by x set y", # clause without a with
+    "select case when 1 end",
+    "select 1 limit x",
+    "with R as ((select 1) maxrecursion ten) select * from R",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED)
+def test_malformed_raises_parse_error(text):
+    with pytest.raises(ParseError):
+        parse_statement(text)
+
+
+@given(st.text(alphabet="selctfromwhrgupby()*,.;1+=<> ", max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_fuzz_never_crashes_outside_engine_errors(text):
+    try:
+        parse_statement(text)
+    except RelationalError:
+        pass  # ParseError and friends are the contract
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_fuzz_arbitrary_unicode(text):
+    try:
+        parse_statement(text)
+    except RelationalError:
+        pass

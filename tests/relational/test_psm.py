@@ -1,0 +1,100 @@
+"""SQL/PSM translation (Algorithm 1's textual output) and the formatter."""
+
+import pytest
+
+from repro.relational import Engine
+from repro.relational.sql.formatter import format_statement
+from repro.relational.sql.parser import parse_statement
+
+PAGERANK = """
+with P(ID, W) as (
+  (select ID, 0.0 from V)
+  union by update ID
+  (select S.T, 0.85 * sum(P.W * S.ew) + 0.05 from P, S
+   where P.ID = S.F group by S.T)
+  maxrecursion 10
+)
+select ID, W from P
+"""
+
+TOPOSORT = """
+with Topo(ID, L) as (
+  (select ID, 0 from V where ID not in (select T from E))
+  union all
+  (select T_n.ID, T_n.L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     T_n(ID, L) as select V.ID, L_n.L from V, L_n;
+  )
+)
+select ID, L from Topo
+"""
+
+
+class TestPsmStructure:
+    def test_kinds_follow_algorithm_1(self):
+        program = Engine("postgres").to_psm(PAGERANK)
+        kinds = program.kinds()
+        # header, declarations, begin, DDL, initial insert, loop, body...
+        assert kinds[0] == "header"
+        assert "declare" in kinds
+        assert "create_temp" in kinds
+        assert "insert_initial" in kinds
+        assert kinds.index("loop_open") < kinds.index("exit_check")
+        assert kinds.index("exit_check") < kinds.index("loop_close")
+        assert kinds[-1] == "footer"
+
+    def test_union_by_update_step_present(self):
+        program = Engine("oracle").to_psm(PAGERANK)
+        assert "union_by_update" in program.kinds()
+
+    def test_union_all_step_present(self):
+        program = Engine("oracle").to_psm(TOPOSORT)
+        assert "union_all" in program.kinds()
+
+    def test_computed_by_tables_created_and_truncated(self):
+        text = Engine("db2").to_psm(TOPOSORT).render()
+        assert "TRUNCATE TABLE L_n" in text
+        assert "INSERT INTO T_n" in text
+
+    def test_dialect_flavours(self):
+        pg = Engine("postgres").to_psm(PAGERANK).render()
+        ora = Engine("oracle").to_psm(PAGERANK).render()
+        db2 = Engine("db2").to_psm(PAGERANK).render()
+        assert "plpgsql" in pg
+        assert "GLOBAL TEMPORARY" in ora and "/*+APPEND*/" in ora
+        assert "DECLARE GLOBAL TEMPORARY" in db2
+
+    def test_requires_with_statement(self):
+        with pytest.raises(ValueError):
+            Engine("oracle").to_psm("select 1 as x")
+
+
+class TestFormatterRoundTrip:
+    @pytest.mark.parametrize("sql", [
+        "SELECT F, T FROM E WHERE (ew > 1.0)",
+        "SELECT DISTINCT T FROM E ORDER BY T DESC LIMIT 3",
+        "SELECT F, count(*) AS c FROM E GROUP BY F HAVING (count(*) > 1)",
+        "SELECT 1 AS x UNION ALL SELECT 2 AS x",
+        "SELECT V.ID FROM V LEFT OUTER JOIN E ON (V.ID = E.T)",
+    ])
+    def test_format_parse_format_is_stable(self, sql):
+        once = format_statement(parse_statement(sql))
+        twice = format_statement(parse_statement(once))
+        assert once == twice
+
+    def test_withplus_constructs_rendered(self):
+        text = format_statement(parse_statement(PAGERANK))
+        assert "UNION BY UPDATE ID" in text
+        assert "MAXRECURSION 10" in text
+
+    def test_computed_by_rendered(self):
+        text = format_statement(parse_statement(TOPOSORT))
+        assert "COMPUTED BY" in text
+        assert "L_n(L) AS" in text
+
+    def test_reparse_of_rendered_withplus(self):
+        rendered = format_statement(parse_statement(PAGERANK))
+        reparsed = parse_statement(rendered)
+        assert reparsed.ctes[0].maxrecursion == 10
+        assert reparsed.ctes[0].update_key == ("ID",)

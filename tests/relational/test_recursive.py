@@ -1,0 +1,312 @@
+"""Recursive execution semantics: union kinds, semi-naive vs with+,
+computed-by, maxrecursion, and the SQL'99 restriction checking."""
+
+import pytest
+
+from repro.relational import (
+    Engine,
+    FeatureNotSupportedError,
+    RecursionLimitError,
+    StratificationError,
+)
+from repro.relational.recursive import (
+    cte_is_recursive,
+    split_branches,
+    statement_references,
+    validate_withplus,
+)
+from repro.relational.sql.parser import parse_statement
+
+
+@pytest.fixture
+def engine() -> Engine:
+    e = Engine("postgres")
+    e.database.load_edge_table("E", [(1, 2), (2, 3), (3, 4), (2, 4)],
+                               weighted=False)
+    e.database.load_node_table("V", [(i, 0.0) for i in range(1, 5)])
+    return e
+
+
+class TestReferenceDetection:
+    def test_counts_from_clause(self):
+        stmt = parse_statement("select * from R, R as R2, E")
+        assert statement_references(stmt, "R") == 2
+
+    def test_counts_subqueries(self):
+        stmt = parse_statement(
+            "select * from E where F in (select F from R)")
+        assert statement_references(stmt, "r") == 1
+
+    def test_recursive_cte_detection(self):
+        stmt = parse_statement(
+            "with R(x) as ((select 1 as x) union all (select x + 1 from R"
+            " where x < 3)) select * from R")
+        assert cte_is_recursive(stmt.ctes[0])
+        initial, recursive = split_branches(stmt.ctes[0])
+        assert len(initial) == 1 and len(recursive) == 1
+
+    def test_computed_by_reference_counts(self):
+        stmt = parse_statement("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select A.x from A computed by A as select x from R;)
+            ) select * from R""")
+        assert cte_is_recursive(stmt.ctes[0])
+
+
+class TestUnionSemantics:
+    def test_union_all_accumulates_until_empty_delta(self, engine):
+        result = engine.execute_detailed("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select R.x + 1 from R where R.x < 4)
+            ) select x from R order by x""")
+        assert [r[0] for r in result.relation.rows] == [1, 2, 3, 4]
+
+    def test_union_deduplicates_and_converges_on_cycles(self):
+        engine = Engine("postgres")
+        engine.database.load_edge_table("E", [(1, 2), (2, 1)],
+                                        weighted=False)
+        result = engine.execute("""
+            with TC(F, T) as (
+              (select F, T from E)
+              union
+              (select TC.F, E.T from TC, E where TC.T = E.F)
+            ) select F, T from TC""")
+        assert set(result.rows) == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_union_by_update_reaches_fixpoint(self, engine):
+        result = engine.execute_detailed("""
+            with P(ID, W) as (
+              (select ID, 16.0 from V)
+              union by update ID
+              (select P.ID, P.W / 2 from P where P.W > 1)
+            ) select ID, W from P""")
+        assert all(w == 1.0 for _, w in result.relation.rows)
+
+    def test_union_by_update_keyless_replaces(self, engine):
+        result = engine.execute("""
+            with C(ID) as (
+              (select ID from V)
+              union by update
+              (select C.ID from C where C.ID > 2)
+            ) select ID from C order by ID""")
+        assert [r[0] for r in result.rows] == [3, 4]
+
+    def test_union_by_update_keeps_unmatched_rows(self, engine):
+        result = engine.execute("""
+            with P(ID, W) as (
+              (select ID, 0.0 from V)
+              union by update ID
+              (select P.ID, 9.0 as W from P where P.ID = 1
+               and P.W < 9.0)
+            ) select ID, W from P order by ID""")
+        assert result.to_dict() == {1: 9.0, 2: 0.0, 3: 0.0, 4: 0.0}
+
+
+class TestSemiNaiveVsWithPlus:
+    """mode='with' binds the recursive name to the previous delta (SQL'99
+    semi-naive); mode='with+' binds the full relation (Algorithm 1)."""
+
+    LEVELS_QUERY = """
+        with R(x, lvl) as (
+          (select 1 as x, 0 as lvl)
+          union all
+          (select R.x, R.lvl + 1 from R where R.lvl < 2)
+        ) select x, lvl from R"""
+
+    TC_QUERY = """
+        with TC(F, T) as (
+          (select F, T from E)
+          union
+          (select TC.F, E.T from TC, E where TC.T = E.F)
+        ) select F, T from TC"""
+
+    def test_union_all_is_semi_naive_in_both_modes(self, engine):
+        # UNION ALL branch statements always read the previous step's rows;
+        # a full-relation binding would re-derive old levels forever.
+        for mode in ("with", "with+"):
+            result = engine.execute(self.LEVELS_QUERY, mode=mode)
+            assert sorted(r[1] for r in result.rows) == [0, 1, 2]
+
+    def test_union_full_binding_rederives_in_withplus(self, engine):
+        # Exp-C's distinction: with+ TC joins the whole accumulated
+        # relation each round (delta includes re-derivations, deduplicated
+        # on combine); plain-with TC is semi-naive (delta shrinks to the
+        # frontier).  Same closure either way.
+        plus = engine.execute_detailed(self.TC_QUERY, mode="with+")
+        plain = Engine("postgres", database=engine.database) \
+            .execute_detailed(self.TC_QUERY, mode="with")
+        assert set(plus.relation.rows) == set(plain.relation.rows)
+        assert plus.per_iteration[-1].delta_rows > \
+            plain.per_iteration[-1].delta_rows
+
+
+class TestComputedBy:
+    def test_chain_visibility(self, engine):
+        result = engine.execute("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select B.x from B
+               computed by
+                 A(x) as select max(x) + 1 as x from R;
+                 B(x) as select A.x from A where A.x < 4;
+              )
+            ) select x from R order by x""")
+        assert [r[0] for r in result.rows] == [1, 2, 3]
+
+    def test_forward_reference_rejected(self, engine):
+        stmt = parse_statement("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select B.x from B
+               computed by
+                 B(x) as select A.x from A;
+                 A(x) as select max(x) + 1 as x from R;
+              )
+            ) select x from R""")
+        with pytest.raises(StratificationError):
+            validate_withplus(stmt.ctes[0])
+
+    def test_self_reference_rejected(self):
+        stmt = parse_statement("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select B.x from B, R
+               computed by B(x) as select B.x from B;)
+            ) select x from R""")
+        with pytest.raises(StratificationError):
+            validate_withplus(stmt.ctes[0])
+
+    def test_multiple_ubu_recursive_branches_rejected(self):
+        stmt = parse_statement("""
+            with R(x) as (
+              (select 1 as x)
+              union by update x
+              (select R.x from R)
+              union by update x
+              (select R.x + 1 from R)
+            ) select x from R""")
+        with pytest.raises(StratificationError):
+            validate_withplus(stmt.ctes[0])
+
+
+class TestLoopingControl:
+    def test_maxrecursion_caps_iterations(self, engine):
+        result = engine.execute_detailed("""
+            with R(x) as (
+              (select 0 as x)
+              union all
+              (select R.x + 1 from R)
+              maxrecursion 5
+            ) select count(*) as c from R""")
+        assert result.hit_maxrecursion
+        assert result.iterations == 5
+
+    def test_unbounded_divergence_raises(self, engine):
+        import repro.relational.recursive as recursive_module
+
+        original = recursive_module.DEFAULT_RECURSION_CAP
+        recursive_module.DEFAULT_RECURSION_CAP = 25
+        try:
+            with pytest.raises(RecursionLimitError):
+                engine.execute("""
+                    with R(x) as (
+                      (select 0 as x)
+                      union all
+                      (select R.x + 1 from R)
+                    ) select count(*) as c from R""")
+        finally:
+            recursive_module.DEFAULT_RECURSION_CAP = original
+
+    def test_per_iteration_stats_collected(self, engine):
+        result = engine.execute_detailed("""
+            with R(x) as (
+              (select 1 as x)
+              union all
+              (select R.x + 1 from R where R.x < 3)
+            ) select * from R""")
+        assert len(result.per_iteration) == result.iterations
+        assert result.per_iteration[0].total_rows >= 1
+
+
+class TestSql99Restrictions:
+    def run(self, dialect, sql):
+        engine = Engine(dialect)
+        engine.database.load_edge_table("E", [(1, 2), (2, 3)],
+                                        weighted=False)
+        return engine.execute(sql, mode="with")
+
+    NONLINEAR = """
+        with R(F, T) as (
+          (select F, T from E)
+          union all
+          (select R1.F, R2.T from R as R1, R as R2 where R1.T = R2.F
+           and R2.T < 0)
+        ) select * from R"""
+
+    AGGREGATE = """
+        with R(F, T) as (
+          (select F, T from E)
+          union all
+          (select R.F, max(E.T) from R, E where R.T = E.F and E.T < 0
+           group by R.F)
+        ) select * from R"""
+
+    NEGATION = """
+        with R(F, T) as (
+          (select F, T from E)
+          union all
+          (select R.F, E.T from R, E where R.T = E.F
+           and E.T not in (select F from E) and E.T < 0)
+        ) select * from R"""
+
+    DISTINCT = """
+        with R(F, T) as (
+          (select F, T from E)
+          union all
+          (select distinct R.F, E.T from R, E where R.T = E.F and E.T < 0)
+        ) select * from R"""
+
+    def test_nonlinear_rejected_everywhere(self):
+        for dialect in ("oracle", "db2", "postgres"):
+            with pytest.raises(FeatureNotSupportedError):
+                self.run(dialect, self.NONLINEAR)
+
+    def test_aggregates_rejected_everywhere(self):
+        for dialect in ("oracle", "db2", "postgres"):
+            with pytest.raises(FeatureNotSupportedError):
+                self.run(dialect, self.AGGREGATE)
+
+    def test_negation_rejected_everywhere(self):
+        for dialect in ("oracle", "db2", "postgres"):
+            with pytest.raises(FeatureNotSupportedError):
+                self.run(dialect, self.NEGATION)
+
+    def test_distinct_only_on_postgres(self):
+        assert self.run("postgres", self.DISTINCT) is not None
+        for dialect in ("oracle", "db2"):
+            with pytest.raises(FeatureNotSupportedError):
+                self.run(dialect, self.DISTINCT)
+
+    def test_with_plus_constructs_rejected_in_plain_mode(self):
+        query = """
+            with P(ID) as (
+              (select F as ID from E)
+              union by update ID
+              (select P.ID from P)
+            ) select * from P"""
+        with pytest.raises(FeatureNotSupportedError):
+            self.run("postgres", query)
+
+    def test_everything_allowed_in_withplus_mode(self):
+        engine = Engine("oracle")
+        engine.database.load_edge_table("E", [(1, 2), (2, 3)],
+                                        weighted=False)
+        result = engine.execute(self.NONLINEAR, mode="with+")
+        assert len(result) >= 2

@@ -1,0 +1,221 @@
+"""The Relation container: the six basic operations, joins, group-by, and
+relational-algebra identities (property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.errors import SchemaError
+from repro.relational.expressions import BinaryOp, col, lit
+from repro.relational.relation import AggregateSpec, Relation
+
+
+def rel(cols, rows):
+    return Relation.from_pairs(cols, rows)
+
+
+class TestBasics:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_pairs(("a", "b"), [(1,)])
+
+    def test_bag_equality_ignores_order(self):
+        a = rel(("x",), [(1,), (2,), (2,)])
+        b = rel(("x",), [(2,), (1,), (2,)])
+        assert a == b
+
+    def test_bag_equality_counts_duplicates(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("x",), [(1,), (2,), (2,)])
+        assert a != b
+
+    def test_to_dict(self):
+        assert rel(("k", "v"), [(1, "a"), (2, "b")]).to_dict() == \
+            {1: "a", 2: "b"}
+
+
+class TestSelectProject:
+    def test_select_expression(self, edges_relation):
+        out = edges_relation.select(BinaryOp(">", col("ew"), lit(1.0)))
+        assert out.rows == ((1, 3, 2.0),)
+
+    def test_select_callable(self, edges_relation):
+        out = edges_relation.select(lambda r: r[0] == 1)
+        assert len(out) == 2
+
+    def test_select_null_predicate_drops_row(self):
+        data = rel(("x",), [(1,), (None,)])
+        out = data.select(BinaryOp(">", col("x"), lit(0)))
+        assert out.rows == ((1,),)
+
+    def test_project_names(self, edges_relation):
+        out = edges_relation.project(["T", "F"])
+        assert out.schema.names == ("T", "F")
+        assert (2, 1) in out.rows
+
+    def test_project_computed(self, edges_relation):
+        out = edges_relation.project(
+            [(BinaryOp("*", col("ew"), lit(10)), "tens")])
+        assert out.schema.names == ("tens",)
+        assert (20.0,) in out.rows
+
+
+class TestSetOperations:
+    def test_union_deduplicates(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("x",), [(2,), (3,)])
+        assert sorted(a.union(b).rows) == [(1,), (2,), (3,)]
+
+    def test_union_all_keeps_duplicates(self):
+        a = rel(("x",), [(1,)])
+        b = rel(("x",), [(1,)])
+        assert len(a.union_all(b)) == 2
+
+    def test_difference(self):
+        a = rel(("x",), [(1,), (2,), (2,)])
+        b = rel(("x",), [(2,)])
+        assert a.difference(b).rows == ((1,),)
+
+    def test_intersect(self):
+        a = rel(("x",), [(1,), (2,)])
+        b = rel(("x",), [(2,), (3,)])
+        assert a.intersect(b).rows == ((2,),)
+
+    def test_incompatible_arity(self):
+        with pytest.raises(SchemaError):
+            rel(("x",), [(1,)]).union(rel(("a", "b"), [(1, 2)]))
+
+
+class TestJoins:
+    def test_cross(self):
+        a = rel(("x",), [(1,), (2,)]).rename("A")
+        b = rel(("y",), [(3,)]).rename("B")
+        assert sorted(a.cross(b).rows) == [(1, 3), (2, 3)]
+
+    def test_theta_join_equi_fastpath(self, edges_relation, nodes_relation):
+        e = edges_relation.rename("E")
+        v = nodes_relation.rename("V")
+        joined = e.theta_join(v, BinaryOp("=", col("E.T"), col("V.ID")))
+        assert len(joined) == 4
+        assert joined.schema.arity == 5
+
+    def test_theta_join_general_condition(self):
+        a = rel(("x",), [(1,), (5,)]).rename("A")
+        b = rel(("y",), [(3,)]).rename("B")
+        joined = a.theta_join(b, BinaryOp("<", col("A.x"), col("B.y")))
+        assert joined.rows == ((1, 3),)
+
+    def test_join_skips_null_keys(self):
+        a = rel(("k",), [(1,), (None,)])
+        b = rel(("k2",), [(1,), (None,)])
+        assert len(a.equi_join(b, ["k"], ["k2"])) == 1
+
+    def test_semi_and_anti_partition(self, edges_relation, nodes_relation):
+        has_edge_in = nodes_relation.semi_join(edges_relation, ["ID"], ["T"])
+        no_edge_in = nodes_relation.anti_join(edges_relation, ["ID"], ["T"])
+        assert len(has_edge_in) + len(no_edge_in) == len(nodes_relation)
+        assert {r[0] for r in no_edge_in} == {1}
+
+    def test_left_outer_pads_with_null(self):
+        a = rel(("k",), [(1,), (9,)])
+        b = rel(("k2", "v"), [(1, "x")])
+        out = a.left_outer_join(b, ["k"], ["k2"])
+        assert (9, None, None) in out.rows
+        assert (1, 1, "x") in out.rows
+
+    def test_full_outer_both_sides(self):
+        a = rel(("k", "va"), [(1, "l"), (2, "l")])
+        b = rel(("k2", "vb"), [(2, "r"), (3, "r")])
+        out = a.full_outer_join(b, ["k"], ["k2"])
+        assert len(out) == 3
+        assert (1, "l", None, None) in out.rows
+        assert (None, None, 3, "r") in out.rows
+
+    def test_full_outer_duplicate_right_rows_surface(self):
+        a = rel(("k",), [(1,)])
+        b = rel(("k2",), [(2,), (2,)])
+        out = a.full_outer_join(b, ["k"], ["k2"])
+        assert len(out) == 3  # one padded left + two unmatched right
+
+
+class TestGroupBy:
+    def test_sum_per_group(self, edges_relation):
+        spec = AggregateSpec("sum", col("ew"), "total")
+        out = edges_relation.group_by(["F"], [spec]).sort(["F"])
+        assert out.rows == ((1, 3.0), (2, 1.0), (3, 1.0))
+
+    def test_count_star(self, edges_relation):
+        spec = AggregateSpec("count", None, "c")
+        out = edges_relation.group_by([], [spec])
+        assert out.rows == ((4,),)
+
+    def test_scalar_aggregate_over_empty_input(self):
+        empty = rel(("x",), [])
+        out = empty.group_by([], [AggregateSpec("sum", col("x"), "s"),
+                                  AggregateSpec("count", None, "c")])
+        assert out.rows == ((None, 0),)
+
+    def test_aggregates_ignore_nulls(self):
+        data = rel(("g", "v"), [(1, 10), (1, None), (1, 2)])
+        out = data.group_by(["g"], [AggregateSpec("min", col("v"), "m"),
+                                    AggregateSpec("count", col("v"), "c")])
+        assert out.rows == ((1, 2, 2),)
+
+    def test_avg(self):
+        data = rel(("g", "v"), [(1, 2.0), (1, 4.0)])
+        out = data.group_by(["g"], [AggregateSpec("avg", col("v"), "a")])
+        assert out.rows == ((1, 3.0),)
+
+    def test_bad_aggregate_name(self):
+        with pytest.raises(SchemaError):
+            AggregateSpec("median", col("v"), "m")
+
+
+# -- property-based relational-algebra identities --------------------------------
+
+small_rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12)
+
+
+@given(small_rows, small_rows)
+def test_union_commutes_as_sets(rows_a, rows_b):
+    a = rel(("x", "y"), rows_a)
+    b = rel(("x", "y"), rows_b)
+    assert a.union(b).as_set() == b.union(a).as_set()
+
+
+@given(small_rows, small_rows)
+def test_difference_definition_of_anti_join(rows_a, rows_b):
+    """R ⋉̄ S == R − (R ⋉ S) — the paper's anti-join definition."""
+    r = rel(("x", "y"), rows_a)
+    s = rel(("x", "y"), rows_b)
+    anti = r.anti_join(s, ["x"], ["x"])
+    semi = r.semi_join(s, ["x"], ["x"])
+    assert anti.as_set() == r.difference(semi).as_set()
+
+
+@given(small_rows, small_rows)
+def test_semi_plus_anti_partition(rows_a, rows_b):
+    r = rel(("x", "y"), rows_a)
+    s = rel(("x", "y"), rows_b)
+    semi = r.semi_join(s, ["x"], ["x"])
+    anti = r.anti_join(s, ["x"], ["x"])
+    assert len(semi) + len(anti) == len(r)
+
+
+@given(small_rows, small_rows)
+@settings(max_examples=50)
+def test_join_against_nested_loop_oracle(rows_a, rows_b):
+    """Hash equi-join agrees with the brute-force definition."""
+    a = rel(("x", "y"), rows_a).rename("A")
+    b = rel(("x", "y"), rows_b).rename("B")
+    fast = a.equi_join(b, ["A.x"], ["B.x"])
+    slow = [ra + rb for ra in rows_a for rb in rows_b if ra[0] == rb[0]]
+    assert sorted(fast.rows) == sorted(tuple(r) for r in slow)
+
+
+@given(small_rows)
+def test_distinct_idempotent(rows):
+    r = rel(("x", "y"), rows)
+    once = r.distinct()
+    assert once == once.distinct()
+    assert once.as_set() == r.as_set()

@@ -1,0 +1,92 @@
+"""Schema invariants: uniqueness, lookup, derivation."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import SqlType
+
+
+@pytest.fixture
+def edge_schema() -> Schema:
+    return Schema.of(("F", SqlType.INTEGER), ("T", SqlType.INTEGER),
+                     ("ew", SqlType.DOUBLE), primary_key=("F", "T"))
+
+
+class TestConstruction:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_duplicate_is_case_insensitive(self):
+        with pytest.raises(SchemaError):
+            Schema.of("Col", "col")
+
+    def test_same_name_different_qualifier_allowed(self):
+        schema = Schema((Column("F", SqlType.INTEGER, "A"),
+                         Column("F", SqlType.INTEGER, "B")))
+        assert schema.arity == 2
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", primary_key=("missing",))
+
+
+class TestLookup:
+    def test_index_of_simple(self, edge_schema):
+        assert edge_schema.index_of("T") == 1
+
+    def test_case_insensitive(self, edge_schema):
+        assert edge_schema.index_of("EW") == 2
+
+    def test_missing_raises(self, edge_schema):
+        with pytest.raises(SchemaError):
+            edge_schema.index_of("nope")
+
+    def test_qualified_lookup(self):
+        schema = Schema((Column("F", SqlType.INTEGER, "A"),
+                         Column("F", SqlType.INTEGER, "B")))
+        assert schema.index_of("F", "A") == 0
+        assert schema.index_of("F", "B") == 1
+
+    def test_ambiguous_unqualified_raises(self):
+        schema = Schema((Column("F", SqlType.INTEGER, "A"),
+                         Column("F", SqlType.INTEGER, "B")))
+        with pytest.raises(SchemaError):
+            schema.index_of("F")
+
+    def test_key_indexes(self, edge_schema):
+        assert edge_schema.key_indexes() == (0, 1)
+
+
+class TestDerivation:
+    def test_project_keeps_key_if_fully_retained(self, edge_schema):
+        assert edge_schema.project(["F", "T"]).primary_key == ("F", "T")
+
+    def test_project_drops_partial_key(self, edge_schema):
+        assert edge_schema.project(["F", "ew"]).primary_key == ()
+
+    def test_rename_relation_requalifies(self, edge_schema):
+        renamed = edge_schema.rename_relation("E1")
+        assert all(c.qualifier == "E1" for c in renamed.columns)
+        assert renamed.index_of("F", "E1") == 0
+
+    def test_rename_columns_positional(self, edge_schema):
+        renamed = edge_schema.rename_columns(["S", "D", "w"])
+        assert renamed.names == ("S", "D", "w")
+        assert renamed.columns[0].sql_type is SqlType.INTEGER
+
+    def test_rename_columns_wrong_arity(self, edge_schema):
+        with pytest.raises(SchemaError):
+            edge_schema.rename_columns(["just-one"])
+
+    def test_concat(self, edge_schema):
+        node = Schema.of(("ID", SqlType.INTEGER))
+        combined = edge_schema.rename_relation("E").concat(
+            node.rename_relation("V"))
+        assert combined.arity == 4
+        assert combined.index_of("ID", "V") == 3
+
+    def test_compatibility_is_arity_based(self, edge_schema):
+        assert edge_schema.compatible_with(Schema.of("a", "b", "c"))
+        assert not edge_schema.compatible_with(Schema.of("a"))

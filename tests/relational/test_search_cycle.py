@@ -1,0 +1,148 @@
+"""Oracle's SEARCH / CYCLE clauses (Table 1, section E).
+
+The paper: "Oracle provides users with two auxiliary clauses, namely,
+search and cycle ... When a cycle is detected for a certain tuple, the
+recursion will terminate for this tuple but will continue for other
+noncyclic tuples."
+"""
+
+import pytest
+
+from repro.relational import Engine, FeatureNotSupportedError, PlanError
+from repro.relational.sql.parser import parse_statement
+from repro.relational.sql.formatter import format_statement
+
+
+def oracle_with_edges(edges):
+    engine = Engine("oracle")
+    engine.database.load_edge_table("E", edges, weighted=False)
+    return engine
+
+
+REACH = """
+with R(F, T) as (
+  (select F, T from E where F = 1)
+  union all
+  (select R.T as F, E.T as T from R, E where R.T = E.F)
+)
+{clauses}
+select * from R
+"""
+
+
+class TestCycle:
+    CYCLIC_EDGES = [(1, 2), (2, 3), (3, 1), (3, 4)]
+
+    def query(self, clauses):
+        return REACH.format(clauses=clauses)
+
+    def test_terminates_on_cyclic_data(self):
+        engine = oracle_with_edges(self.CYCLIC_EDGES)
+        result = engine.execute(
+            self.query("cycle T set is_cycle to 'Y' default 'N'"),
+            mode="with")
+        assert len(result) == 5  # 4 tree rows + 1 marked cycle row
+
+    def test_cycle_rows_marked_and_not_expanded(self):
+        engine = oracle_with_edges(self.CYCLIC_EDGES)
+        result = engine.execute(
+            self.query("cycle T set is_cycle to 'Y' default 'N'"),
+            mode="with")
+        flag_index = result.schema.index_of("is_cycle")
+        marked = [row for row in result.rows if row[flag_index] == "Y"]
+        assert len(marked) == 1
+        assert (marked[0][0], marked[0][1]) == (1, 2)  # revisits node 2
+
+    def test_noncyclic_branches_continue(self):
+        # node 4 is reached even though a cycle exists elsewhere
+        engine = oracle_with_edges(self.CYCLIC_EDGES)
+        result = engine.execute(
+            self.query("cycle T set is_cycle to 'Y' default 'N'"),
+            mode="with")
+        assert any(row[1] == 4 for row in result.rows)
+
+    def test_acyclic_data_all_default(self):
+        engine = oracle_with_edges([(1, 2), (2, 3)])
+        result = engine.execute(
+            self.query("cycle T set flg to 1 default 0"), mode="with")
+        flag_index = result.schema.index_of("flg")
+        assert all(row[flag_index] == 0 for row in result.rows)
+
+
+class TestSearch:
+    TREE = [(1, 2), (1, 3), (2, 4), (2, 5), (3, 6)]
+
+    def query(self, clauses):
+        return REACH.format(clauses=clauses)
+
+    def _targets_in_order(self, result):
+        ord_index = result.schema.index_of("ord")
+        ranked = sorted(result.rows, key=lambda r: r[ord_index])
+        return [row[1] for row in ranked]
+
+    def test_breadth_first_levels(self):
+        engine = oracle_with_edges(self.TREE)
+        result = engine.execute(
+            self.query("search breadth first by T set ord"), mode="with")
+        assert self._targets_in_order(result) == [2, 3, 4, 5, 6]
+
+    def test_depth_first_preorder(self):
+        engine = oracle_with_edges(self.TREE)
+        result = engine.execute(
+            self.query("search depth first by T set ord"), mode="with")
+        assert self._targets_in_order(result) == [2, 4, 5, 3, 6]
+
+    def test_sequence_is_dense_from_one(self):
+        engine = oracle_with_edges(self.TREE)
+        result = engine.execute(
+            self.query("search depth first by T set ord"), mode="with")
+        ord_index = result.schema.index_of("ord")
+        assert sorted(row[ord_index] for row in result.rows) == \
+            list(range(1, len(result.rows) + 1))
+
+    def test_search_and_cycle_compose(self):
+        engine = oracle_with_edges([(1, 2), (2, 1)])
+        result = engine.execute(self.query(
+            "search breadth first by T set ord\n"
+            "cycle T set c to 'Y' default 'N'"), mode="with")
+        assert result.schema.has_column("ord")
+        assert result.schema.has_column("c")
+        c_index = result.schema.index_of("c")
+        assert any(row[c_index] == "Y" for row in result.rows)
+
+
+class TestGatingAndValidation:
+    def test_only_oracle_supports_the_clauses(self):
+        for dialect in ("postgres", "db2"):
+            engine = Engine(dialect)
+            engine.database.load_edge_table("E", [(1, 2)], weighted=False)
+            with pytest.raises(FeatureNotSupportedError):
+                engine.execute(REACH.format(
+                    clauses="cycle T set c to 1 default 0"), mode="with")
+
+    def test_requires_linear_recursion(self):
+        engine = oracle_with_edges([(1, 2)])
+        with pytest.raises(PlanError):
+            engine.execute("""
+                with R(F, T) as (
+                  (select F, T from E)
+                  union all
+                  (select R1.F, R2.T from R as R1, R as R2
+                   where R1.T = R2.F)
+                )
+                cycle T set c to 1 default 0
+                select * from R""", mode="with")
+
+    def test_parse_and_format_round_trip(self):
+        statement = parse_statement(REACH.format(
+            clauses="search depth first by T set ord\n"
+                    "cycle T set c to 'Y' default 'N'"))
+        cte = statement.ctes[0]
+        assert cte.search_clause.order == "depth"
+        assert cte.cycle_clause.cycle_value == "Y"
+        rendered = format_statement(statement)
+        assert "SEARCH DEPTH FIRST BY T SET ord" in rendered
+        assert "CYCLE T SET c TO 'Y' DEFAULT 'N'" in rendered
+        reparsed = parse_statement(rendered)
+        assert reparsed.ctes[0].search_clause == cte.search_clause
+        assert reparsed.ctes[0].cycle_clause == cte.cycle_clause
