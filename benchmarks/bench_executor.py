@@ -1,0 +1,26 @@
+"""Batch vs tuple executor comparison (the PR's acceptance benchmark).
+
+Runs PageRank, WCC and SSSP through the same SQL front-end under both
+executors and reports wall time, speedup, and result identity.  Also
+refreshes ``BENCH_executor.json`` at the repo root so the committed
+report always matches the measured code.
+"""
+
+from __future__ import annotations
+
+from repro.bench.executor_bench import run_executor_bench, write_report
+from repro.bench.reporting import format_table
+
+
+def test_executor_comparison(benchmark, emit):
+    report = benchmark.pedantic(run_executor_bench, rounds=1, iterations=1)
+    write_report(report)
+    rows = [[r["query"], r["tuple_ms"], r["batch_ms"],
+             f"{r['speedup']:.2f}x", r["identical"]]
+            for r in report["results"]]
+    emit("executor", format_table(
+        ("query", "tuple_ms", "batch_ms", "speedup", "identical"), rows,
+        title=f"batch vs tuple executor ({report['dialect']},"
+              f" n={report['graph']['nodes']})"))
+    for r in report["results"]:
+        assert r["identical"], f"{r['query']} results differ across executors"

@@ -21,7 +21,7 @@ from typing import Sequence
 from .database import Database
 from .dialects import Dialect, get_dialect
 from .errors import FeatureNotSupportedError
-from .physical import explain_plan
+from .physical import execute_analyzed, explain_plan
 from .planner import POLICIES, PlannerPolicy
 from .psm import PsmProgram, translate_with_to_psm
 from .recursive import (
@@ -47,14 +47,23 @@ class Engine:
     mode:
         ``"with+"`` (default) accepts the paper's enhanced recursion;
         ``"with"`` enforces the dialect's SQL'99 Table-1 restrictions.
+    executor:
+        ``"tuple"`` (default) runs the iterator-model operators;
+        ``"batch"`` swaps the hash-family operators for the columnar
+        batch kernels in :mod:`repro.relational.physical.batch`.  Plans
+        and EXPLAIN output are identical either way; only the execution
+        style (and speed) differs.
     """
 
     def __init__(self, dialect: str | Dialect = "oracle",
-                 database: Database | None = None, mode: str = "with+"):
+                 database: Database | None = None, mode: str = "with+",
+                 executor: str = "tuple"):
         self.dialect = (dialect if isinstance(dialect, Dialect)
                         else get_dialect(dialect))
         self.database = database if database is not None else Database()
-        self.policy: PlannerPolicy = POLICIES[self.dialect.policy_name]()
+        self.policy: PlannerPolicy = POLICIES[self.dialect.policy_name](
+            executor=executor)
+        self.executor = executor
         self.mode = mode
         self._ubu_strategy: str | None = None
         self.temp_indexes: dict[str, Sequence[str]] = {}
@@ -105,6 +114,32 @@ class Engine:
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         runner = QueryRunner(self.database, self.policy)
         return explain_plan(runner.plan(statement))
+
+    def explain_analyze(self, sql: str | Statement,
+                        mode: str | None = None) -> str:
+        """Execute a statement and return its plan annotated with actual
+        per-operator row counts, inclusive timings, and loop counts.
+
+        For recursive ``with``/``with+`` statements the report covers every
+        cached branch plan (and COMPUTED BY feeder); since cached plans run
+        once per iteration, their totals accumulate over the whole loop.
+        Branches that cannot be plan-cached are re-planned each iteration
+        and do not appear in the report.
+        """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, WithStatement) and \
+                any(cte_is_recursive(c) for c in statement.ctes):
+            executor = RecursiveExecutor(
+                self.database, self.dialect, self.policy,
+                mode=mode or self.mode,
+                ubu_strategy=self._ubu_strategy,
+                temp_indexes=self.temp_indexes,
+                analyze=True)
+            result = executor.execute(statement)
+            return executor.analysis_report(result)
+        runner = QueryRunner(self.database, self.policy)
+        _, report = execute_analyzed(runner.plan(statement))
+        return report
 
     def to_psm(self, sql: str | Statement,
                procedure_name: str = "F_Q") -> PsmProgram:

@@ -18,6 +18,7 @@ the predicate evaluates to ``True`` (not NULL).
 from __future__ import annotations
 
 import math
+import operator
 import random
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -110,19 +111,26 @@ def _sql_div(a: Any, b: Any) -> Any:
     return result
 
 
+#: Bare (non-NULL-aware) implementations; C-level operators wherever the
+#: semantics allow.  The interpreter wraps them with NULL propagation via
+#: ``_null_if_any_null``; the compiler inlines the NULL checks instead.
+_RAW_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _sql_div,
+    "%": operator.mod,
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "||": lambda a, b: str(a) + str(b),
+}
+
 _BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
-    "+": _null_if_any_null(lambda a, b: a + b),
-    "-": _null_if_any_null(lambda a, b: a - b),
-    "*": _null_if_any_null(lambda a, b: a * b),
-    "/": _null_if_any_null(_sql_div),
-    "%": _null_if_any_null(lambda a, b: a % b),
-    "=": _null_if_any_null(lambda a, b: a == b),
-    "<>": _null_if_any_null(lambda a, b: a != b),
-    "<": _null_if_any_null(lambda a, b: a < b),
-    "<=": _null_if_any_null(lambda a, b: a <= b),
-    ">": _null_if_any_null(lambda a, b: a > b),
-    ">=": _null_if_any_null(lambda a, b: a >= b),
-    "||": _null_if_any_null(lambda a, b: str(a) + str(b)),
+    op: _null_if_any_null(fn) for op, fn in _RAW_BINARY_OPS.items()
 }
 
 
@@ -436,6 +444,241 @@ def bind(expr: Expression, schema: Schema) -> Expression:
     if isinstance(expr, FunctionCall):
         return FunctionCall(expr.name, tuple(bind(a, schema) for a in expr.args))
     raise SchemaError(f"cannot bind expression node {type(expr).__name__}")
+
+
+# -- expression compilation ---------------------------------------------------
+#
+# ``Expression.evaluate`` walks the tree per row: every node costs an
+# attribute lookup, a method call and (for operators) a dict probe.  The
+# compiler below lowers a *bound* tree once into nested Python closures, so
+# per-row evaluation is only closure calls — and the hottest shape of all,
+# a tuple of :class:`BoundColumn` join keys, becomes a single
+# ``operator.itemgetter``, which runs entirely in C.
+
+
+def compile_expression(expr: Expression) -> Callable[[Row], Any]:
+    """Lower a bound expression tree to a single-row evaluator closure.
+
+    The returned callable is semantically identical to ``expr.evaluate``
+    (SQL three-valued logic included); it exists purely to strip the
+    interpretive overhead from per-row hot loops.  *expr* must already be
+    bound (no :class:`ColumnRef` leaves).
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, BoundColumn):
+        return operator.itemgetter(expr.index)
+    if isinstance(expr, BinaryOp):
+        raw = _RAW_BINARY_OPS.get(expr.op)
+        if raw is None:
+            raise ExecutionError(f"unknown binary operator {expr.op!r}")
+        if isinstance(expr.left, BoundColumn) \
+                and isinstance(expr.right, BoundColumn):
+            # column-op-column (join keys, semiring ⊙): fetch both
+            # operands with one two-slot itemgetter call.
+            pair = operator.itemgetter(expr.left.index, expr.right.index)
+
+            def eval_binary_columns(row: Row) -> Any:
+                a, b = pair(row)
+                if a is None or b is None:
+                    return None
+                return raw(a, b)
+
+            return eval_binary_columns
+        if isinstance(expr.right, Literal) and expr.right.value is not None:
+            # expr-op-constant (damping factors, epsilon thresholds):
+            # close over the constant, skipping its evaluator call and
+            # NULL check per row.
+            constant = expr.right.value
+            left = compile_expression(expr.left)
+
+            def eval_binary_rconst(row: Row) -> Any:
+                a = left(row)
+                if a is None:
+                    return None
+                return raw(a, constant)
+
+            return eval_binary_rconst
+        if isinstance(expr.left, Literal) and expr.left.value is not None:
+            constant = expr.left.value
+            right = compile_expression(expr.right)
+
+            def eval_binary_lconst(row: Row) -> Any:
+                b = right(row)
+                if b is None:
+                    return None
+                return raw(constant, b)
+
+            return eval_binary_lconst
+        left = compile_expression(expr.left)
+        right = compile_expression(expr.right)
+
+        # NULL propagation inlined: cheaper than the varargs
+        # _null_if_any_null wrapper (no argument tuple, no any()-scan)
+        # and *raw* is a C-level operator for the arithmetic/comparison
+        # cases, which dominate per-row evaluation in joins and
+        # projections.
+        def eval_binary(row: Row) -> Any:
+            a = left(row)
+            if a is None:
+                return None
+            b = right(row)
+            if b is None:
+                return None
+            return raw(a, b)
+
+        return eval_binary
+    if isinstance(expr, And):
+        operands = tuple(compile_expression(o) for o in expr.operands)
+
+        def eval_and(row: Row) -> Any:
+            saw_null = False
+            for operand in operands:
+                value = operand(row)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+
+        return eval_and
+    if isinstance(expr, Or):
+        operands = tuple(compile_expression(o) for o in expr.operands)
+
+        def eval_or(row: Row) -> Any:
+            saw_null = False
+            for operand in operands:
+                value = operand(row)
+                if value is True:
+                    return True
+                if value is None:
+                    saw_null = True
+            return None if saw_null else False
+
+        return eval_or
+    if isinstance(expr, Not):
+        operand = compile_expression(expr.operand)
+
+        def eval_not(row: Row) -> Any:
+            value = operand(row)
+            return None if value is None else not value
+
+        return eval_not
+    if isinstance(expr, Negate):
+        operand = compile_expression(expr.operand)
+
+        def eval_negate(row: Row) -> Any:
+            value = operand(row)
+            return None if value is None else -value
+
+        return eval_negate
+    if isinstance(expr, IsNull):
+        operand = compile_expression(expr.operand)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, InList):
+        operand = compile_expression(expr.operand)
+        items = tuple(compile_expression(i) for i in expr.items)
+        negated = expr.negated
+
+        def eval_in(row: Row) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return False if negated else True
+            if saw_null:
+                return None
+            return True if negated else False
+
+        return eval_in
+    if isinstance(expr, CaseWhen):
+        branches = tuple((compile_expression(c), compile_expression(r))
+                         for c, r in expr.branches)
+        default = (compile_expression(expr.default)
+                   if expr.default is not None else None)
+
+        def eval_case(row: Row) -> Any:
+            for condition, result in branches:
+                if condition(row) is True:
+                    return result(row)
+            if default is not None:
+                return default(row)
+            return None
+
+        return eval_case
+    if isinstance(expr, FunctionCall):
+        lowered = expr.name.lower()
+        if lowered in ("rand", "random"):
+            # rand() reads the module RNG at call time so set_rng keeps
+            # working on compiled plans.
+            return lambda row: _RNG.random()
+        fn = _SCALAR_FUNCTIONS.get(lowered)
+        if fn is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        args = tuple(compile_expression(a) for a in expr.args)
+        if len(args) == 1:
+            arg0 = args[0]
+            return lambda row: fn(arg0(row))
+        return lambda row: fn(*(a(row) for a in args))
+    if isinstance(expr, ColumnRef):
+        raise ExecutionError(
+            f"cannot compile unbound column reference {expr.sql()!r}")
+    # Unknown node (e.g. a parser extension): fall back to the interpreter.
+    return expr.evaluate
+
+
+def compile_key_function(exprs: Sequence[Expression]
+                         ) -> Callable[[Row], tuple]:
+    """Compile bound key expressions into a row → key-tuple extractor.
+
+    When every key is a plain :class:`BoundColumn` — the common equi-join
+    case — the extractor is an ``operator.itemgetter``, avoiding any Python
+    frames per row.
+    """
+    exprs = tuple(exprs)
+    if exprs and all(isinstance(e, BoundColumn) for e in exprs):
+        indexes = tuple(e.index for e in exprs)  # type: ignore[union-attr]
+        if len(indexes) == 1:
+            getter = operator.itemgetter(indexes[0])
+            return lambda row: (getter(row),)
+        return operator.itemgetter(*indexes)
+    evaluators = tuple(compile_expression(e) for e in exprs)
+    # Specialised builders for the common small arities: a literal tuple
+    # display beats tuple(generator) by an allocation and a frame per row.
+    if len(evaluators) == 1:
+        e0, = evaluators
+        return lambda row: (e0(row),)
+    if len(evaluators) == 2:
+        e0, e1 = evaluators
+        return lambda row: (e0(row), e1(row))
+    if len(evaluators) == 3:
+        e0, e1, e2 = evaluators
+        return lambda row: (e0(row), e1(row), e2(row))
+    if len(evaluators) == 4:
+        e0, e1, e2, e3 = evaluators
+        return lambda row: (e0(row), e1(row), e2(row), e3(row))
+    return lambda row: tuple(e(row) for e in evaluators)
+
+
+def single_column_getter(exprs: Sequence[Expression]
+                         ) -> Callable[[Row], Any] | None:
+    """An ``itemgetter`` for a single BoundColumn key, else None.
+
+    Batch kernels use this to map raw key *values* (not 1-tuples) over a
+    chunk of rows in C.
+    """
+    exprs = tuple(exprs)
+    if len(exprs) == 1 and isinstance(exprs[0], BoundColumn):
+        return operator.itemgetter(exprs[0].index)
+    return None
 
 
 def column_refs(expr: Expression) -> list[ColumnRef]:

@@ -34,6 +34,10 @@ class Index:
     def insert(self, row: Row) -> None:
         raise NotImplementedError
 
+    def delete(self, row: Row) -> None:
+        """Remove one occurrence of *row* (for incremental maintenance)."""
+        raise NotImplementedError
+
     def bulk_load(self, rows: Iterable[Row]) -> None:
         for row in rows:
             self.insert(row)
@@ -54,6 +58,15 @@ class HashIndex(Index):
 
     def insert(self, row: Row) -> None:
         self._buckets.setdefault(self.key_of(row), []).append(row)
+
+    def delete(self, row: Row) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            raise KeyError(f"row not in index {self.name!r}")
+        bucket.remove(row)
+        if not bucket:
+            del self._buckets[key]
 
     def clear(self) -> None:
         self._buckets.clear()
@@ -89,6 +102,20 @@ class SortedIndex(Index):
         pos = bisect.bisect_right(self._keys, key)
         self._keys.insert(pos, key)
         self._rows.insert(pos, row)
+
+    def delete(self, row: Row) -> None:
+        key = self.key_of(row)
+        if any(v is None for v in key):
+            self._null_rows.remove(row)
+            return
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        for i in range(lo, hi):
+            if self._rows[i] == row:
+                del self._keys[i]
+                del self._rows[i]
+                return
+        raise KeyError(f"row not in index {self.name!r}")
 
     def bulk_load(self, rows: Iterable[Row]) -> None:
         pairs = []

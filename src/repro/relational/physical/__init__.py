@@ -7,8 +7,9 @@ executor materialises the root into a
 :class:`~repro.relational.relation.Relation`.
 """
 
+from .analyze import OperatorStats, execute_analyzed, instrument, render_analysis
 from .base import PhysicalOperator, explain_plan
-from .scan import IndexOrderedScan, RelationScan, TableScan
+from .scan import BindingScan, IndexOrderedScan, RelationScan, TableScan
 from .filter import Filter
 from .project import Project
 from .joins import (
@@ -22,6 +23,17 @@ from .joins import (
     NotInAntiJoin,
 )
 from .aggregate import HashAggregate, SortAggregate
+from .batch import (
+    BatchFilter,
+    BatchHashAggregate,
+    BatchHashAntiJoin,
+    BatchHashFullOuterJoin,
+    BatchHashJoin,
+    BatchHashLeftOuterJoin,
+    BatchHashSemiJoin,
+    BatchProject,
+    BatchUnionAll,
+)
 from .setops import ExceptOp, IntersectOp, UnionAllOp, UnionDistinctOp
 from .sort import Sort
 from .distinct import Distinct
@@ -36,8 +48,13 @@ __all__ = [
     "WindowSpec",
     "PhysicalOperator",
     "explain_plan",
+    "OperatorStats",
+    "instrument",
+    "render_analysis",
+    "execute_analyzed",
     "TableScan",
     "RelationScan",
+    "BindingScan",
     "IndexOrderedScan",
     "Filter",
     "Project",
@@ -51,6 +68,15 @@ __all__ = [
     "NotInAntiJoin",
     "HashAggregate",
     "SortAggregate",
+    "BatchHashJoin",
+    "BatchHashLeftOuterJoin",
+    "BatchHashFullOuterJoin",
+    "BatchHashSemiJoin",
+    "BatchHashAntiJoin",
+    "BatchHashAggregate",
+    "BatchProject",
+    "BatchFilter",
+    "BatchUnionAll",
     "UnionAllOp",
     "UnionDistinctOp",
     "ExceptOp",

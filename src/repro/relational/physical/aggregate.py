@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Sequence
 
-from ..expressions import Expression, bind
+from ..expressions import Expression, bind, compile_expression, compile_key_function
 from ..relation import AggregateSpec, _finish_aggregate
 from ..schema import Column, Schema
 from ..types import SqlType
@@ -29,6 +29,9 @@ class _AggregateBase(PhysicalOperator):
         self._bound_args = [bind(a.argument, child.schema)
                             if a.argument is not None else None
                             for a in aggregates]
+        self._key_fn = compile_key_function(self._bound_keys)
+        self._arg_fns = [compile_expression(a) if a is not None else None
+                         for a in self._bound_args]
         if key_aliases is None:
             key_aliases = []
             for key in keys:
@@ -63,21 +66,22 @@ class HashAggregate(_AggregateBase):
     label = "Hash Aggregate"
 
     def rows(self) -> Iterator[tuple]:
-        key_evals = [k.evaluate for k in self._bound_keys]
+        key_fn = self._key_fn
+        arg_fns = self._arg_fns
         groups: dict[tuple, list[list[Any]]] = {}
         order: list[tuple] = []
         for row in self.child.rows():
-            key = tuple(e(row) for e in key_evals)
+            key = key_fn(row)
             bucket = groups.get(key)
             if bucket is None:
                 bucket = [[] for _ in self.aggregates]
                 groups[key] = bucket
                 order.append(key)
-            for slot, arg in zip(bucket, self._bound_args):
+            for slot, arg in zip(bucket, arg_fns):
                 if arg is None:
                     slot.append(1)
                 else:
-                    value = arg.evaluate(row)
+                    value = arg(row)
                     if value is not None:
                         slot.append(value)
         if not self.keys and not groups:
@@ -93,9 +97,9 @@ class SortAggregate(_AggregateBase):
     label = "Sort Aggregate"
 
     def rows(self) -> Iterator[tuple]:
-        key_evals = [k.evaluate for k in self._bound_keys]
-        annotated = [(tuple(e(row) for e in key_evals), row)
-                     for row in self.child.rows()]
+        key_fn = self._key_fn
+        arg_fns = self._arg_fns
+        annotated = [(key_fn(row), row) for row in self.child.rows()]
         annotated.sort(key=lambda kr: tuple((v is None, v) for v in kr[0]))
         if not annotated:
             if not self.keys:
@@ -108,11 +112,11 @@ class SortAggregate(_AggregateBase):
                 yield self._emit(current_key, bucket)
                 current_key = key
                 bucket = [[] for _ in self.aggregates]
-            for slot, arg in zip(bucket, self._bound_args):
+            for slot, arg in zip(bucket, arg_fns):
                 if arg is None:
                     slot.append(1)
                 else:
-                    value = arg.evaluate(row)
+                    value = arg(row)
                     if value is not None:
                         slot.append(value)
         yield self._emit(current_key, bucket)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..expressions import Expression, bind
+from ..expressions import Expression, bind, compile_expression
 from ..relation import Row
 from ..schema import Schema
 from .base import PhysicalOperator
@@ -21,6 +21,7 @@ class Filter(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, predicate: Expression):
         self.child = child
         self.predicate = bind(predicate, child.schema)
+        self._compiled = compile_expression(self.predicate)
 
     @property
     def schema(self) -> Schema:
@@ -30,7 +31,7 @@ class Filter(PhysicalOperator):
         return (self.child,)
 
     def rows(self) -> Iterator[Row]:
-        evaluate = self.predicate.evaluate
+        evaluate = self._compiled
         for row in self.child.rows():
             if evaluate(row) is True:
                 yield row

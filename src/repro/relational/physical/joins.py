@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
-from ..expressions import Expression, bind
+from ..expressions import Expression, bind, compile_expression, compile_key_function
 from ..relation import Row
 from ..schema import Schema
 from .base import PhysicalOperator
@@ -29,8 +29,7 @@ KeyFn = Callable[[Row], tuple]
 
 def _key_fn(keys: Sequence[Expression], schema: Schema) -> KeyFn:
     bound = [bind(k, schema) for k in keys]
-    evaluators = [b.evaluate for b in bound]
-    return lambda row: tuple(e(row) for e in evaluators)
+    return compile_key_function(bound)
 
 
 def _keys_sql(keys: Sequence[Expression]) -> str:
@@ -206,6 +205,8 @@ class NestedLoopJoin(PhysicalOperator):
         self._schema = left.schema.concat(right.schema)
         self.condition = (bind(condition, self._schema)
                           if condition is not None else None)
+        self._condition_fn = (compile_expression(self.condition)
+                              if self.condition is not None else None)
 
     @property
     def schema(self) -> Schema:
@@ -216,11 +217,11 @@ class NestedLoopJoin(PhysicalOperator):
 
     def rows(self) -> Iterator[Row]:
         right_rows = list(self.right.rows())
-        condition = self.condition
+        condition = self._condition_fn
         for lrow in self.left.rows():
             for rrow in right_rows:
                 combined = lrow + rrow
-                if condition is None or condition.evaluate(combined) is True:
+                if condition is None or condition(combined) is True:
                     yield combined
 
     def detail(self) -> str:
@@ -292,12 +293,15 @@ class HashSemiJoin(_BinaryJoin):
         return self.left.schema
 
     def rows(self) -> Iterator[Row]:
+        # Build-side NULL handling matches HashJoin: a key containing NULL
+        # can never compare equal to anything, so it never enters the set.
         right_key = self._right_key
-        keys = {right_key(row) for row in self.right.rows()}
+        keys = {key for key in map(right_key, self.right.rows())
+                if None not in key}
         left_key = self._left_key
         for row in self.left.rows():
             key = left_key(row)
-            if all(v is not None for v in key) and key in keys:
+            if None not in key and key in keys:
                 yield row
 
 
@@ -315,12 +319,14 @@ class HashAntiJoin(_BinaryJoin):
         return self.left.schema
 
     def rows(self) -> Iterator[Row]:
+        # NULL-containing build keys match nothing; skip them like HashJoin.
         right_key = self._right_key
-        keys = {right_key(row) for row in self.right.rows()}
+        keys = {key for key in map(right_key, self.right.rows())
+                if None not in key}
         left_key = self._left_key
         for row in self.left.rows():
             key = left_key(row)
-            if any(v is None for v in key) or key not in keys:
+            if None in key or key not in keys:
                 yield row
 
 

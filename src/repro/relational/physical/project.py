@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from ..expressions import BoundColumn, Expression, bind
+from ..expressions import BoundColumn, Expression, bind, compile_key_function
 from ..relation import Row
 from ..schema import Column, Schema
 from ..types import SqlType
@@ -28,6 +28,9 @@ class Project(PhysicalOperator):
                 sql_type = SqlType.DOUBLE
             columns.append(Column(alias, sql_type))
         self._schema = Schema(tuple(columns))
+        # One compiled row-builder for the whole select list; pure-column
+        # lists lower to a single itemgetter.
+        self._builder = compile_key_function([b for b, _ in self.items])
 
     @property
     def schema(self) -> Schema:
@@ -37,9 +40,7 @@ class Project(PhysicalOperator):
         return (self.child,)
 
     def rows(self) -> Iterator[Row]:
-        evaluators = [bound.evaluate for bound, _ in self.items]
-        for row in self.child.rows():
-            yield tuple(evaluate(row) for evaluate in evaluators)
+        return map(self._builder, self.child.rows())
 
     def detail(self) -> str:
         return ", ".join(f"{bound.sql()} AS {alias}"

@@ -57,6 +57,43 @@ class RelationScan(PhysicalOperator):
         return self.alias or ""
 
 
+class BindingScan(PhysicalOperator):
+    """Late-bound scan: reads its relation from a mutable slot dict at
+    *execution* time rather than capturing it at plan time.
+
+    This is what lets the recursive executor compile each with+ branch
+    once and re-execute the same plan every iteration: the loop just
+    re-points ``slots[name]`` at the current R (or COMPUTED BY) contents
+    before each execution.  Shares :class:`RelationScan`'s label so
+    EXPLAIN output is identical for cached and uncached plans.
+    """
+
+    label = "Relation Scan"
+
+    def __init__(self, slots: dict[str, Relation], name: str,
+                 schema: Schema, alias: str | None = None):
+        self.slots = slots
+        self.name = name
+        self.alias = alias
+        self._schema = schema.rename_relation(alias) if alias else schema
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def rows(self) -> Iterator[Row]:
+        relation = self.slots.get(self.name)
+        if relation is None:
+            raise ExecutionError(f"unbound recursive slot {self.name!r}")
+        if relation.schema.arity != self._schema.arity:
+            raise ExecutionError(
+                f"slot {self.name!r} changed arity; cached plan is stale")
+        return iter(relation.rows)
+
+    def detail(self) -> str:
+        return self.alias or self.name
+
+
 class IndexOrderedScan(PhysicalOperator):
     """Scan a table through a sorted index, yielding rows in key order.
 

@@ -21,6 +21,16 @@ from typing import Sequence
 
 from .expressions import ColumnRef, Expression
 from .physical import (
+    BatchFilter,
+    BatchHashAggregate,
+    BatchHashAntiJoin,
+    BatchHashFullOuterJoin,
+    BatchHashJoin,
+    BatchHashLeftOuterJoin,
+    BatchHashSemiJoin,
+    BatchProject,
+    BatchUnionAll,
+    Filter,
     HashAggregate,
     HashAntiJoin,
     HashFullOuterJoin,
@@ -31,10 +41,43 @@ from .physical import (
     MergeJoin,
     NotInAntiJoin,
     PhysicalOperator,
+    Project,
     SortAggregate,
     TableScan,
+    UnionAllOp,
 )
 from .relation import AggregateSpec
+
+#: Hash-family operator classes per executor.  Batch twins share labels
+#: with their tuple counterparts, so EXPLAIN output is executor-agnostic;
+#: MergeJoin / SortAggregate / NotInAntiJoin model dialect costs and stay
+#: tuple-at-a-time under either executor.
+_OPERATOR_SETS: dict[str, dict[str, type]] = {
+    "tuple": {
+        "equi": HashJoin,
+        "left": HashLeftOuterJoin,
+        "full": HashFullOuterJoin,
+        "semi": HashSemiJoin,
+        "anti": HashAntiJoin,
+        "hash_agg": HashAggregate,
+        "project": Project,
+        "filter": Filter,
+        "union_all": UnionAllOp,
+    },
+    "batch": {
+        "equi": BatchHashJoin,
+        "left": BatchHashLeftOuterJoin,
+        "full": BatchHashFullOuterJoin,
+        "semi": BatchHashSemiJoin,
+        "anti": BatchHashAntiJoin,
+        "hash_agg": BatchHashAggregate,
+        "project": BatchProject,
+        "filter": BatchFilter,
+        "union_all": BatchUnionAll,
+    },
+}
+
+EXECUTORS = tuple(_OPERATOR_SETS)
 
 
 class PlannerPolicy:
@@ -42,27 +85,45 @@ class PlannerPolicy:
 
     name = "default"
 
+    def __init__(self, executor: str = "tuple"):
+        if executor not in _OPERATOR_SETS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+        self.executor = executor
+        self._ops = _OPERATOR_SETS[executor]
+
     def make_equi_join(self, left: PhysicalOperator, right: PhysicalOperator,
                        left_keys: Sequence[Expression],
                        right_keys: Sequence[Expression]) -> PhysicalOperator:
         raise NotImplementedError
 
     def make_left_outer_join(self, left, right, left_keys, right_keys):
-        return HashLeftOuterJoin(left, right, left_keys, right_keys)
+        return self._ops["left"](left, right, left_keys, right_keys)
 
     def make_full_outer_join(self, left, right, left_keys, right_keys):
-        return HashFullOuterJoin(left, right, left_keys, right_keys)
+        return self._ops["full"](left, right, left_keys, right_keys)
 
     def make_semi_join(self, left, right, left_keys, right_keys):
-        return HashSemiJoin(left, right, left_keys, right_keys)
+        return self._ops["semi"](left, right, left_keys, right_keys)
 
     def make_anti_join(self, left, right, left_keys, right_keys):
         """NOT EXISTS / LEFT JOIN ... IS NULL plan."""
-        return HashAntiJoin(left, right, left_keys, right_keys)
+        return self._ops["anti"](left, right, left_keys, right_keys)
 
     def make_not_in_anti_join(self, left, right, left_keys, right_keys):
         """NOT IN plan, with its NULL-aware bookkeeping."""
         return NotInAntiJoin(left, right, left_keys, right_keys)
+
+    def make_project(self, child: PhysicalOperator, items) -> PhysicalOperator:
+        return self._ops["project"](child, items)
+
+    def make_filter(self, child: PhysicalOperator,
+                    predicate: Expression) -> PhysicalOperator:
+        return self._ops["filter"](child, predicate)
+
+    def make_union_all(self, left: PhysicalOperator,
+                       right: PhysicalOperator) -> PhysicalOperator:
+        return self._ops["union_all"](left, right)
 
     def make_aggregate(self, child: PhysicalOperator,
                        keys: Sequence[Expression],
@@ -78,7 +139,7 @@ def _estimate_rows(node: PhysicalOperator) -> int | None:
     PostgreSQL lacks on temp tables; the stats-aware policies use it to
     put the smaller input on a hash join's build side.
     """
-    from .physical import Filter, Project, RelationScan, Requalify
+    from .physical import BindingScan, Filter, Project, RelationScan, Requalify
 
     if isinstance(node, TableScan):
         return len(node.table.rows)
@@ -86,19 +147,22 @@ def _estimate_rows(node: PhysicalOperator) -> int | None:
         return len(node.table.rows)
     if isinstance(node, RelationScan):
         return len(node.relation)
+    if isinstance(node, BindingScan):
+        relation = node.slots.get(node.name)
+        return len(relation) if relation is not None else None
     if isinstance(node, (Filter, Project, Requalify)):
         return _estimate_rows(node.children()[0])
     return None
 
 
-def _stats_aware_hash_join(left, right, left_keys, right_keys) -> HashJoin:
+def _stats_aware_hash_join(join_cls, left, right, left_keys, right_keys):
     left_size = _estimate_rows(left)
     right_size = _estimate_rows(right)
     build_side = "right"
     if left_size is not None and right_size is not None \
             and left_size < right_size:
         build_side = "left"
-    return HashJoin(left, right, left_keys, right_keys, build_side)
+    return join_cls(left, right, left_keys, right_keys, build_side)
 
 
 class HashFirstPolicy(PlannerPolicy):
@@ -108,10 +172,11 @@ class HashFirstPolicy(PlannerPolicy):
     name = "hash-first"
 
     def make_equi_join(self, left, right, left_keys, right_keys):
-        return _stats_aware_hash_join(left, right, left_keys, right_keys)
+        return _stats_aware_hash_join(self._ops["equi"], left, right,
+                                      left_keys, right_keys)
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
-        return HashAggregate(child, keys, aggregates, key_aliases)
+        return self._ops["hash_agg"](child, keys, aggregates, key_aliases)
 
 
 class HashJoinSortAggPolicy(PlannerPolicy):
@@ -128,9 +193,10 @@ class HashJoinSortAggPolicy(PlannerPolicy):
     name = "hash-join-sort-agg"
 
     def make_equi_join(self, left, right, left_keys, right_keys):
-        return HashJoin(left, right, left_keys, right_keys)
+        return self._ops["equi"](left, right, left_keys, right_keys)
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
+        # Sort aggregation is this profile's cost model; no batch twin.
         return SortAggregate(child, keys, aggregates, key_aliases)
 
 
@@ -149,13 +215,13 @@ class MergeJoinPolicy(PlannerPolicy):
 
     def make_equi_join(self, left, right, left_keys, right_keys):
         if self._both_sides_analyzed(left, right):
-            return HashJoin(left, right, left_keys, right_keys)
+            return self._ops["equi"](left, right, left_keys, right_keys)
         left = self._try_index_feed(left, left_keys)
         right = self._try_index_feed(right, right_keys)
         return MergeJoin(left, right, left_keys, right_keys)
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
-        return HashAggregate(child, keys, aggregates, key_aliases)
+        return self._ops["hash_agg"](child, keys, aggregates, key_aliases)
 
     @staticmethod
     def _both_sides_analyzed(left: PhysicalOperator,

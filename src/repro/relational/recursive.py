@@ -27,6 +27,7 @@ from typing import Sequence
 from .database import Database
 from .dialects.base import Dialect
 from .errors import (
+    ExecutionError,
     FeatureNotSupportedError,
     PlanError,
     RecursionLimitError,
@@ -82,6 +83,12 @@ class WithExecutionResult:
     iterations: int = 0
     per_iteration: list[IterationStat] = field(default_factory=list)
     hit_maxrecursion: bool = False
+    #: Statements compiled to physical plans inside the recursive loop.
+    #: With plan caching a K-iteration loop compiles each branch (and each
+    #: COMPUTED BY definition) once, not K times.
+    plans_compiled: int = 0
+    #: Cached plans re-executed instead of recompiled inside the loop.
+    plan_cache_hits: int = 0
 
 
 # -- reference detection -------------------------------------------------------
@@ -312,6 +319,73 @@ def _embedded_statements(expr: Expression):
         yield from _embedded_statements(child)
 
 
+# -- plan caching ------------------------------------------------------------------
+
+
+def _expression_has_subquery(expr: Expression | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, (InSubquery, ExistsSubquery, ScalarSubquery)):
+        return True
+    return any(_expression_has_subquery(c) for c in expr.children())
+
+
+def _statement_is_plan_cacheable(statement: Statement) -> bool:
+    """True when a plan for *statement* can be re-executed as-is.
+
+    :class:`~repro.relational.sql.compiler.QueryRunner` materialises
+    IN/EXISTS/scalar subqueries (and nested WITH bodies) *at plan time*,
+    so a cached plan would freeze their first-iteration results.  Derived
+    tables (``FROM (subquery) AS x``) are fine: in live-slot mode the
+    compiler inlines them as subplans that re-read the slots.
+    """
+    if isinstance(statement, SetOperation):
+        return (_statement_is_plan_cacheable(statement.left)
+                and _statement_is_plan_cacheable(statement.right))
+    if not isinstance(statement, SelectStatement):
+        return False
+    expressions = [item.expression for item in statement.items
+                   if item.expression is not None]
+    expressions += [e for e in (statement.where, statement.having)
+                    if e is not None]
+    expressions += list(statement.group_by)
+    expressions += [o.expression for o in statement.order_by]
+
+    def source_ok(source) -> bool:
+        if isinstance(source, TableRef):
+            return True
+        if isinstance(source, SubquerySource):
+            return _statement_is_plan_cacheable(source.statement)
+        if isinstance(source, JoinSource):
+            return (source_ok(source.left) and source_ok(source.right)
+                    and not _expression_has_subquery(source.condition))
+        return False
+
+    return (not any(_expression_has_subquery(e) for e in expressions)
+            and all(source_ok(s) for s in statement.sources))
+
+
+def _branch_is_plan_cacheable(branch: CteBranch) -> bool:
+    return (_statement_is_plan_cacheable(branch.statement)
+            and all(_statement_is_plan_cacheable(d.statement)
+                    for d in branch.computed_by))
+
+
+@dataclass
+class _CachedBranchPlans:
+    """One with+ branch compiled once: COMPUTED BY plans in definition
+    order, then the branch statement's plan.  All scans of the recursive
+    relation / computed tables are BindingScans over the executor's live
+    slot dicts, so re-execution sees each iteration's current contents."""
+
+    computed: list  # [(definition, PhysicalOperator), ...]
+    statement_plan: object
+
+    @property
+    def statement_count(self) -> int:
+        return 1 + len(self.computed)
+
+
 # -- execution ---------------------------------------------------------------------
 
 
@@ -321,7 +395,8 @@ class RecursiveExecutor:
     def __init__(self, database: Database, dialect: Dialect,
                  policy: PlannerPolicy, mode: str = "with+",
                  ubu_strategy: str | None = None,
-                 temp_indexes: dict[str, Sequence[str]] | None = None):
+                 temp_indexes: dict[str, Sequence[str]] | None = None,
+                 analyze: bool = False):
         if mode not in ("with", "with+"):
             raise ValueError(f"mode must be 'with' or 'with+', not {mode!r}")
         self.database = database
@@ -333,6 +408,11 @@ class RecursiveExecutor:
             raise FeatureNotSupportedError(
                 dialect.name, f"union-by-update strategy {self.ubu_strategy}")
         self.temp_indexes = dict(temp_indexes or {})
+        #: When True, cached branch plans (and the final body plan) are
+        #: instrumented; totals accumulate across every loop iteration and
+        #: are rendered by :meth:`analysis_report`.
+        self.analyze = analyze
+        self._analyzed: list[tuple[str, object, dict]] = []
 
     # -- top level -------------------------------------------------------------
 
@@ -349,7 +429,15 @@ class RecursiveExecutor:
                 bindings[cte.name.lower()] = result
                 created_temp_names.append(cte.name)
             runner = QueryRunner(self.database, self.policy, bindings)
-            stats.relation = runner.run(statement.body)
+            if self.analyze:
+                from .physical import instrument
+
+                body_plan = runner.plan(statement.body)
+                body_stats = instrument(body_plan)
+                self._analyzed.append(("final body", body_plan, body_stats))
+                stats.relation = Relation(body_plan.schema, body_plan.rows())
+            else:
+                stats.relation = runner.run(statement.body)
             return stats
         finally:
             self._cleanup(created_temp_names)
@@ -358,6 +446,28 @@ class RecursiveExecutor:
         for name in names:
             if self.database.exists(name) and self.database.table(name).temporary:
                 self.database.drop_table(name)
+
+    def analysis_report(self, result: WithExecutionResult | None = None) -> str:
+        """The EXPLAIN ANALYZE report for an ``analyze=True`` run.
+
+        One annotated plan tree per instrumented plan (cached recursive
+        branch plans, their COMPUTED BY feeders, and the final body).
+        Because cached plans execute once per iteration, their operator
+        totals cover *all* iterations of the with+ loop.
+        """
+        if not self.analyze:
+            raise ExecutionError("executor was not created with analyze=True")
+        from .physical import render_analysis
+
+        sections: list[str] = []
+        if result is not None:
+            sections.append(
+                f"iterations={result.iterations}"
+                f" plans_compiled={result.plans_compiled}"
+                f" plan_cache_hits={result.plan_cache_hits}")
+        for title, plan, plan_stats in self._analyzed:
+            sections.append(f"{title}:\n{render_analysis(plan, plan_stats)}")
+        return "\n\n".join(sections)
 
     def _run_plain_cte(self, cte: CommonTableExpression,
                        bindings: dict[str, Relation]) -> Relation:
@@ -424,6 +534,14 @@ class RecursiveExecutor:
         else:
             semi_naive = False
         working = current  # only consulted on the semi-naive path
+        rname = cte.name.lower()
+        # Live slot dicts backing the cached plans' BindingScans.  Two
+        # views of R: branch statements may see the semi-naive working
+        # set, COMPUTED BY definitions always see the full snapshot.
+        branch_slots: dict[str, Relation] = {}
+        computed_slots: dict[str, Relation] = {}
+        cacheable = [_branch_is_plan_cacheable(b) for b in recursive]
+        cached: list[_CachedBranchPlans | None] = [None] * len(recursive)
         while True:
             if iteration >= cap:
                 if limit is None:
@@ -433,15 +551,31 @@ class RecursiveExecutor:
             iteration += 1
             started = time.perf_counter()
             snapshot = table.snapshot()
-            statement_bindings = dict(bindings)
-            statement_bindings[cte.name.lower()] = working if semi_naive \
-                else snapshot
-            computed_bindings = dict(bindings)
-            computed_bindings[cte.name.lower()] = snapshot
+            branch_slots[rname] = working if semi_naive else snapshot
+            computed_slots[rname] = snapshot
             deltas: list[Relation] = []
-            for branch in recursive:
-                delta = self._run_branch(branch, statement_bindings,
-                                         computed_bindings, computed_names)
+            for position, branch in enumerate(recursive):
+                if not cacheable[position]:
+                    statement_bindings = dict(bindings)
+                    statement_bindings[rname] = working if semi_naive \
+                        else snapshot
+                    computed_bindings = dict(bindings)
+                    computed_bindings[rname] = snapshot
+                    delta = self._run_branch(branch, statement_bindings,
+                                             computed_bindings,
+                                             computed_names)
+                    stats.plans_compiled += 1 + len(branch.computed_by)
+                elif cached[position] is None:
+                    delta, entry = self._plan_and_run_branch(
+                        branch, bindings, branch_slots, computed_slots,
+                        computed_names)
+                    cached[position] = entry
+                    stats.plans_compiled += entry.statement_count
+                else:
+                    delta = self._run_cached_branch(
+                        cached[position], branch_slots, computed_slots,
+                        computed_names)
+                    stats.plan_cache_hits += cached[position].statement_count
                 deltas.append(delta)
             changed, working = self._combine(cte, table, snapshot, deltas)
             table = self.database.table(cte.name)  # drop/alter may swap it
@@ -629,6 +763,63 @@ class RecursiveExecutor:
             statement_bindings[definition.name.lower()] = view
         runner = QueryRunner(self.database, self.policy, statement_bindings)
         return runner.run(branch.statement)
+
+    def _plan_and_run_branch(self, branch: CteBranch,
+                             bindings: dict[str, Relation],
+                             branch_slots: dict[str, Relation],
+                             computed_slots: dict[str, Relation],
+                             computed_names: set[str]
+                             ) -> tuple[Relation, _CachedBranchPlans]:
+        """First iteration of a cacheable branch: compile each statement
+        against the live slots, run it, and keep the plans for reuse."""
+        computed_plans = []
+        for definition in branch.computed_by:
+            runner = QueryRunner(self.database, self.policy, bindings,
+                                 live_slots=computed_slots)
+            plan = runner.plan(definition.statement)
+            if self.analyze:
+                from .physical import instrument
+
+                self._analyzed.append((f"computed by {definition.name}",
+                                       plan, instrument(plan)))
+            computed_plans.append((definition, plan))
+            self._fill_computed(definition, plan, branch_slots,
+                                computed_slots, computed_names)
+        runner = QueryRunner(self.database, self.policy, bindings,
+                             live_slots=branch_slots)
+        statement_plan = runner.plan(branch.statement)
+        if self.analyze:
+            from .physical import instrument
+
+            self._analyzed.append(("recursive branch", statement_plan,
+                                   instrument(statement_plan)))
+        return (statement_plan.execute(),
+                _CachedBranchPlans(computed_plans, statement_plan))
+
+    def _run_cached_branch(self, entry: _CachedBranchPlans,
+                           branch_slots: dict[str, Relation],
+                           computed_slots: dict[str, Relation],
+                           computed_names: set[str]) -> Relation:
+        """Subsequent iterations: re-execute the cached plans; the live
+        slots already point at this iteration's R."""
+        for definition, plan in entry.computed:
+            self._fill_computed(definition, plan, branch_slots,
+                                computed_slots, computed_names)
+        return entry.statement_plan.execute()
+
+    def _fill_computed(self, definition, plan, branch_slots, computed_slots,
+                       computed_names: set[str]) -> None:
+        result = plan.execute()
+        if definition.columns:
+            result = result.rename_columns(definition.columns)
+        aux = self.database.create_temp_table(definition.name, result.schema,
+                                              replace=True)
+        aux.insert_relation(result)
+        self._maybe_index(aux)
+        computed_names.add(definition.name)
+        view = aux.snapshot()
+        computed_slots[definition.name.lower()] = view
+        branch_slots[definition.name.lower()] = view
 
     def _combine(self, cte: CommonTableExpression, table: Table,
                  snapshot: Relation, deltas: list[Relation]

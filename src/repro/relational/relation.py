@@ -23,6 +23,7 @@ from .expressions import (
     BoundColumn,
     Expression,
     bind,
+    compile_expression,
 )
 from .schema import Column, Schema
 from .types import SqlType, infer_type
@@ -107,6 +108,20 @@ class Relation:
     def empty(schema: Schema) -> "Relation":
         return Relation(schema, ())
 
+    @classmethod
+    def from_trusted_rows(cls, schema: Schema,
+                          rows: Sequence[Row]) -> "Relation":
+        """Construct without per-row validation.
+
+        The batch executor's kernels emit lists of already-correct tuples;
+        re-walking them in ``__init__`` would cost a Python-level loop per
+        row.  Callers guarantee every element is a tuple of the right arity.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema
+        relation.rows = tuple(rows)
+        return relation
+
     def replace_rows(self, rows: Iterable[Row]) -> "Relation":
         """Same schema, new rows."""
         return Relation(self.schema, rows)
@@ -128,7 +143,13 @@ class Relation:
             return NotImplemented
         if self.schema.names != other.schema.names:
             return False
-        return sorted(self.rows, key=repr) == sorted(other.rows, key=repr)
+        if len(self.rows) != len(other.rows):
+            return False
+        if self.rows == other.rows:
+            return True
+        from collections import Counter
+
+        return Counter(self.rows) == Counter(other.rows)
 
     def __hash__(self) -> int:  # relations are mutable-free; hash by content
         return hash((self.schema.names, frozenset(self.rows)))
@@ -145,8 +166,8 @@ class Relation:
     def select(self, predicate: Expression | Predicate) -> "Relation":
         """Selection σ.  Accepts a bound/unbound expression or a callable."""
         if isinstance(predicate, Expression):
-            bound = bind(predicate, self.schema)
-            keep = lambda row: bound.evaluate(row) is True  # noqa: E731
+            evaluate = compile_expression(bind(predicate, self.schema))
+            keep = lambda row: evaluate(row) is True  # noqa: E731
         else:
             keep = lambda row: bool(predicate(row))  # noqa: E731
         return Relation(self.schema, (r for r in self.rows if keep(r)))
@@ -169,7 +190,7 @@ class Relation:
             else:
                 expr, alias = item
                 bound = bind(expr, self.schema)
-                evaluators.append(bound.evaluate)
+                evaluators.append(compile_expression(bound))
                 if isinstance(bound, BoundColumn):
                     sql_type = self.schema.columns[bound.index].sql_type
                 else:
@@ -193,7 +214,8 @@ class Relation:
     def union_all(self, other: "Relation") -> "Relation":
         """Bag union (SQL UNION ALL)."""
         self._check_compatible(other)
-        return Relation(self.schema.without_key(), (*self.rows, *other.rows))
+        return Relation.from_trusted_rows(self.schema.without_key(),
+                                          (*self.rows, *other.rows))
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference − (SQL EXCEPT)."""
@@ -233,7 +255,8 @@ class Relation:
         return Relation(schema, self.rows)
 
     def rename_columns(self, column_names: Sequence[str]) -> "Relation":
-        return Relation(self.schema.rename_columns(column_names), self.rows)
+        return Relation.from_trusted_rows(
+            self.schema.rename_columns(column_names), self.rows)
 
     # -- derived operations ----------------------------------------------------
 
@@ -369,12 +392,13 @@ class Relation:
         SQL).
         """
         key_idx = [self.schema.index_of(*_split(k)) for k in keys]
-        bound_args: list[Expression | None] = []
+        arg_fns: list[Callable[[Row], Any] | None] = []
         for spec in aggregates:
             if spec.argument is None:
-                bound_args.append(None)
+                arg_fns.append(None)
             else:
-                bound_args.append(bind(spec.argument, self.schema))
+                arg_fns.append(compile_expression(
+                    bind(spec.argument, self.schema)))
         groups: dict[tuple, list[list[Any]]] = {}
         order: list[tuple] = []
         for row in self.rows:
@@ -384,11 +408,11 @@ class Relation:
                 bucket = [[] for _ in aggregates]
                 groups[key] = bucket
                 order.append(key)
-            for slot, arg in zip(bucket, bound_args):
+            for slot, arg in zip(bucket, arg_fns):
                 if arg is None:
                     slot.append(1)  # count(*)
                 else:
-                    value = arg.evaluate(row)
+                    value = arg(row)
                     if value is not None:
                         slot.append(value)
         if not keys and not groups:

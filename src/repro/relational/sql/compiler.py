@@ -34,6 +34,7 @@ from ..expressions import (
     is_aggregate_call,
 )
 from ..physical import (
+    BindingScan,
     Distinct,
     Filter,
     Limit,
@@ -44,7 +45,6 @@ from ..physical import (
     Requalify,
     Sort,
     TableScan,
-    UnionAllOp,
     UnionDistinctOp,
     ExceptOp,
     IntersectOp,
@@ -74,10 +74,16 @@ class QueryRunner:
     """Compiles and executes statements against a database + CTE bindings."""
 
     def __init__(self, database: Database, policy: PlannerPolicy,
-                 bindings: dict[str, Relation] | None = None):
+                 bindings: dict[str, Relation] | None = None,
+                 live_slots: dict[str, Relation] | None = None):
         self.database = database
         self.policy = policy
         self.bindings = dict(bindings or {})
+        # Names planned as late-bound BindingScans over this mutable dict
+        # (the recursive executor's plan-caching hook).  The dict must be
+        # populated (for schemas) at plan time and re-pointed at current
+        # contents before each re-execution.
+        self.live_slots = live_slots
 
     # -- public API ---------------------------------------------------------
 
@@ -92,8 +98,9 @@ class QueryRunner:
         if isinstance(statement, SetOperation):
             left = self.plan(statement.left)
             right = self.plan(statement.right)
-            ops = {SetOpKind.UNION_ALL: UnionAllOp,
-                   SetOpKind.UNION: UnionDistinctOp,
+            if statement.kind is SetOpKind.UNION_ALL:
+                return self.policy.make_union_all(left, right)
+            ops = {SetOpKind.UNION: UnionDistinctOp,
                    SetOpKind.EXCEPT: ExceptOp,
                    SetOpKind.INTERSECT: IntersectOp}
             return ops[statement.kind](left, right)
@@ -123,6 +130,11 @@ class QueryRunner:
 
     def _scan_source(self, source) -> PhysicalOperator:
         if isinstance(source, TableRef):
+            if self.live_slots is not None:
+                slot = self.live_slots.get(source.name.lower())
+                if slot is not None:
+                    return BindingScan(self.live_slots, source.name.lower(),
+                                       slot.schema, source.binding_name)
             bound = self.bindings.get(source.name.lower())
             if bound is not None:
                 return RelationScan(bound, source.binding_name)
@@ -131,6 +143,11 @@ class QueryRunner:
             table = self.database.table(source.name)
             return TableScan(table, source.binding_name)
         if isinstance(source, SubquerySource):
+            if self.live_slots is not None:
+                # Cached-plan mode: inline the derived table as a subplan
+                # so it re-reads the live slots on every execution (and
+                # skips the per-iteration materialisation entirely).
+                return Requalify(self.plan(source.statement), source.alias)
             result = self.run(source.statement)
             return RelationScan(result, source.alias)
         if isinstance(source, JoinSource):
@@ -153,7 +170,7 @@ class QueryRunner:
                      for c in left.schema.columns]
             items += [(ColumnRef(c.name, c.qualifier), c.name)
                       for c in right.schema.columns]
-            return Project(flipped, items)
+            return self.policy.make_project(flipped, items)
         condition = source.condition
         pairs, residual = _split_equi_condition(condition, left.schema,
                                                 right.schema)
@@ -165,7 +182,7 @@ class QueryRunner:
             else:
                 return NestedLoopJoin(left, right, condition)
             if residual is not None:
-                joined = Filter(joined, residual)
+                joined = self.policy.make_filter(joined, residual)
             return joined
         if not pairs:
             raise PlanError("outer joins require at least one equality"
@@ -217,7 +234,7 @@ class QueryRunner:
             current = self._plan_windows(current, statement)
         else:
             items = self._expand_items(statement.items, current.schema)
-            current = Project(current, items)
+            current = self.policy.make_project(current, items)
         if statement.distinct:
             current = Distinct(current)
         if statement.order_by:
@@ -233,7 +250,7 @@ class QueryRunner:
                     raise
                 ordered = Sort(pre_projection, keys, descending)
                 items = self._expand_items(statement.items, ordered.schema)
-                current = Project(ordered, items)
+                current = self.policy.make_project(ordered, items)
         if statement.limit is not None:
             current = Limit(current, statement.limit)
         return current
@@ -276,14 +293,13 @@ class QueryRunner:
                 f"predicate {unresolved.sql()} references unknown columns")
         return current
 
-    @staticmethod
-    def _apply_resolvable(current: PhysicalOperator,
+    def _apply_resolvable(self, current: PhysicalOperator,
                           conjuncts: list[Expression]
                           ) -> tuple[PhysicalOperator, list[Expression]]:
         kept: list[Expression] = []
         for conjunct in conjuncts:
             if _resolvable(conjunct, current.schema):
-                current = Filter(current, conjunct)
+                current = self.policy.make_filter(current, conjunct)
             else:
                 kept.append(conjunct)
         return current, kept
@@ -330,7 +346,7 @@ class QueryRunner:
             outer_keys.append(correlated[0])
             inner_keys.append(correlated[1])
         for predicate in inner_filters:
-            inner = Filter(inner, predicate)
+            inner = self.policy.make_filter(inner, predicate)
         if not outer_keys:
             # Uncorrelated EXISTS: either everything or nothing passes.
             has_rows = any(True for _ in inner.rows())
@@ -400,13 +416,13 @@ class QueryRunner:
 
         top: PhysicalOperator = aggregate
         if having is not None:
-            top = Filter(top, rewrite(having))
+            top = self.policy.make_filter(top, rewrite(having))
         items: list[tuple[Expression, str]] = []
         for i, item in enumerate(resolved_items):
             rewritten = rewrite(item.expression)
             alias = item.alias or _default_alias(item.expression, i)
             items.append((rewritten, alias))
-        return Project(top, items)
+        return self.policy.make_project(top, items)
 
     def _plan_windows(self, current: PhysicalOperator,
                       statement: SelectStatement) -> PhysicalOperator:
@@ -443,7 +459,7 @@ class QueryRunner:
         items = [(rewrite(item.expression),
                   item.alias or _default_alias(item.expression, i))
                  for i, item in enumerate(resolved_items)]
-        return Project(windowed, items)
+        return self.policy.make_project(windowed, items)
 
     # -- select-list helpers -------------------------------------------------------------
 

@@ -108,7 +108,19 @@ def _merge(table: Table, delta: Relation,
                     f"MERGE update violates key uniqueness on {new_key!r}")
             table.rows[target_pos] = coerced
             change_log.append(("update", coerced, old))
-    table._rebuild_auxiliary()
+    # Row-level apply tail: maintain indexes and the key set from the
+    # change records instead of rebuilding everything each call.
+    updates = [(old, new) for op, new, old in change_log if op == "update"]
+    inserts = [new for op, new, old in change_log if op == "insert"]
+    if table.enforce_key:
+        for old, new in updates:
+            table._key_set.discard(table.row_key(old))
+            table._key_set.add(table.row_key(new))
+        for new in inserts:
+            table._key_set.add(table.row_key(new))
+    table._maintain_indexes(updates, inserts)
+    table._positions_cache = None
+    table.statistics.invalidate()
 
 
 def _update_from(table: Table, delta: Relation,
@@ -118,11 +130,14 @@ def _update_from(table: Table, delta: Relation,
     target_positions = [table.schema.index_of(k) for k in key_columns]
     delta_positions = [delta.schema.index_of(k) for k in key_columns]
     existing = {tuple(row[i] for i in target_positions) for row in table.rows}
+    remainder: list[tuple] = []
     for row in delta.rows:
         key = tuple(row[i] for i in delta_positions)
         if key not in existing:
             existing.add(key)
-            table.insert(row)
+            remainder.append(row)
+    if remainder:
+        table.insert_many(remainder)
 
 
 def _union_by_update_relation(current: Relation, delta: Relation,
@@ -152,8 +167,18 @@ def _union_by_update_relation(current: Relation, delta: Relation,
 
 def _full_outer_join(table: Table, delta: Relation,
                      key_columns: Sequence[str]) -> None:
-    merged = _union_by_update_relation(table.snapshot(), delta, key_columns)
-    table.replace_contents(merged)
+    """Full-outer-join semantics, applied incrementally.
+
+    When the delta is small relative to the table (the recursive loop's
+    steady state), touched rows are overwritten in place with incremental
+    index delete/insert — O(|delta|) maintenance.  A delta of more than
+    half the table falls back to the one-pass rebuild, which is cheaper
+    than row-at-a-time churn at that size.
+    """
+    if 2 * len(delta) > len(table.rows):
+        table.merge_delta_rebuild(delta, key_columns)
+    else:
+        table.apply_delta_by_key(delta, key_columns)
 
 
 def _drop_alter(database: Database, table: Table, delta: Relation,

@@ -16,7 +16,7 @@ from .indexes import Index, make_index
 from .relation import Relation, Row
 from .schema import Schema
 from .statistics import TableStatistics
-from .types import coerce
+from .types import coerce, make_row_coercer
 
 
 class Table:
@@ -32,13 +32,27 @@ class Table:
         self.indexes: dict[str, Index] = {}
         self.statistics = TableStatistics()
         self._key_positions = schema.key_indexes() if schema.primary_key else ()
+        # Compiled row -> coerced-tuple function for this schema; every
+        # write-path coercion goes through it (callers check arity first).
+        self._coerce_row = make_row_coercer(c.sql_type for c in schema.columns)
         self._key_set: set[tuple] = set()
+        # key-column tuple -> {key value -> row positions}, maintained by
+        # apply_delta_by_key and dropped by any other row mutation; lets
+        # the recursive loop's union-by-update do O(|delta|) work.
+        self._positions_cache: tuple[tuple[int, ...],
+                                     dict[tuple, list[int]]] | None = None
+        #: Maintenance counters (observable cost model): full index/keyset
+        #: rebuilds vs. incremental per-row index delete/insert operations.
+        self.index_rebuilds = 0
+        self.incremental_index_ops = 0
 
     # -- reads -----------------------------------------------------------------
 
     def snapshot(self) -> Relation:
         """Current contents as an immutable relation."""
-        return Relation(self.schema, list(self.rows))
+        # Stored rows are already coerced tuples of the right arity, so
+        # skip Relation's per-row validation pass.
+        return Relation.from_trusted_rows(self.schema, list(self.rows))
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -54,8 +68,7 @@ class Table:
             raise SchemaError(
                 f"insert of arity {len(row)} into {self.name}"
                 f" of arity {self.schema.arity}")
-        coerced = tuple(coerce(v, c.sql_type)
-                        for v, c in zip(row, self.schema.columns))
+        coerced = self._coerce_row(row)
         if self.enforce_key:
             key = self.row_key(coerced)
             if key in self._key_set:
@@ -65,14 +78,42 @@ class Table:
         self.rows.append(coerced)
         for index in self.indexes.values():
             index.insert(coerced)
+            self.incremental_index_ops += 1
+        self._positions_cache = None
         self.statistics.invalidate()
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        count = 0
+        """Batch insert: one coerce/validate pass over all rows, one bulk
+        index load and one statistics invalidation (instead of per-row
+        work).  Validation happens before any mutation, so a bad row in
+        the batch leaves the table untouched."""
+        arity = self.schema.arity
+        coerce_row = self._coerce_row
+        coerced_rows: list[Row] = []
+        batch_keys: set[tuple] = set()
         for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+            if len(row) != arity:
+                raise SchemaError(
+                    f"insert of arity {len(row)} into {self.name}"
+                    f" of arity {arity}")
+            coerced = coerce_row(row)
+            if self.enforce_key:
+                key = self.row_key(coerced)
+                if key in self._key_set or key in batch_keys:
+                    raise ConstraintError(
+                        f"duplicate primary key {key!r} in table {self.name}")
+                batch_keys.add(key)
+            coerced_rows.append(coerced)
+        if not coerced_rows:
+            return 0
+        self._key_set |= batch_keys
+        self.rows.extend(coerced_rows)
+        for index in self.indexes.values():
+            index.bulk_load(coerced_rows)
+            self.incremental_index_ops += len(coerced_rows)
+        self._positions_cache = None
+        self.statistics.invalidate()
+        return len(coerced_rows)
 
     def insert_relation(self, relation: Relation) -> int:
         """Append all rows of *relation* (schemas must be arity-compatible)."""
@@ -88,6 +129,7 @@ class Table:
         self._key_set.clear()
         for index in self.indexes.values():
             index.clear()
+        self._positions_cache = None
         self.statistics.invalidate()
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
@@ -105,9 +147,8 @@ class Table:
             raise SchemaError(
                 f"cannot replace arity-{self.schema.arity} table {self.name}"
                 f" with arity-{relation.schema.arity} contents")
-        self.rows = [tuple(coerce(v, c.sql_type)
-                           for v, c in zip(row, self.schema.columns))
-                     for row in relation.rows]
+        coerce_row = self._coerce_row
+        self.rows = [coerce_row(row) for row in relation.rows]
         self._rebuild_auxiliary()
 
     def merge_by_key(self, source: Relation,
@@ -131,6 +172,8 @@ class Table:
             by_key[tuple(row[i] for i in target_positions)] = pos
         updated = inserted = 0
         seen_source_keys: set[tuple] = set()
+        touched: list[tuple[Row, Row]] = []  # (old, new) per updated row
+        appended: list[Row] = []
         for row in source.rows:
             key = tuple(row[i] for i in source_positions)
             if key in seen_source_keys:
@@ -143,13 +186,16 @@ class Table:
             if target_pos is None:
                 by_key[key] = len(self.rows)
                 self.rows.append(coerced)
+                appended.append(coerced)
                 if self.enforce_key:
                     self._key_set.add(self.row_key(coerced))
                 inserted += 1
             else:
+                touched.append((self.rows[target_pos], coerced))
                 self.rows[target_pos] = coerced
                 updated += 1
-        self._rebuild_indexes()
+        self._maintain_indexes(touched, appended)
+        self._positions_cache = None
         self.statistics.invalidate()
         return updated, inserted
 
@@ -169,13 +215,16 @@ class Table:
             replacement[key] = tuple(coerce(v, c.sql_type)
                                      for v, c in zip(row, self.schema.columns))
         updated = 0
+        touched: list[tuple[Row, Row]] = []
         for pos, row in enumerate(self.rows):
             key = tuple(row[i] for i in target_positions)
             if key in replacement:
+                touched.append((row, replacement[key]))
                 self.rows[pos] = replacement[key]
                 updated += 1
         if updated:
-            self._rebuild_indexes()
+            self._maintain_indexes(touched, ())
+            self._positions_cache = None
             self.statistics.invalidate()
         return updated
 
@@ -208,9 +257,161 @@ class Table:
         """Refresh planner statistics (ANALYZE)."""
         self.statistics.refresh(self.snapshot())
 
+    # -- incremental union-by-update ---------------------------------------------
+
+    def positions_by_key(self, target_positions: Sequence[int]
+                         ) -> dict[tuple, list[int]]:
+        """Key value → row positions, cached across calls.
+
+        The cache survives :meth:`apply_delta_by_key` (which maintains it
+        in place) and is dropped by any other row mutation, so a recursive
+        union-by-update loop builds it once and then pays O(|delta|) per
+        iteration instead of O(|table|).
+        """
+        wanted = tuple(target_positions)
+        if self._positions_cache is not None \
+                and self._positions_cache[0] == wanted:
+            return self._positions_cache[1]
+        mapping: dict[tuple, list[int]] = {}
+        for pos, row in enumerate(self.rows):
+            key = tuple(row[i] for i in wanted)
+            bucket = mapping.get(key)
+            if bucket is None:
+                mapping[key] = [pos]
+            else:
+                bucket.append(pos)
+        self._positions_cache = (wanted, mapping)
+        return mapping
+
+    def apply_delta_by_key(self, delta: Relation,
+                           key_columns: Sequence[str]) -> tuple[int, int]:
+        """In-place ``self ⊎ delta`` on *key_columns* (last delta row wins
+        per key; unmatched delta rows are appended in delta order).
+
+        Produces the same contents, in the same row order, as rebuilding
+        via the full-outer-join merge, but touches only the delta's rows:
+        matched rows are overwritten in place with incremental index
+        delete/insert, unmatched rows are appended.  Returns
+        ``(replaced, appended)`` row counts.
+        """
+        if delta.schema.arity != self.schema.arity:
+            raise SchemaError(
+                f"cannot merge arity-{delta.schema.arity} delta into"
+                f" arity-{self.schema.arity} table {self.name}")
+        target_positions = tuple(self.schema.index_of(k) for k in key_columns)
+        delta_positions = [delta.schema.index_of(k) for k in key_columns]
+        mapping = self.positions_by_key(target_positions)
+        coerce_row = self._coerce_row
+        ordered: list[tuple[tuple, Row]] = []
+        replacement: dict[tuple, Row] = {}
+        for row in delta.rows:
+            key = tuple(row[i] for i in delta_positions)
+            coerced = coerce_row(row)
+            ordered.append((key, coerced))
+            replacement[key] = coerced  # last occurrence wins
+        replaced = appended = 0
+        enforce = self.enforce_key
+        seen_matched: set[tuple] = set()
+        for key, new_row in replacement.items():
+            positions = mapping.get(key)
+            if not positions:
+                continue
+            seen_matched.add(key)
+            for pos in positions:
+                old_row = self.rows[pos]
+                if old_row == new_row:
+                    continue
+                for index in self.indexes.values():
+                    index.delete(old_row)
+                    index.insert(new_row)
+                    self.incremental_index_ops += 2
+                if enforce:
+                    self._key_set.discard(self.row_key(old_row))
+                    self._key_set.add(self.row_key(new_row))
+                self.rows[pos] = new_row
+                replaced += 1
+        for key, coerced in ordered:
+            if key in seen_matched:
+                continue
+            position = len(self.rows)
+            self.rows.append(coerced)
+            bucket = mapping.get(key)
+            if bucket is None:
+                mapping[key] = [position]
+            else:
+                bucket.append(position)
+            for index in self.indexes.values():
+                index.insert(coerced)
+                self.incremental_index_ops += 1
+            if enforce:
+                self._key_set.add(self.row_key(coerced))
+            appended += 1
+        self.statistics.invalidate()
+        return replaced, appended
+
+    def merge_delta_rebuild(self, delta: Relation,
+                            key_columns: Sequence[str]) -> None:
+        """One-pass ``self ⊎ delta`` rebuild for table-sized deltas.
+
+        Same contents and row order as materialising the full-outer-join
+        merge and calling :meth:`replace_contents`, but surviving rows are
+        reused as-is (they are already coerced) and the delta is coerced
+        exactly once — one pass over the table instead of three.
+        """
+        from operator import itemgetter
+
+        if delta.schema.arity != self.schema.arity:
+            raise SchemaError(
+                f"cannot merge arity-{delta.schema.arity} delta into"
+                f" arity-{self.schema.arity} table {self.name}")
+        target_key = itemgetter(*(self.schema.index_of(k)
+                                  for k in key_columns))
+        delta_key = itemgetter(*(delta.schema.index_of(k)
+                                 for k in key_columns))
+        coerce_row = self._coerce_row
+        coerced = [coerce_row(row) for row in delta.rows]
+        replacement = {delta_key(row): row for row in coerced}
+        out: list[Row] = []
+        matched: set = set()
+        get = replacement.get
+        for row in self.rows:
+            key = target_key(row)
+            new = get(key)
+            if new is None:
+                out.append(row)
+            else:
+                matched.add(key)
+                out.append(new)
+        out.extend(row for row in coerced
+                   if delta_key(row) not in matched)
+        self.rows = out
+        self._rebuild_auxiliary()
+
     # -- internals -----------------------------------------------------------------
 
+    def _maintain_indexes(self, touched: Sequence[tuple[Row, Row]],
+                          appended: Sequence[Row]) -> None:
+        """Incremental index upkeep for an update/append batch, falling
+        back to a full rebuild when the batch exceeds half the table."""
+        if not self.indexes:
+            return
+        if 2 * (len(touched) + len(appended)) > len(self.rows):
+            self._rebuild_indexes()
+            return
+        for index in self.indexes.values():
+            for old_row, new_row in touched:
+                if old_row == new_row:
+                    continue
+                index.delete(old_row)
+                index.insert(new_row)
+                self.incremental_index_ops += 2
+            for row in appended:
+                index.insert(row)
+                self.incremental_index_ops += 1
+
     def _rebuild_indexes(self) -> None:
+        if self.indexes:
+            self.index_rebuilds += 1
         for index in self.indexes.values():
             index.clear()
             index.bulk_load(self.rows)
@@ -218,6 +419,7 @@ class Table:
     def _rebuild_auxiliary(self) -> None:
         self._key_set = ({self.row_key(r) for r in self.rows}
                          if self.enforce_key else set())
+        self._positions_cache = None
         self._rebuild_indexes()
         self.statistics.invalidate()
 

@@ -47,15 +47,86 @@ def coerce(value: Any, sql_type: SqlType) -> Any:
     """Coerce *value* to *sql_type*, passing NULL (``None``) through.
 
     Floats representing infinity are preserved for ``DOUBLE`` and rejected
-    for ``INTEGER``.
+    for ``INTEGER``.  Exact-type fast paths keep the common already-typed
+    case free of the enum-keyed dict probe — this runs once per value on
+    every table write.
     """
     if value is None:
         return None
-    if sql_type is SqlType.DOUBLE and isinstance(value, (int, float)):
-        return float(value)
-    if sql_type is SqlType.INTEGER and isinstance(value, float) and math.isinf(value):
-        raise ValueError("cannot store infinity in an INTEGER column")
+    if sql_type is SqlType.DOUBLE:
+        if type(value) is float:
+            return value
+        if isinstance(value, (int, float)):
+            return float(value)
+    elif sql_type is SqlType.INTEGER:
+        if type(value) is int:
+            return value
+        if isinstance(value, float) and math.isinf(value):
+            raise ValueError("cannot store infinity in an INTEGER column")
+    elif sql_type is SqlType.TEXT:
+        if type(value) is str:
+            return value
+    elif sql_type is SqlType.BOOLEAN:
+        if type(value) is bool:
+            return value
     return _COERCERS[sql_type](value)
+
+
+def _float_to_int(value: float) -> int:
+    if math.isinf(value):
+        raise ValueError("cannot store infinity in an INTEGER column")
+    return int(value)
+
+
+#: Exact Python type per SQL type whose values pass ``coerce`` unchanged.
+_EXACT_TYPES = {
+    SqlType.INTEGER: "int",
+    SqlType.DOUBLE: "float",
+    SqlType.TEXT: "str",
+    SqlType.BOOLEAN: "bool",
+}
+
+
+def make_row_coercer(sql_types) -> Any:
+    """Compile a column-type list into a row → coerced-tuple function.
+
+    Table writes run this once per row, so the generated function inlines
+    the exact-type fast path per column (a ``type(v) is int`` test instead
+    of a :func:`coerce` call) and only falls back to :func:`coerce` for
+    NULLs and mistyped values.  Callers validate arity first — short rows
+    raise ``IndexError`` here, not truncate.
+    """
+    types = tuple(sql_types)
+    if not types:
+        return lambda row: ()
+    loads = "; ".join(f"v{i} = row[{i}]" for i in range(len(types)))
+    cells = []
+    for i, t in enumerate(types):
+        cell = (f"v{i} if type(v{i}) is {_EXACT_TYPES[t]}"
+                f" else _coerce(v{i}, _t{i})")
+        if t is SqlType.DOUBLE:
+            # ints are common in DOUBLE columns (e.g. integer literals in
+            # arithmetic); widen inline rather than through the fallback.
+            cell = (f"v{i} if type(v{i}) is float"
+                    f" else (float(v{i}) if type(v{i}) is int"
+                    f" else _coerce(v{i}, _t{i}))")
+        elif t is SqlType.INTEGER:
+            # floats are equally common in INTEGER columns (any arithmetic
+            # with a DOUBLE operand widens); narrow through the dedicated
+            # helper, which keeps the infinity check.
+            cell = (f"v{i} if type(v{i}) is int"
+                    f" else (_f2i(v{i}) if type(v{i}) is float"
+                    f" else _coerce(v{i}, _t{i}))")
+        cells.append(cell)
+    cells = ", ".join(cells)
+    trailing = "," if len(types) == 1 else ""
+    source = (f"def _row_coercer(row):\n"
+              f"    {loads}\n"
+              f"    return ({cells}{trailing})\n")
+    namespace: dict[str, Any] = {"_coerce": coerce, "_f2i": _float_to_int}
+    namespace.update({f"_t{i}": t for i, t in enumerate(types)})
+    exec(source, namespace)
+    return namespace["_row_coercer"]
 
 
 def infer_type(value: Any) -> SqlType:
