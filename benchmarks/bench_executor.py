@@ -24,3 +24,20 @@ def test_executor_comparison(benchmark, emit):
               f" n={report['graph']['nodes']})"))
     for r in report["results"]:
         assert r["identical"], f"{r['query']} results differ across executors"
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        # Tiny no-report run for CI: exercises the whole bench path
+        # without writing BENCH_executor.json or taking minutes.
+        report = run_executor_bench(scale=0.05, repeats=1)
+        print(json.dumps(report, indent=2))
+        for entry in report["results"]:
+            assert entry["identical"], f"{entry['query']} results diverged"
+    else:
+        report = run_executor_bench()
+        write_report(report)
+        print(json.dumps(report, indent=2))

@@ -1,0 +1,38 @@
+"""Cost-based optimizer on/off comparison (this PR's acceptance benchmark).
+
+Runs PageRank, WCC, SSSP and a 4-way equi-join chain through the same SQL
+front-end with the dialect's modelled planner and with the cost-based
+optimizer, reporting wall time, speedup, and result identity.  Also
+refreshes ``BENCH_optimizer.json`` at the repo root so the committed
+report always matches the measured code.
+
+Can also run standalone: ``python benchmarks/bench_optimizer.py --smoke``
+does a tiny no-report run (the CI smoke job).
+"""
+
+from __future__ import annotations
+
+from repro.bench.optimizer_bench import run_optimizer_bench, write_report
+from repro.bench.reporting import format_table
+
+
+def test_optimizer_comparison(benchmark, emit):
+    report = benchmark.pedantic(run_optimizer_bench, rounds=1, iterations=1)
+    write_report(report)
+    rows = [[r["query"], r["off_ms"], r["cost_ms"],
+             f"{r['speedup']:.2f}x", r["identical"]]
+            for r in report["results"]]
+    emit("optimizer", format_table(
+        ("query", "off_ms", "cost_ms", "speedup", "identical"), rows,
+        title=f"cost-based optimizer on vs off ({report['dialect']},"
+              f" n={report['graph']['nodes']})"))
+    for r in report["results"]:
+        assert r["identical"], f"{r['query']} results differ with optimizer on"
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.optimizer_bench import main
+
+    main(smoke="--smoke" in sys.argv[1:])

@@ -30,7 +30,8 @@ from .recursive import (
     cte_is_recursive,
 )
 from .relation import Relation
-from .sql.ast import Statement, WithStatement
+from .schema import Column, Schema, SqlType
+from .sql.ast import AnalyzeStatement, Statement, WithStatement
 from .sql.compiler import QueryRunner
 from .sql.parser import parse_statement
 
@@ -53,16 +54,37 @@ class Engine:
         batch kernels in :mod:`repro.relational.physical.batch`.  Plans
         and EXPLAIN output are identical either way; only the execution
         style (and speed) differs.
+    optimizer:
+        ``"off"`` (default) keeps the dialect's modelled planner policy;
+        ``"cost"`` replaces it with the statistics-driven
+        :class:`~repro.relational.planner.CostBasedPolicy` (cardinality
+        estimation, join reordering, pushdown, cached build sides, and
+        iteration-adaptive replanning).  The default stays off so the
+        three dialect profiles keep reproducing the paper's plans.
+    replan_factor:
+        With the cost-based optimizer, a cached recursive branch plan is
+        thrown away and replanned when the loop's observed delta
+        cardinality drifts from the planned cardinality by more than
+        this factor (in either direction).
     """
 
     def __init__(self, dialect: str | Dialect = "oracle",
                  database: Database | None = None, mode: str = "with+",
-                 executor: str = "tuple"):
+                 executor: str = "tuple", optimizer: str = "off",
+                 replan_factor: float = 8.0):
         self.dialect = (dialect if isinstance(dialect, Dialect)
                         else get_dialect(dialect))
         self.database = database if database is not None else Database()
-        self.policy: PlannerPolicy = POLICIES[self.dialect.policy_name](
-            executor=executor)
+        if optimizer not in ("off", "cost"):
+            raise ValueError(
+                f"unknown optimizer {optimizer!r}; expected 'off' or 'cost'")
+        self.optimizer = optimizer
+        if optimizer == "cost":
+            self.policy: PlannerPolicy = POLICIES["cost-based"](
+                executor=executor, replan_factor=replan_factor)
+        else:
+            self.policy = POLICIES[self.dialect.policy_name](
+                executor=executor)
         self.executor = executor
         self.mode = mode
         self._ubu_strategy: str | None = None
@@ -98,6 +120,8 @@ class Engine:
         """Run a statement, returning per-iteration statistics for
         recursive queries (used by the Fig 12/13 benchmarks)."""
         statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, AnalyzeStatement):
+            return WithExecutionResult(relation=self._run_analyze(statement))
         if isinstance(statement, WithStatement) and \
                 any(cte_is_recursive(c) for c in statement.ctes):
             executor = RecursiveExecutor(
@@ -109,11 +133,39 @@ class Engine:
         runner = QueryRunner(self.database, self.policy)
         return WithExecutionResult(relation=runner.run(statement))
 
+    def _run_analyze(self, statement: AnalyzeStatement) -> Relation:
+        """Eagerly refresh statistics: ``ANALYZE`` (all) / ``ANALYZE t``."""
+        names = ([statement.table] if statement.table is not None
+                 else self.database.table_names())
+        rows = []
+        for name in names:
+            table = self.database.table(name)
+            table.analyze()
+            rows.append((name, table.statistics.row_count))
+        schema = Schema((Column("table_name", SqlType.TEXT),
+                         Column("row_count", SqlType.INTEGER)))
+        return Relation(schema, rows)
+
+    def _annotate_estimates(self, plan) -> None:
+        """Attach ``estimated_rows`` to every node for EXPLAIN output."""
+        from .optimizer import CardinalityEstimator
+
+        estimator = getattr(self.policy, "estimator", None)
+        if estimator is None:
+            # Dialect policies report from whatever statistics exist but
+            # never auto-refresh them — their modelled plans depend on
+            # staleness (the PostgreSQL profile's merge joins).
+            estimator = CardinalityEstimator(refresh=False)
+        estimator.annotate(plan)
+
     def explain(self, sql: str | Statement) -> str:
-        """Physical plan of a non-recursive statement, as indented text."""
+        """Physical plan of a non-recursive statement, as indented text,
+        with per-operator cardinality estimates."""
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         runner = QueryRunner(self.database, self.policy)
-        return explain_plan(runner.plan(statement))
+        plan = runner.plan(statement)
+        self._annotate_estimates(plan)
+        return explain_plan(plan)
 
     def explain_analyze(self, sql: str | Statement,
                         mode: str | None = None) -> str:
@@ -138,7 +190,9 @@ class Engine:
             result = executor.execute(statement)
             return executor.analysis_report(result)
         runner = QueryRunner(self.database, self.policy)
-        _, report = execute_analyzed(runner.plan(statement))
+        plan = runner.plan(statement)
+        self._annotate_estimates(plan)
+        _, report = execute_analyzed(plan)
         return report
 
     def to_psm(self, sql: str | Statement,

@@ -13,6 +13,7 @@ from .scan import BindingScan, IndexOrderedScan, RelationScan, TableScan
 from .filter import Filter
 from .project import Project
 from .joins import (
+    CachedBuildHashJoin,
     HashAntiJoin,
     HashFullOuterJoin,
     HashJoin,
@@ -21,7 +22,10 @@ from .joins import (
     MergeJoin,
     NestedLoopJoin,
     NotInAntiJoin,
+    contains_binding_scan,
+    stable_input_fingerprint,
 )
+from .prune import ColumnPrune
 from .aggregate import HashAggregate, SortAggregate
 from .batch import (
     BatchFilter,
@@ -58,7 +62,11 @@ __all__ = [
     "IndexOrderedScan",
     "Filter",
     "Project",
+    "ColumnPrune",
     "HashJoin",
+    "CachedBuildHashJoin",
+    "contains_binding_scan",
+    "stable_input_fingerprint",
     "MergeJoin",
     "NestedLoopJoin",
     "HashLeftOuterJoin",

@@ -102,6 +102,9 @@ def render_analysis(root: PhysicalOperator,
     def visit(node: PhysicalOperator, depth: int) -> None:
         annotation = node.detail()
         suffix = f" [{annotation}]" if annotation else ""
+        estimate = getattr(node, "estimated_rows", None)
+        if estimate is not None:
+            suffix += f" (est_rows={estimate})"
         node_stats = stats.get(node)
         if node_stats is None or node_stats.calls == 0:
             actual = " (never executed)"

@@ -46,6 +46,9 @@ def explain_plan(root: PhysicalOperator) -> str:
     def visit(node: PhysicalOperator, depth: int) -> None:
         annotation = node.detail()
         suffix = f" [{annotation}]" if annotation else ""
+        estimate = getattr(node, "estimated_rows", None)
+        if estimate is not None:
+            suffix += f" (est_rows={estimate})"
         lines.append("  " * depth + f"-> {node.label}{suffix}")
         for child in node.children():
             visit(child, depth + 1)

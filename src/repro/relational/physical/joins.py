@@ -366,3 +366,107 @@ class NotInAntiJoin(_BinaryJoin):
                 continue
             if key not in keys:
                 yield row
+
+
+# -- build-side caching across plan re-executions ------------------------------
+
+
+def stable_input_fingerprint(node: PhysicalOperator) -> tuple | None:
+    """A value identifying the *contents* feeding *node*, or ``None``.
+
+    A subtree is *stable* when re-executing it can only ever produce the
+    same rows: every leaf is either a scan of an immutable, already
+    materialised relation or a table scan (whose statistics version counts
+    mutations), and every interior node is a deterministic row transformer.
+    ``None`` means the subtree's output may change between executions —
+    e.g. it reads a live recursive-loop slot (:class:`BindingScan`).
+
+    The fingerprint changes whenever any underlying table mutates, so a
+    cached hash-join build over it is invalidated exactly when needed.
+    """
+    from .filter import Filter
+    from .project import Project
+    from .prune import ColumnPrune
+    from .rename import Requalify
+    from .scan import BindingScan, IndexOrderedScan, RelationScan, TableScan
+
+    if isinstance(node, (TableScan, IndexOrderedScan)):
+        return (id(node.table), node.table.statistics.version)
+    if isinstance(node, RelationScan):
+        return (id(node.relation),)
+    if isinstance(node, BindingScan):
+        return None
+    if isinstance(node, (Filter, Project, ColumnPrune, Requalify)):
+        child = stable_input_fingerprint(node.children()[0])
+        if child is None:
+            return None
+        return (type(node).__name__,) + child
+    return None
+
+
+def contains_binding_scan(node: PhysicalOperator) -> bool:
+    """True when *node*'s subtree reads a live recursive-loop slot."""
+    from .scan import BindingScan
+
+    if isinstance(node, BindingScan):
+        return True
+    return any(contains_binding_scan(c) for c in node.children())
+
+
+class CachedBuildHashJoin(HashJoin):
+    """Hash join that reuses its build-side hash table across executions.
+
+    Inside the recursive loop a cached branch plan re-executes once per
+    iteration; when the build side reads only stable inputs (base tables,
+    materialised relations) rebuilding its hash table every iteration is
+    pure waste.  This operator fingerprints the build subtree's contents
+    (table identity + statistics version) and rebuilds only when the
+    fingerprint changes, turning each later iteration into a probe-only
+    pass over the (usually much smaller) delta side.
+    """
+
+    def __init__(self, left, right, left_keys, right_keys,
+                 build_side: str = "right"):
+        super().__init__(left, right, left_keys, right_keys, build_side)
+        self._cached_fingerprint: tuple | None = None
+        self._cached_index: dict[tuple, list[Row]] | None = None
+
+    def _build_index(self) -> dict[tuple, list[Row]]:
+        build = self.right if self.build_side == "right" else self.left
+        build_key = (self._right_key if self.build_side == "right"
+                     else self._left_key)
+        fingerprint = stable_input_fingerprint(build)
+        if (self._cached_index is not None and fingerprint is not None
+                and fingerprint == self._cached_fingerprint):
+            return self._cached_index
+        index: dict[tuple, list[Row]] = {}
+        for row in build.rows():
+            key = build_key(row)
+            if any(v is None for v in key):
+                continue
+            index.setdefault(key, []).append(row)
+        self._cached_fingerprint = fingerprint
+        self._cached_index = index if fingerprint is not None else None
+        return index
+
+    def rows(self) -> Iterator[Row]:
+        index = self._build_index()
+        if self.build_side == "right":
+            probe, probe_key = self.left, self._left_key
+            for row in probe.rows():
+                key = probe_key(row)
+                if any(v is None for v in key):
+                    continue
+                for match in index.get(key, ()):
+                    yield row + match
+        else:
+            probe, probe_key = self.right, self._right_key
+            for row in probe.rows():
+                key = probe_key(row)
+                if any(v is None for v in key):
+                    continue
+                for match in index.get(key, ()):
+                    yield match + row
+
+    def detail(self) -> str:
+        return f"{super().detail()}; cached build"

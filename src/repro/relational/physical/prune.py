@@ -1,0 +1,48 @@
+"""Column pruning: a qualifier-preserving projection onto a column subset.
+
+The cost-based optimizer's projection-pushdown rewrite narrows each join
+input to the columns the rest of the query actually references.  Unlike
+:class:`~repro.relational.physical.project.Project`, which emits alias-named
+unqualified columns, this operator keeps the child's :class:`Column` objects
+(name, type **and qualifier**) so later qualified references like ``E.F``
+still resolve.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Iterator, Sequence
+
+from ..relation import Row
+from ..schema import Schema
+from .base import PhysicalOperator
+
+
+class ColumnPrune(PhysicalOperator):
+    """Keep only the child columns at *positions* (in the given order)."""
+
+    label = "Column Prune"
+
+    def __init__(self, child: PhysicalOperator, positions: Sequence[int]):
+        self.child = child
+        self.positions = tuple(positions)
+        self._schema = Schema(tuple(child.schema.columns[i]
+                                    for i in self.positions))
+        if len(self.positions) == 1:
+            position = self.positions[0]
+            self._builder = lambda row: (row[position],)
+        else:
+            self._builder = itemgetter(*self.positions)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        return map(self._builder, self.child.rows())
+
+    def detail(self) -> str:
+        return ", ".join(c.qualified_name for c in self._schema.columns)

@@ -256,8 +256,121 @@ class MergeJoinPolicy(PlannerPolicy):
         return IndexOrderedScan(node.table, index_name, node.alias)
 
 
+class CostBasedPolicy(PlannerPolicy):
+    """Statistics-driven planning, replacing the dialect heuristics.
+
+    Where the three profiles above *model* a vendor's fixed behaviour,
+    this policy picks operators from estimated costs
+    (:mod:`repro.relational.optimizer`):
+
+    * hash join with the cheaper side as build, upgraded to a
+      :class:`~repro.relational.physical.CachedBuildHashJoin` when the
+      build input is stable across re-executions — inside a with+ loop
+      the stable base table's hash is built once and only the delta is
+      probed each iteration;
+    * merge join only when both inputs arrive presorted through a sorted
+      index and neither side re-executes against loop bindings;
+    * hash aggregation throughout.
+
+    The compiler additionally routes FROM planning through
+    :func:`~repro.relational.optimizer.plan_from_cost_based` (pushdown +
+    join reordering) when it sees ``cost_based`` on the policy, and the
+    recursive executor reads ``adaptive`` / ``replan_factor`` to replan
+    cached branch plans when observed delta cardinality drifts from the
+    estimates.
+    """
+
+    name = "cost-based"
+    #: Compiler switch: route FROM planning through the optimizer.
+    cost_based = True
+    #: Recursive-executor switch: replan on cardinality drift.
+    adaptive = True
+
+    #: Merge join needs both inputs presorted and size-balanced at least
+    #: this much; otherwise building a hash on the small side wins.
+    MERGE_BALANCE = 0.25
+
+    #: Aggregations estimated to consume at least this many rows run on
+    #: the vectorized batch kernel even under the tuple executor (the
+    #: row-mode vs batch-mode operator decision); below it the kernel's
+    #: materialisation overhead is not worth amortising.
+    BATCH_AGG_THRESHOLD = 256
+
+    def __init__(self, executor: str = "tuple", replan_factor: float = 8.0):
+        super().__init__(executor)
+        from .optimizer import CardinalityEstimator
+
+        self.replan_factor = replan_factor
+        self.estimator = CardinalityEstimator(refresh=True)
+
+    def make_equi_join(self, left, right, left_keys, right_keys):
+        from .physical import (
+            CachedBuildHashJoin,
+            contains_binding_scan,
+            stable_input_fingerprint,
+        )
+
+        left_rows = self.estimator.annotate(left)
+        right_rows = self.estimator.annotate(right)
+        rescanned_left = contains_binding_scan(left)
+        rescanned_right = contains_binding_scan(right)
+        if not (rescanned_left or rescanned_right):
+            merged = self._try_merge_join(left, right, left_keys, right_keys,
+                                          left_rows, right_rows)
+            if merged is not None:
+                return merged
+        stable_left = stable_input_fingerprint(left) is not None
+        stable_right = stable_input_fingerprint(right) is not None
+        if stable_right and rescanned_left and not rescanned_right:
+            # The classic with+ branch shape: delta ⋈ stable base table.
+            # Build on the stable side regardless of size — the build is
+            # paid once and amortised over every loop iteration.
+            build_side = "right"
+        elif stable_left and rescanned_right and not rescanned_left:
+            build_side = "left"
+        else:
+            build_side = "left" if left_rows <= right_rows else "right"
+        build_stable = stable_left if build_side == "left" else stable_right
+        rescanned = rescanned_left or rescanned_right
+        if build_stable and (self.executor == "tuple" or rescanned):
+            join = CachedBuildHashJoin(left, right, left_keys, right_keys,
+                                       build_side)
+        else:
+            join = self._ops["equi"](left, right, left_keys, right_keys,
+                                     build_side)
+        self.estimator.annotate(join)
+        return join
+
+    def _try_merge_join(self, left, right, left_keys, right_keys,
+                        left_rows, right_rows):
+        from .physical import ColumnPrune
+
+        bigger = max(left_rows, right_rows, 1)
+        if min(left_rows, right_rows) / bigger < self.MERGE_BALANCE:
+            return None
+        # Projection pushdown may have wrapped the scans; a merge join's
+        # presorted feed needs the bare index-ordered scan, so trade the
+        # prune back for the skipped sort when an index fits.
+        bare_left = left.child if isinstance(left, ColumnPrune) else left
+        bare_right = right.child if isinstance(right, ColumnPrune) else right
+        fed_left = MergeJoinPolicy._try_index_feed(bare_left, left_keys)
+        fed_right = MergeJoinPolicy._try_index_feed(bare_right, right_keys)
+        if fed_left is bare_left or fed_right is bare_right:
+            # Some side would have to sort: hash is never worse here.
+            return None
+        join = MergeJoin(fed_left, fed_right, left_keys, right_keys)
+        self.estimator.annotate(join)
+        return join
+
+    def make_aggregate(self, child, keys, aggregates, key_aliases):
+        if self.estimator.annotate(child) >= self.BATCH_AGG_THRESHOLD:
+            return BatchHashAggregate(child, keys, aggregates, key_aliases)
+        return self._ops["hash_agg"](child, keys, aggregates, key_aliases)
+
+
 POLICIES: dict[str, type[PlannerPolicy]] = {
     "hash-first": HashFirstPolicy,
     "hash-join-sort-agg": HashJoinSortAggPolicy,
     "merge-join": MergeJoinPolicy,
+    "cost-based": CostBasedPolicy,
 }

@@ -89,6 +89,10 @@ class WithExecutionResult:
     plans_compiled: int = 0
     #: Cached plans re-executed instead of recompiled inside the loop.
     plan_cache_hits: int = 0
+    #: Cached plans thrown away because the loop's observed cardinality
+    #: drifted from the cardinality they were planned for (cost-based
+    #: policies only; see ``Engine(replan_factor=...)``).
+    replans: int = 0
 
 
 # -- reference detection -------------------------------------------------------
@@ -371,6 +375,16 @@ def _branch_is_plan_cacheable(branch: CteBranch) -> bool:
                     for d in branch.computed_by))
 
 
+def _cardinality_drifted(planned: int | None, current: int,
+                         factor: float) -> bool:
+    """True when *current* rows diverge from the *planned* cardinality by
+    more than *factor* in either direction."""
+    if planned is None:
+        return False
+    ratio = max(current, 1) / max(planned, 1)
+    return ratio > factor or ratio < 1.0 / factor
+
+
 @dataclass
 class _CachedBranchPlans:
     """One with+ branch compiled once: COMPUTED BY plans in definition
@@ -433,6 +447,7 @@ class RecursiveExecutor:
                 from .physical import instrument
 
                 body_plan = runner.plan(statement.body)
+                self._annotate_estimates(body_plan)
                 body_stats = instrument(body_plan)
                 self._analyzed.append(("final body", body_plan, body_stats))
                 stats.relation = Relation(body_plan.schema, body_plan.rows())
@@ -464,7 +479,8 @@ class RecursiveExecutor:
             sections.append(
                 f"iterations={result.iterations}"
                 f" plans_compiled={result.plans_compiled}"
-                f" plan_cache_hits={result.plan_cache_hits}")
+                f" plan_cache_hits={result.plan_cache_hits}"
+                f" replans={result.replans}")
         for title, plan, plan_stats in self._analyzed:
             sections.append(f"{title}:\n{render_analysis(plan, plan_stats)}")
         return "\n\n".join(sections)
@@ -542,6 +558,16 @@ class RecursiveExecutor:
         computed_slots: dict[str, Relation] = {}
         cacheable = [_branch_is_plan_cacheable(b) for b in recursive]
         cached: list[_CachedBranchPlans | None] = [None] * len(recursive)
+        # Iteration-adaptive replanning (cost-based policies): remember the
+        # R cardinality each cached plan was compiled against; when the
+        # loop's live cardinality drifts past replan_factor in either
+        # direction, the cached plan's estimates (and hence its build-side
+        # and operator choices) are stale — drop it and replan against the
+        # current bindings.
+        planned_inputs: list[int | None] = [None] * len(recursive)
+        adaptive = getattr(self.policy, "adaptive", False)
+        replan_factor = max(
+            float(getattr(self.policy, "replan_factor", 8.0)), 1.0)
         while True:
             if iteration >= cap:
                 if limit is None:
@@ -555,6 +581,12 @@ class RecursiveExecutor:
             computed_slots[rname] = snapshot
             deltas: list[Relation] = []
             for position, branch in enumerate(recursive):
+                if (adaptive and cached[position] is not None
+                        and _cardinality_drifted(
+                            planned_inputs[position],
+                            len(branch_slots[rname]), replan_factor)):
+                    cached[position] = None
+                    stats.replans += 1
                 if not cacheable[position]:
                     statement_bindings = dict(bindings)
                     statement_bindings[rname] = working if semi_naive \
@@ -566,6 +598,7 @@ class RecursiveExecutor:
                                              computed_names)
                     stats.plans_compiled += 1 + len(branch.computed_by)
                 elif cached[position] is None:
+                    planned_inputs[position] = len(branch_slots[rname])
                     delta, entry = self._plan_and_run_branch(
                         branch, bindings, branch_slots, computed_slots,
                         computed_names)
@@ -780,6 +813,7 @@ class RecursiveExecutor:
             if self.analyze:
                 from .physical import instrument
 
+                self._annotate_estimates(plan)
                 self._analyzed.append((f"computed by {definition.name}",
                                        plan, instrument(plan)))
             computed_plans.append((definition, plan))
@@ -791,6 +825,7 @@ class RecursiveExecutor:
         if self.analyze:
             from .physical import instrument
 
+            self._annotate_estimates(statement_plan)
             self._analyzed.append(("recursive branch", statement_plan,
                                    instrument(statement_plan)))
         return (statement_plan.execute(),
@@ -806,6 +841,16 @@ class RecursiveExecutor:
             self._fill_computed(definition, plan, branch_slots,
                                 computed_slots, computed_names)
         return entry.statement_plan.execute()
+
+    def _annotate_estimates(self, plan) -> None:
+        """Attach ``estimated_rows`` so EXPLAIN ANALYZE reports estimates
+        next to actuals (the loop's slots are populated at plan time)."""
+        from .optimizer import CardinalityEstimator
+
+        estimator = getattr(self.policy, "estimator", None)
+        if estimator is None:
+            estimator = CardinalityEstimator(refresh=False)
+        estimator.annotate(plan)
 
     def _fill_computed(self, definition, plan, branch_slots, computed_slots,
                        computed_names: set[str]) -> None:

@@ -273,4 +273,16 @@ class WithStatement:
     recursive: bool = False
 
 
-Statement = Union[SelectStatement, SetOperation, WithStatement]
+@dataclass(frozen=True)
+class AnalyzeStatement:
+    """``ANALYZE [table]`` — eagerly refresh table statistics.
+
+    With no table name, every table in the catalog is analyzed.  This is
+    the manual counterpart of the cost-based policy's lazy auto-refresh.
+    """
+
+    table: str | None = None
+
+
+Statement = Union[SelectStatement, SetOperation, WithStatement,
+                  AnalyzeStatement]

@@ -212,7 +212,7 @@ class QueryRunner:
             else:
                 plain.append(self._resolve_scalars(conjunct))
 
-        current = self._plan_from(statement.sources, plain)
+        current = self._plan_from(statement.sources, plain, statement)
         for conjunct in subqueried:
             current = self._apply_subquery_conjunct(current, conjunct)
 
@@ -255,10 +255,17 @@ class QueryRunner:
             current = Limit(current, statement.limit)
         return current
 
-    def _plan_from(self, sources, conjuncts: list[Expression]) -> PhysicalOperator:
+    def _plan_from(self, sources, conjuncts: list[Expression],
+                   statement=None) -> PhysicalOperator:
         if not sources:
             # SELECT without FROM: one empty row feeding the projection.
             return RelationScan(Relation(Schema(()), [()]))
+        if getattr(self.policy, "cost_based", False):
+            from ..optimizer import plan_from_cost_based
+
+            planned = plan_from_cost_based(self, sources, conjuncts, statement)
+            if planned is not None:
+                return planned
         remaining = list(conjuncts)
         current = self._scan_source(sources[0])
         current, remaining = self._apply_resolvable(current, remaining)

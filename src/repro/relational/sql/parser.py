@@ -44,6 +44,7 @@ from ..expressions import (
     Or,
 )
 from .ast import (
+    AnalyzeStatement,
     CommonTableExpression,
     ComputedDefinition,
     CteBranch,
@@ -138,7 +139,17 @@ class _Parser:
     def parse_statement(self) -> Statement:
         if self.current.is_keyword("with"):
             return self.parse_with()
+        if self.current.is_keyword("analyze"):
+            return self.parse_analyze()
         return self.parse_set_expression()
+
+    def parse_analyze(self) -> AnalyzeStatement:
+        self.expect_keyword("analyze")
+        table: str | None = None
+        if self.current.kind is TokenKind.IDENTIFIER:
+            table = self.expect_identifier()
+        self.accept_punct(";")
+        return AnalyzeStatement(table)
 
     def parse_with(self) -> WithStatement:
         self.expect_keyword("with")

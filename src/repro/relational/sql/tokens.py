@@ -27,6 +27,7 @@ KEYWORDS = frozenset({
     "with", "recursive", "update", "computed", "maxrecursion",
     "between", "like", "values", "over", "partition",
     "search", "cycle", "depth", "breadth", "first", "set", "to", "default",
+    "analyze",
 })
 
 OPERATORS = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*",

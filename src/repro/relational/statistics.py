@@ -1,4 +1,4 @@
-"""Table statistics used by the planner.
+"""Table statistics used by the planner and the cost-based optimizer.
 
 The paper attributes PostgreSQL's sub-optimal recursive-query plans to
 missing statistics on temporary tables.  We model exactly that: statistics
@@ -6,34 +6,95 @@ are collected by ``ANALYZE`` (here :meth:`TableStatistics.refresh`), the
 planner consults them when choosing join strategies, and — like PostgreSQL —
 **temporary tables are not auto-analyzed**, so a dialect that relies on
 fresh statistics degrades to its fallback plan for them.
+
+The cost-based optimizer (:mod:`repro.relational.optimizer`) goes further:
+it *lazily* refreshes stale statistics on the first cardinality estimate
+after an invalidation, so its estimates never read stale or empty numbers.
+Per column it keeps distinct counts, null fractions, min/max bounds and the
+most common values (MCVs) with their frequencies — the inputs to the
+equality/range selectivity formulas below.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from .relation import Relation
 
+#: How many most-common values ANALYZE keeps per column.
+MCV_LIMIT = 10
+
+#: Fallback equality selectivity when no statistics are available.
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: Fallback range (<, <=, >, >=) selectivity.
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
 
 @dataclass
 class ColumnStatistics:
-    """Per-column summary: distinct count, null fraction, min/max."""
+    """Per-column summary: distinct count, null fraction, min/max, MCVs."""
 
     distinct_count: int = 0
     null_fraction: float = 0.0
     min_value: Any = None
     max_value: Any = None
+    #: ``(value, fraction_of_rows)`` pairs for the most common values,
+    #: most frequent first.
+    most_common: tuple[tuple[Any, float], ...] = ()
+
+    def equality_selectivity(self, value: Any = None) -> float:
+        """Fraction of rows matching ``column = value``.
+
+        With a concrete *value* the MCV list is consulted first; otherwise
+        (or when the value is not an MCV) the uniform 1/ndv estimate over
+        the non-MCV remainder applies.
+        """
+        if self.distinct_count <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        if value is not None and self.most_common:
+            for mcv, fraction in self.most_common:
+                if mcv == value:
+                    return fraction
+            remainder = max(0.0, 1.0 - self.null_fraction
+                            - sum(f for _, f in self.most_common))
+            rest = self.distinct_count - len(self.most_common)
+            if rest > 0:
+                return remainder / rest
+        return (1.0 - self.null_fraction) / self.distinct_count
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Fraction of rows matching ``column <op> value`` via min/max
+        interpolation, when the bounds are numeric."""
+        lo, hi = self.min_value, self.max_value
+        if not (isinstance(lo, (int, float)) and isinstance(hi, (int, float))
+                and isinstance(value, (int, float)) and hi > lo):
+            return DEFAULT_RANGE_SELECTIVITY
+        fraction = (value - lo) / (hi - lo)
+        fraction = min(1.0, max(0.0, fraction))
+        if op in ("<", "<="):
+            return max(fraction * (1.0 - self.null_fraction), 1e-6)
+        if op in (">", ">="):
+            return max((1.0 - fraction) * (1.0 - self.null_fraction), 1e-6)
+        return DEFAULT_RANGE_SELECTIVITY
 
 
 @dataclass
 class TableStatistics:
-    """Row count plus per-column stats; ``fresh`` marks an analyzed table."""
+    """Row count plus per-column stats; ``fresh`` marks an analyzed table.
+
+    ``version`` counts invalidations (i.e. table mutations).  The optimizer
+    uses it both to know when a lazy re-ANALYZE is due and to fingerprint
+    hash-join build sides cached across recursive-loop iterations.
+    """
 
     row_count: int = 0
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
     fresh: bool = False
+    version: int = 0
 
     def refresh(self, relation: "Relation") -> None:
         """Recompute all statistics from *relation* (the ANALYZE operation)."""
@@ -42,11 +103,20 @@ class TableStatistics:
         for pos, column in enumerate(relation.schema.columns):
             values = [row[pos] for row in relation.rows]
             non_null = [v for v in values if v is not None]
+            most_common: tuple[tuple[Any, float], ...] = ()
+            if non_null:
+                try:
+                    counts = Counter(non_null).most_common(MCV_LIMIT)
+                    most_common = tuple((value, count / len(values))
+                                        for value, count in counts)
+                except TypeError:  # unhashable values: skip MCVs
+                    most_common = ()
             stats = ColumnStatistics(
                 distinct_count=len(set(non_null)),
                 null_fraction=(1 - len(non_null) / len(values)) if values else 0.0,
                 min_value=min(non_null) if non_null else None,
                 max_value=max(non_null) if non_null else None,
+                most_common=most_common,
             )
             self.columns[column.name.lower()] = stats
         self.fresh = True
@@ -54,10 +124,14 @@ class TableStatistics:
     def invalidate(self) -> None:
         """Mark statistics stale (called on writes)."""
         self.fresh = False
+        self.version += 1
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        return self.columns.get(name.lower())
 
     def selectivity_of_equality(self, column: str) -> float:
         """Estimated fraction of rows matching an equality predicate."""
         stats = self.columns.get(column.lower())
         if stats is None or stats.distinct_count == 0:
-            return 0.1
+            return DEFAULT_EQ_SELECTIVITY
         return 1.0 / stats.distinct_count

@@ -91,7 +91,7 @@ class TestPlanShapes:
 class TestRegistry:
     def test_all_policies_registered(self):
         assert set(POLICIES) == {"hash-first", "hash-join-sort-agg",
-                                 "merge-join"}
+                                 "merge-join", "cost-based"}
 
     def test_policy_names_match_keys(self):
         for key, cls in POLICIES.items():
