@@ -21,7 +21,7 @@ from repro.core.algorithms import bellman_ford, pagerank, wcc
 from repro.datasets import preferential_attachment
 from repro.graphsystems.graph import Graph
 
-from .harness import BENCH_SCALE, fresh_engine, time_call
+from .harness import BENCH_SCALE, fresh_engine, phase_breakdown, time_call
 
 #: Nodes at scale 1.0; average out-degree of the generated graph.
 BASE_NODES = 1500
@@ -73,6 +73,7 @@ def run_executor_bench(scale: float | None = None,
     for name, workload in _workloads(graph):
         timings = {"tuple": math.inf, "batch": math.inf}
         values: dict[str, dict] = {}
+        phases: dict[str, dict] = {}
         # Interleave the executors across repeats (so machine-load drift
         # hits both sides alike) and keep the collector out of the timed
         # region — at tens of milliseconds a GC pass swamps the signal.
@@ -85,7 +86,9 @@ def run_executor_bench(scale: float | None = None,
                     result, seconds = time_call(lambda: workload(engine))
                 finally:
                     gc.enable()
-                timings[executor] = min(timings[executor], seconds)
+                if seconds < timings[executor]:
+                    timings[executor] = seconds
+                    phases[executor] = phase_breakdown(engine)
                 values[executor] = result.values
         timings = {k: v * 1000 for k, v in timings.items()}
         results.append({
@@ -94,6 +97,7 @@ def run_executor_bench(scale: float | None = None,
             "batch_ms": round(timings["batch"], 3),
             "speedup": round(timings["tuple"] / timings["batch"], 3),
             "identical": _values_identical(values["tuple"], values["batch"]),
+            "phases": phases,
         })
     return {
         "bench": "executor",

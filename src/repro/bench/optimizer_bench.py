@@ -24,7 +24,7 @@ from repro.core.algorithms.common import load_graph
 from repro.datasets import preferential_attachment
 from repro.graphsystems.graph import Graph
 
-from .harness import BENCH_SCALE, fresh_engine, time_call
+from .harness import BENCH_SCALE, fresh_engine, phase_breakdown, time_call
 
 #: Nodes at scale 1.0; average out-degree of the generated graph.
 BASE_NODES = 1500
@@ -87,6 +87,7 @@ def run_optimizer_bench(scale: float | None = None,
     for name, make in _workloads(graph):
         timings = {mode: math.inf for mode in OPTIMIZER_MODES}
         values: dict[str, Any] = {}
+        phases: dict[str, dict] = {}
         for _ in range(max(repeats, 1)):
             for mode in OPTIMIZER_MODES:
                 engine = fresh_engine(dialect, executor=executor,
@@ -98,7 +99,9 @@ def run_optimizer_bench(scale: float | None = None,
                     value, seconds = time_call(timed)
                 finally:
                     gc.enable()
-                timings[mode] = min(timings[mode], seconds)
+                if seconds < timings[mode]:
+                    timings[mode] = seconds
+                    phases[mode] = phase_breakdown(engine)
                 values[mode] = value
         timings = {k: v * 1000 for k, v in timings.items()}
         results.append({
@@ -107,6 +110,7 @@ def run_optimizer_bench(scale: float | None = None,
             "cost_ms": round(timings["cost"], 3),
             "speedup": round(timings["off"] / timings["cost"], 3),
             "identical": values["off"] == values["cost"],
+            "phases": phases,
         })
     return {
         "bench": "optimizer",

@@ -15,6 +15,11 @@ Commands
     Ad-hoc SQL (with+ included) over a loaded dataset's E/V/W/L tables.
 ``explain "SELECT ..."``
     Physical plan of a non-recursive query under a dialect profile.
+``trace ALGO``
+    Run one algorithm with tracing on; print the phase breakdown, the
+    fixpoint trajectory, and the span tree.  ``--export trace.json``
+    writes Chrome trace events (load in ``chrome://tracing`` or Perfetto);
+    ``--metrics metrics.prom`` writes the Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -55,14 +60,28 @@ def _sql_text(key: str, graph) -> str:
     raise SystemExit(f"{key} has no SQL form (see the registry)")
 
 
-def _load_for(key: str, args) -> tuple[Engine, object]:
+def _load_for(key: str, args,
+              telemetry: str = "off") -> tuple[Engine, object]:
     info = get_algorithm(key)
     graph = load(args.dataset, args.scale)
     if info.needs_dag:
         graph = random_dag(graph.num_nodes,
                            max(graph.average_degree / 2.0, 0.5),
                            seed=1234, name=f"{graph.name}-dag")
-    return Engine(args.dialect), graph
+    return Engine(args.dialect, telemetry=telemetry), graph
+
+
+def _resolve_algorithm(token: str) -> str:
+    """Accept a registry key (``PR``) or a spelled-out name
+    (``pagerank``, ``connected-component``)."""
+    if token.upper() in ALGORITHMS:
+        return token.upper()
+    wanted = token.replace("-", "").replace("_", "").lower()
+    for key, info in ALGORITHMS.items():
+        if info.name.replace("-", "").replace("_", "").lower() == wanted:
+            return key
+    raise SystemExit(f"unknown algorithm {token!r};"
+                     f" choose from {sorted(ALGORITHMS)}")
 
 
 def cmd_list(args) -> int:
@@ -131,6 +150,70 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _print_span(span, depth: int = 0, limit: int = 3) -> None:
+    attrs = {k: v for k, v in span.attrs.items() if k != "sql"}
+    note = f"  {attrs}" if attrs else ""
+    print(f"  {'  ' * depth}{span.name:<24}"
+          f" {span.duration * 1000:8.2f} ms{note}")
+    shown = span.children[:limit] if depth >= 1 else span.children
+    for child in shown:
+        _print_span(child, depth + 1, limit)
+    if len(span.children) > len(shown):
+        print(f"  {'  ' * (depth + 1)}"
+              f"... ({len(span.children) - len(shown)} more)")
+
+
+def cmd_trace(args) -> int:
+    key = _resolve_algorithm(args.algorithm)
+    info = get_algorithm(key)
+    if not info.has_sql:
+        print(f"{key} ships reference/algebra implementations only",
+              file=sys.stderr)
+        return 2
+    engine, graph = _load_for(key, args, telemetry="on")
+    result = info.run_sql(engine, graph)
+    print(f"{info.name} on {args.dataset} ({graph.num_nodes} nodes,"
+          f" {graph.num_edges} edges) under {args.dialect}:"
+          f" {result.iterations} iterations")
+
+    recursive = [e for e in engine.query_log.entries()
+                 if e.kind == "recursive"]
+    if recursive:
+        entry = max(recursive, key=lambda e: e.total_ms)
+        print(format_table(
+            ["phase", "ms"],
+            [[phase, f"{ms:.2f}"] for phase, ms in entry.phases.items()]
+            + [["total", f"{entry.total_ms:.2f}"]],
+            "Phase breakdown (slowest recursive statement)"))
+        print()
+
+    trajectory = engine.execute(
+        "select iteration, delta_rows, total_rows, ms, inserted,"
+        " overwritten, pruned, antijoin_pruned from __iterations__")
+    rows = [[r[0], r[1], r[2], f"{r[3]:.2f}", r[4], r[5], r[6], r[7]]
+            for r in trajectory.rows]
+    if len(rows) > args.limit:
+        rows = rows[:args.limit] + [["..."] * 8]
+    print(format_table(
+        ["iter", "delta", "total", "ms", "ins", "overwr", "pruned",
+         "aj-pruned"], rows, "Fixpoint trajectory (__iterations__)"))
+    print()
+
+    print("Spans:")
+    for root in engine.tracer.roots:
+        _print_span(root)
+
+    if args.export:
+        engine.tracer.export_chrome(args.export)
+        events = len(engine.tracer.to_chrome_trace()["traceEvents"])
+        print(f"\nwrote {events} trace events to {args.export}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(engine.metrics.to_prometheus())
+        print(f"wrote metrics to {args.metrics}")
+    return 0
+
+
 def cmd_explain(args) -> int:
     engine, graph = Engine(args.dialect), load(args.dataset, args.scale)
     common.load_graph(engine, graph)
@@ -184,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("sql")
     common_flags(p)
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("trace",
+                       help="run an algorithm with tracing enabled")
+    p.add_argument("algorithm")
+    p.add_argument("--export", metavar="PATH",
+                   help="write Chrome trace events (chrome://tracing)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the Prometheus text exposition")
+    common_flags(p)
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -11,6 +11,8 @@ system in the paper's Fig 11).
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -43,12 +45,26 @@ class GASResult:
 
 
 class GASEngine:
-    """Synchronous GAS over the full active set per superstep."""
+    """Synchronous GAS over the full active set per superstep.
+
+    An optional :class:`repro.observability.Telemetry` bundle records a
+    ``gas`` span with one ``superstep`` child per round (active-set and
+    gather counts as attributes) plus engine counters.
+    """
+
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+
+    def _span(self, name: str, **attrs):
+        if self.telemetry is not None and self.telemetry.tracer.enabled:
+            return self.telemetry.tracer.span(name, **attrs)
+        return nullcontext(None)
 
     def run(self, graph: Graph, program: GASProgram,
             initial: dict[int, Any],
             max_supersteps: int = 100,
             always_active: bool = False) -> GASResult:
+        started = time.perf_counter()
         values = dict(initial)
         active = set(graph.nodes())
         result = GASResult(values)
@@ -56,27 +72,48 @@ class GASEngine:
                         else graph.out_neighbors)
         scatter_edges = (graph.out_neighbors if program.direction == "in"
                          else graph.in_neighbors)
-        for step in range(max_supersteps):
-            if not active:
-                break
-            result.supersteps = step + 1
-            new_values: dict[int, Any] = {}
-            for vertex in active:
-                total = None
-                for source, weight in gather_edges(vertex).items():
-                    contribution = program.gather(values[source], weight)
-                    result.gathers += 1
-                    total = contribution if total is None \
-                        else program.combine(total, contribution)
-                new_values[vertex] = program.apply(values[vertex], total)
-            next_active: set[int] = set()
-            for vertex, new_value in new_values.items():
-                old_value = values[vertex]
-                values[vertex] = new_value
-                if program.should_scatter(old_value, new_value):
-                    next_active.update(scatter_edges(vertex))
-            active = set(graph.nodes()) if always_active else next_active
+        with self._span("gas", vertices=len(values)):
+            for step in range(max_supersteps):
+                if not active:
+                    break
+                result.supersteps = step + 1
+                with self._span("superstep", index=step) as span:
+                    gathers_before = result.gathers
+                    new_values: dict[int, Any] = {}
+                    for vertex in active:
+                        total = None
+                        for source, weight in gather_edges(vertex).items():
+                            contribution = program.gather(values[source],
+                                                          weight)
+                            result.gathers += 1
+                            total = contribution if total is None \
+                                else program.combine(total, contribution)
+                        new_values[vertex] = program.apply(values[vertex],
+                                                           total)
+                    next_active: set[int] = set()
+                    for vertex, new_value in new_values.items():
+                        old_value = values[vertex]
+                        values[vertex] = new_value
+                        if program.should_scatter(old_value, new_value):
+                            next_active.update(scatter_edges(vertex))
+                    active = (set(graph.nodes()) if always_active
+                              else next_active)
+                    if span is not None:
+                        span.attrs.update(
+                            active=len(new_values),
+                            gathers=result.gathers - gathers_before)
         result.values = values
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.counter("repro_graphsystem_supersteps_total",
+                            "Graph-system supersteps executed.",
+                            system="gas").inc(result.supersteps)
+            metrics.counter("repro_gas_gathers_total",
+                            "GAS edge gathers performed."
+                            ).inc(result.gathers)
+            metrics.histogram("repro_graphsystem_run_ms",
+                              "Graph-system run wall time, milliseconds."
+                              ).observe((time.perf_counter() - started) * 1000)
         return result
 
 
@@ -84,7 +121,7 @@ class GASEngine:
 
 
 def pagerank(graph: Graph, damping: float = 0.85,
-             iterations: int = 15) -> GASResult:
+             iterations: int = 15, telemetry=None) -> GASResult:
     """PageRank with the paper's SQL semantics (init 0, keep value when no
     in-edge contributes) so all systems compute the same numbers."""
     n = graph.num_nodes
@@ -101,14 +138,14 @@ def pagerank(graph: Graph, damping: float = 0.85,
         should_scatter=lambda old, new: True,
     )
     initial = {v: (0.0, max(out_degree[v], 1)) for v in graph.nodes()}
-    engine = GASEngine()
+    engine = GASEngine(telemetry=telemetry)
     result = engine.run(graph, program, initial,
                         max_supersteps=iterations, always_active=True)
     result.values = {v: value[0] for v, value in result.values.items()}
     return result
 
 
-def sssp(graph: Graph, source: int) -> GASResult:
+def sssp(graph: Graph, source: int, telemetry=None) -> GASResult:
     """Single-source shortest paths; converges when no distance improves."""
     INF = float("inf")
     program = GASProgram(
@@ -118,14 +155,14 @@ def sssp(graph: Graph, source: int) -> GASResult:
         should_scatter=lambda old, new: new < old,
     )
     initial = {v: (0.0 if v == source else INF) for v in graph.nodes()}
-    result = GASEngine().run(graph, program, initial,
-                             max_supersteps=graph.num_nodes + 1)
+    result = GASEngine(telemetry=telemetry).run(
+        graph, program, initial, max_supersteps=graph.num_nodes + 1)
     result.values = {v: (None if d == INF else d)
                      for v, d in result.values.items()}
     return result
 
 
-def wcc(graph: Graph) -> GASResult:
+def wcc(graph: Graph, telemetry=None) -> GASResult:
     """Minimum-label propagation over the symmetrised neighbourhood."""
     symmetric = Graph(directed=True, name=graph.name)
     for v in graph.nodes():
@@ -140,5 +177,5 @@ def wcc(graph: Graph) -> GASResult:
         should_scatter=lambda old, new: new < old,
     )
     initial = {v: float(v) for v in symmetric.nodes()}
-    return GASEngine().run(symmetric, program, initial,
-                           max_supersteps=symmetric.num_nodes + 1)
+    return GASEngine(telemetry=telemetry).run(
+        symmetric, program, initial, max_supersteps=symmetric.num_nodes + 1)

@@ -9,6 +9,8 @@ the same mechanism (every contribution becomes a queued Python object).
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -46,36 +48,68 @@ class PregelResult:
 
 
 class PregelEngine:
-    """Synchronous BSP with vote-to-halt semantics."""
+    """Synchronous BSP with vote-to-halt semantics.
+
+    An optional :class:`repro.observability.Telemetry` bundle records a
+    ``pregel`` span with one ``superstep`` child per round (active-set
+    and message counts as attributes) plus engine counters.
+    """
+
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+
+    def _span(self, name: str, **attrs):
+        if self.telemetry is not None and self.telemetry.tracer.enabled:
+            return self.telemetry.tracer.span(name, **attrs)
+        return nullcontext(None)
 
     def run(self, graph, compute: ComputeFn, initial: dict[int, Any],
             max_supersteps: int = 100) -> PregelResult:
+        started = time.perf_counter()
         values = dict(initial)
         halted: set[int] = set()
         inbox: dict[int, list[Any]] = {v: [] for v in values}
         result = PregelResult(values)
         out_edges = {v: dict(graph.out_neighbors(v)) for v in graph.nodes()}
-        for step in range(max_supersteps):
-            active = [v for v in values
-                      if v not in halted or inbox[v]]
-            if not active:
-                break
-            result.supersteps = step + 1
-            next_inbox: dict[int, list[Any]] = {v: [] for v in values}
-            for vertex in active:
-                halted.discard(vertex)
-                context = VertexContext(vertex, step, values[vertex],
-                                        out_edges[vertex])
-                new_value = compute(context, inbox[vertex])
-                values[vertex] = new_value
-                for target, message in context._outbox:
-                    if target in next_inbox:
-                        next_inbox[target].append(message)
-                        result.messages_sent += 1
-                if context._halted:
-                    halted.add(vertex)
-            inbox = next_inbox
+        with self._span("pregel", vertices=len(values)):
+            for step in range(max_supersteps):
+                active = [v for v in values
+                          if v not in halted or inbox[v]]
+                if not active:
+                    break
+                result.supersteps = step + 1
+                with self._span("superstep", index=step) as span:
+                    sent_before = result.messages_sent
+                    next_inbox: dict[int, list[Any]] = {v: [] for v in values}
+                    for vertex in active:
+                        halted.discard(vertex)
+                        context = VertexContext(vertex, step, values[vertex],
+                                                out_edges[vertex])
+                        new_value = compute(context, inbox[vertex])
+                        values[vertex] = new_value
+                        for target, message in context._outbox:
+                            if target in next_inbox:
+                                next_inbox[target].append(message)
+                                result.messages_sent += 1
+                        if context._halted:
+                            halted.add(vertex)
+                    inbox = next_inbox
+                    if span is not None:
+                        span.attrs.update(
+                            active=len(active),
+                            messages=result.messages_sent - sent_before)
         result.values = values
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.counter("repro_graphsystem_supersteps_total",
+                            "Graph-system supersteps executed.",
+                            system="pregel").inc(result.supersteps)
+            metrics.counter("repro_pregel_messages_total",
+                            "Pregel messages materialised."
+                            ).inc(result.messages_sent)
+            metrics.histogram("repro_graphsystem_run_ms",
+                              "Graph-system run wall time, milliseconds."
+                              ).observe((time.perf_counter() - started) * 1000)
         return result
 
 
@@ -83,7 +117,7 @@ class PregelEngine:
 
 
 def pagerank(graph, damping: float = 0.85,
-             iterations: int = 15) -> PregelResult:
+             iterations: int = 15, telemetry=None) -> PregelResult:
     """Same SQL-faithful semantics as the other engines (init 0, keep value
     when no message arrives)."""
     n = graph.num_nodes
@@ -107,11 +141,11 @@ def pagerank(graph, damping: float = 0.85,
         return value
 
     initial = {v: 0.0 for v in graph.nodes()}
-    return PregelEngine().run(graph, compute, initial,
-                              max_supersteps=iterations + 1)
+    return PregelEngine(telemetry=telemetry).run(
+        graph, compute, initial, max_supersteps=iterations + 1)
 
 
-def sssp(graph, source: int) -> PregelResult:
+def sssp(graph, source: int, telemetry=None) -> PregelResult:
     INF = float("inf")
 
     def compute(ctx: VertexContext, messages) -> float:
@@ -128,14 +162,14 @@ def sssp(graph, source: int) -> PregelResult:
         return best
 
     initial = {v: INF for v in graph.nodes()}
-    result = PregelEngine().run(graph, compute, initial,
-                                max_supersteps=graph.num_nodes + 2)
+    result = PregelEngine(telemetry=telemetry).run(
+        graph, compute, initial, max_supersteps=graph.num_nodes + 2)
     result.values = {v: (None if d == INF else d)
                      for v, d in result.values.items()}
     return result
 
 
-def wcc(graph) -> PregelResult:
+def wcc(graph, telemetry=None) -> PregelResult:
     """Minimum-label flood over the symmetrised edges."""
     from .graph import Graph
 
@@ -159,5 +193,5 @@ def wcc(graph) -> PregelResult:
         return best
 
     initial = {v: float(v) for v in symmetric.nodes()}
-    return PregelEngine().run(symmetric, compute, initial,
-                              max_supersteps=symmetric.num_nodes + 2)
+    return PregelEngine(telemetry=telemetry).run(
+        symmetric, compute, initial, max_supersteps=symmetric.num_nodes + 2)

@@ -1,0 +1,40 @@
+"""`repro.observability` — zero-dependency engine telemetry.
+
+Three cooperating pieces, bundled by :class:`Telemetry`:
+
+* :class:`Tracer` / :class:`Span` — nested timed spans over
+  parse → plan → optimize → execute, with per-operator children;
+  exports nested JSON and Chrome trace-event format.
+* :class:`MetricsRegistry` — labelled counters, gauges and
+  fixed-bucket histograms; exports Prometheus text and JSON.
+* :class:`QueryLog` — ring buffer of executed statements with a
+  slow-query threshold.
+
+Counters stay on even with tracing disabled (they are one float add
+each); tracing is opt-in via ``Engine(telemetry="on")``.
+"""
+
+from .collect import attach_operator_spans, record_plan_metrics, walk_plan
+from .metrics import (DEFAULT_BUCKETS_MS, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .querylog import QueryLog, QueryLogEntry
+from .telemetry import QueryTelemetry, Telemetry, resolve_telemetry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryLog",
+    "QueryLogEntry",
+    "QueryTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "attach_operator_spans",
+    "record_plan_metrics",
+    "resolve_telemetry",
+    "walk_plan",
+]

@@ -1,0 +1,84 @@
+"""Bridging the physical plan's instrumentation into spans and metrics.
+
+The physical layer already knows how to observe itself — ``instrument()``
+(see ``repro.relational.physical.analyze``) produces per-operator
+:class:`OperatorStats`, and individual operators publish byproducts of
+their own work (``build_rows_observed`` on hash joins, ``pruned_total``
+on anti-joins).  This module is duck-typed glue: it walks any plan tree
+and copies those observations into the telemetry layer without the
+physical operators importing it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+from .tracing import Span
+
+
+def walk_plan(root: Any) -> Iterator[Any]:
+    """Depth-first pre-order walk of a physical plan tree."""
+    yield root
+    for child in root.children():
+        yield from walk_plan(child)
+
+
+def attach_operator_spans(parent: Span, root: Any,
+                          stats: dict[Any, Any]) -> None:
+    """Graft per-operator spans under *parent*, mirroring the plan tree.
+
+    Operator timings are measured by instrumentation rather than by
+    entering ``with`` blocks, so the spans are synthetic: each starts at
+    its parent span's start and lasts the operator's *inclusive* observed
+    seconds — child durations never exceed the parent's, so trace viewers
+    nest them by containment.
+    """
+
+    def graft(node: Any, into: Span) -> None:
+        node_stats = stats.get(node)
+        attrs: dict[str, Any] = {}
+        detail = node.detail()
+        if detail:
+            attrs["detail"] = detail
+        estimate = getattr(node, "estimated_rows", None)
+        if estimate is not None:
+            attrs["est_rows"] = estimate
+        if node_stats is not None:
+            attrs["rows"] = node_stats.rows
+            attrs["calls"] = node_stats.calls
+        span = into.child(
+            "op:" + node.label,
+            duration=node_stats.seconds if node_stats is not None else 0.0,
+            **attrs)
+        for child in node.children():
+            graft(child, span)
+
+    graft(root, parent)
+
+
+def record_plan_metrics(metrics: MetricsRegistry, root: Any,
+                        stats: dict[Any, Any]) -> None:
+    """Fold one executed plan's operator stats into the registry."""
+    for node in walk_plan(root):
+        node_stats = stats.get(node)
+        if node_stats is None or node_stats.calls == 0:
+            continue
+        metrics.counter(
+            "repro_operator_rows_total",
+            "Rows produced per physical operator.",
+            operator=node.label).inc(node_stats.rows)
+        metrics.counter(
+            "repro_operator_seconds_total",
+            "Inclusive wall seconds per physical operator.",
+            operator=node.label).inc(node_stats.seconds)
+        build_rows = getattr(node, "build_rows_observed", None)
+        if build_rows:
+            metrics.counter(
+                "repro_join_build_rows_total",
+                "Rows hashed into join build sides.").inc(build_rows)
+        pruned = getattr(node, "pruned_total", 0)
+        if pruned:
+            metrics.counter(
+                "repro_antijoin_pruned_rows_total",
+                "Rows removed by anti-join delta pruning.").inc(pruned)

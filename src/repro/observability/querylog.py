@@ -1,0 +1,87 @@
+"""The engine's query log: a bounded ring buffer of executed statements.
+
+Every statement the engine runs is appended (SQL text truncated, phase
+wall-times, rows returned, recursion iterations); the buffer keeps the
+most recent ``size`` entries.  Entries whose total wall time crosses the
+configured slow-query threshold are flagged, so a traffic-serving
+deployment can scrape regressions without keeping full traces on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+#: SQL text longer than this is truncated in the log (with an ellipsis).
+MAX_SQL_LENGTH = 500
+
+
+@dataclass
+class QueryLogEntry:
+    """One executed statement."""
+
+    sql: str
+    kind: str                   # "select" | "recursive" | "analyze"
+    total_ms: float
+    phases: dict[str, float] = field(default_factory=dict)
+    rows: int = 0
+    iterations: int = 0
+    slow: bool = False
+    #: Wall-clock (``time.time()``) at completion.
+    timestamp: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sql": self.sql,
+            "kind": self.kind,
+            "total_ms": round(self.total_ms, 3),
+            "phases": {k: round(v, 3) for k, v in self.phases.items()},
+            "rows": self.rows,
+            "iterations": self.iterations,
+            "slow": self.slow,
+            "timestamp": self.timestamp,
+        }
+
+
+class QueryLog:
+    """Ring buffer of :class:`QueryLogEntry` with a slow-query threshold."""
+
+    def __init__(self, size: int = 128, slow_ms: float = 100.0):
+        if size < 1:
+            raise ValueError("query log needs at least one slot")
+        self.slow_ms = slow_ms
+        self._entries: deque[QueryLogEntry] = deque(maxlen=size)
+
+    @property
+    def size(self) -> int:
+        return self._entries.maxlen or 0
+
+    def record(self, sql: str, kind: str, total_ms: float,
+               phases: dict[str, float] | None = None, rows: int = 0,
+               iterations: int = 0) -> QueryLogEntry:
+        text = sql if len(sql) <= MAX_SQL_LENGTH \
+            else sql[:MAX_SQL_LENGTH] + "…"
+        entry = QueryLogEntry(
+            sql=text, kind=kind, total_ms=total_ms,
+            phases=dict(phases or {}), rows=rows, iterations=iterations,
+            slow=total_ms >= self.slow_ms, timestamp=time.time())
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[QueryLogEntry]:
+        """Oldest-first list of retained entries."""
+        return list(self._entries)
+
+    def slow_queries(self) -> list[QueryLogEntry]:
+        return [e for e in self._entries if e.slow]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

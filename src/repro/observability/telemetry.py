@@ -1,0 +1,93 @@
+"""The `Telemetry` bundle an engine carries: tracer + metrics + query log.
+
+``Engine(telemetry=...)`` accepts either a :class:`Telemetry` instance or
+a shorthand spec resolved by :func:`resolve_telemetry`:
+
+* ``"off"`` / ``None`` / ``False`` — metrics and the query log stay on
+  (they are cheap), tracing is disabled;
+* ``"on"`` / ``True`` — tracing enabled as well;
+* an existing :class:`Telemetry` — shared between engines, e.g. to
+  aggregate metrics across dialect facades.
+
+Each executed statement also gets a :class:`QueryTelemetry` attached to
+its result (``result.telemetry``) summarising phase timings, row counts
+and — for ``with+`` statements — the full per-iteration trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .metrics import MetricsRegistry
+from .querylog import QueryLog
+from .tracing import Span, Tracer
+
+
+class Telemetry:
+    """Tracer + metrics registry + query log, wired as one unit."""
+
+    def __init__(self, tracing: bool = False, query_log_size: int = 128,
+                 slow_query_ms: float = 100.0):
+        self.tracer = Tracer(enabled=tracing)
+        self.metrics = MetricsRegistry()
+        self.query_log = QueryLog(size=query_log_size, slow_ms=slow_query_ms)
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+        self.query_log.clear()
+
+
+def resolve_telemetry(spec: Any) -> Telemetry:
+    """Map an ``Engine(telemetry=...)`` argument to a :class:`Telemetry`."""
+    if isinstance(spec, Telemetry):
+        return spec
+    if spec in (None, False, "off"):
+        return Telemetry(tracing=False)
+    if spec in (True, "on"):
+        return Telemetry(tracing=True)
+    raise ValueError(
+        f"telemetry must be 'on', 'off', or a Telemetry instance,"
+        f" got {spec!r}")
+
+
+@dataclass
+class QueryTelemetry:
+    """Per-query summary attached to execution results."""
+
+    #: Phase name -> wall milliseconds ("parse", "plan", "optimize",
+    #: "execute"; recursive statements report "plan" as accumulated
+    #: branch-planning time inside the loop).
+    phases: dict[str, float] = field(default_factory=dict)
+    rows: int = 0
+    iterations: int = 0
+    #: The query's root span when tracing was enabled, else ``None``.
+    span: Span | None = None
+    #: For ``with+``: the IterationStat sequence (shared with the
+    #: result's ``per_iteration`` list).
+    per_iteration: Sequence[Any] = ()
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def convergence(self) -> tuple[int, ...]:
+        """Delta cardinality per iteration — the convergence trajectory."""
+        return tuple(stat.delta_rows for stat in self.per_iteration)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "phases": {k: round(v, 3) for k, v in self.phases.items()},
+            "total_ms": round(self.total_ms, 3),
+            "rows": self.rows,
+            "iterations": self.iterations,
+        }
+        if self.per_iteration:
+            out["convergence"] = list(self.convergence)
+        return out

@@ -12,16 +12,30 @@ and SQL/PSM translation.
     <table E ...>
     >>> engine.execute("SELECT count(*) AS m FROM E").rows
     ((2,),)
+
+Every engine carries a :class:`repro.observability.Telemetry` bundle.
+Cheap accounting (phase wall times, the query log, plan/replan counters)
+is always on; per-operator tracing is opt-in via ``Engine(telemetry="on")``
+and adds parse → plan → optimize → execute spans with nested per-operator
+children, exportable as JSON or Chrome trace events.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
+from ..observability import (
+    QueryTelemetry,
+    Telemetry,
+    attach_operator_spans,
+    record_plan_metrics,
+    resolve_telemetry,
+)
 from .database import Database
 from .dialects import Dialect, get_dialect
 from .errors import FeatureNotSupportedError
-from .physical import execute_analyzed, explain_plan
+from .physical import execute_analyzed, explain_plan, instrument
 from .planner import POLICIES, PlannerPolicy
 from .psm import PsmProgram, translate_with_to_psm
 from .recursive import (
@@ -34,6 +48,20 @@ from .schema import Column, Schema, SqlType
 from .sql.ast import AnalyzeStatement, Statement, WithStatement
 from .sql.compiler import QueryRunner
 from .sql.parser import parse_statement
+
+#: Schema of the virtual ``__iterations__`` relation the engine refreshes
+#: after every recursive statement (fixpoint introspection — queryable
+#: with plain SELECTs).
+ITERATIONS_SCHEMA = Schema((
+    Column("iteration", SqlType.INTEGER),
+    Column("delta_rows", SqlType.INTEGER),
+    Column("total_rows", SqlType.INTEGER),
+    Column("ms", SqlType.DOUBLE),
+    Column("inserted", SqlType.INTEGER),
+    Column("overwritten", SqlType.INTEGER),
+    Column("pruned", SqlType.INTEGER),
+    Column("antijoin_pruned", SqlType.INTEGER),
+))
 
 
 class Engine:
@@ -66,12 +94,20 @@ class Engine:
         thrown away and replanned when the loop's observed delta
         cardinality drifts from the planned cardinality by more than
         this factor (in either direction).
+    telemetry:
+        ``"off"`` (default) keeps the always-on-cheap accounting only:
+        phase timings, the query log, and engine counters.  ``"on"``
+        additionally enables tracing — nested spans with per-operator
+        timings (which *does* add per-row instrumentation cost).  An
+        existing :class:`repro.observability.Telemetry` may be passed to
+        share one registry across several engines.
     """
 
     def __init__(self, dialect: str | Dialect = "oracle",
                  database: Database | None = None, mode: str = "with+",
                  executor: str = "tuple", optimizer: str = "off",
-                 replan_factor: float = 8.0):
+                 replan_factor: float = 8.0,
+                 telemetry: str | bool | Telemetry | None = "off"):
         self.dialect = (dialect if isinstance(dialect, Dialect)
                         else get_dialect(dialect))
         self.database = database if database is not None else Database()
@@ -89,8 +125,27 @@ class Engine:
         self.mode = mode
         self._ubu_strategy: str | None = None
         self.temp_indexes: dict[str, Sequence[str]] = {}
+        self.telemetry = resolve_telemetry(telemetry)
+        # Planner policies count operator choices into the shared registry.
+        self.policy.metrics = self.telemetry.metrics
+        self._refreshes_seen = 0
 
     # -- configuration -----------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.observability.Tracer`."""
+        return self.telemetry.tracer
+
+    @property
+    def metrics(self):
+        """The engine's :class:`repro.observability.MetricsRegistry`."""
+        return self.telemetry.metrics
+
+    @property
+    def query_log(self):
+        """The engine's :class:`repro.observability.QueryLog`."""
+        return self.telemetry.query_log
 
     @property
     def union_by_update_strategy(self) -> str:
@@ -118,20 +173,153 @@ class Engine:
     def execute_detailed(self, sql: str | Statement,
                          mode: str | None = None) -> WithExecutionResult:
         """Run a statement, returning per-iteration statistics for
-        recursive queries (used by the Fig 12/13 benchmarks)."""
-        statement = parse_statement(sql) if isinstance(sql, str) else sql
-        if isinstance(statement, AnalyzeStatement):
-            return WithExecutionResult(relation=self._run_analyze(statement))
-        if isinstance(statement, WithStatement) and \
-                any(cte_is_recursive(c) for c in statement.ctes):
-            executor = RecursiveExecutor(
-                self.database, self.dialect, self.policy,
-                mode=mode or self.mode,
-                ubu_strategy=self._ubu_strategy,
-                temp_indexes=self.temp_indexes)
-            return executor.execute(statement)
+        recursive queries (used by the Fig 12/13 benchmarks) with a
+        ``.telemetry`` summary attached."""
+        tracer = self.telemetry.tracer
+        phases: dict[str, float] = {}
+        sql_text = sql if isinstance(sql, str) else type(sql).__name__
+        total_started = time.perf_counter()
+        with tracer.span("query", sql=sql_text) as query_span:
+            started = time.perf_counter()
+            with tracer.span("parse"):
+                statement = (parse_statement(sql) if isinstance(sql, str)
+                             else sql)
+            phases["parse"] = (time.perf_counter() - started) * 1000
+            if isinstance(statement, AnalyzeStatement):
+                kind = "analyze"
+                started = time.perf_counter()
+                with tracer.span("execute"):
+                    result = WithExecutionResult(
+                        relation=self._run_analyze(statement))
+                phases["execute"] = (time.perf_counter() - started) * 1000
+            elif isinstance(statement, WithStatement) and \
+                    any(cte_is_recursive(c) for c in statement.ctes):
+                kind = "recursive"
+                result = self._execute_recursive(statement, mode, tracer,
+                                                 phases, query_span)
+            else:
+                kind = "select"
+                result = self._execute_plain(statement, tracer, phases)
+        total_ms = (time.perf_counter() - total_started) * 1000
+        self._record_query(sql_text, kind, total_ms, phases, result,
+                           query_span)
+        return result
+
+    def _execute_recursive(self, statement: WithStatement, mode, tracer,
+                           phases, query_span) -> WithExecutionResult:
+        """The with+ path: planning happens *inside* the loop (branch plans
+        are compiled, cached, and replanned there), so the plan phase is
+        the executor's accumulated compile time and the remainder of the
+        loop's wall time is the execute phase."""
+        executor = RecursiveExecutor(
+            self.database, self.dialect, self.policy,
+            mode=mode or self.mode,
+            ubu_strategy=self._ubu_strategy,
+            temp_indexes=self.temp_indexes,
+            telemetry=self.telemetry)
+        started = time.perf_counter()
+        with tracer.span("execute") as exec_span:
+            result = executor.execute(statement)
+            if exec_span is not None:
+                for title, plan, plan_stats in executor.instrumented_plans():
+                    root_stats = plan_stats.get(plan)
+                    section = exec_span.child(
+                        f"plan:{title}",
+                        duration=root_stats.seconds if root_stats else 0.0)
+                    attach_operator_spans(section, plan, plan_stats)
+                    record_plan_metrics(self.telemetry.metrics, plan,
+                                        plan_stats)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        plan_ms = executor.plan_seconds * 1000
+        phases["plan"] = plan_ms
+        phases["execute"] = max(elapsed_ms - plan_ms, 0.0)
+        if query_span is not None:
+            # A synthetic sibling so traces show the compile share even
+            # though the compiles are interleaved with the loop.
+            query_span.child("plan", duration=executor.plan_seconds)
+        self._publish_iterations(result)
+        return result
+
+    def _execute_plain(self, statement: Statement, tracer,
+                       phases) -> WithExecutionResult:
         runner = QueryRunner(self.database, self.policy)
-        return WithExecutionResult(relation=runner.run(statement))
+        started = time.perf_counter()
+        with tracer.span("plan"):
+            plan = runner.plan(statement)
+        phases["plan"] = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        with tracer.span("optimize"):
+            # Estimate annotation is EXPLAIN/trace decoration; operator
+            # selection itself happened inside plan() via the policy.
+            if tracer.enabled:
+                self._annotate_estimates(plan)
+        phases["optimize"] = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        with tracer.span("execute") as exec_span:
+            if exec_span is not None:
+                plan_stats = instrument(plan)
+                relation = plan.execute()
+                attach_operator_spans(exec_span, plan, plan_stats)
+                record_plan_metrics(self.telemetry.metrics, plan, plan_stats)
+            else:
+                relation = plan.execute()
+        phases["execute"] = (time.perf_counter() - started) * 1000
+        return WithExecutionResult(relation=relation)
+
+    def _publish_iterations(self, result: WithExecutionResult) -> None:
+        """Refresh the virtual ``__iterations__`` relation with the just-run
+        loop's per-iteration trajectory (queryable via plain SELECT)."""
+        rows = [(s.iteration, s.delta_rows, s.total_rows,
+                 s.seconds * 1000.0, s.inserted, s.overwritten, s.pruned,
+                 s.antijoin_pruned) for s in result.per_iteration]
+        self.database.register("__iterations__",
+                               Relation(ITERATIONS_SCHEMA, rows),
+                               temporary=True)
+
+    def _record_query(self, sql_text: str, kind: str, total_ms: float,
+                      phases: dict[str, float], result: WithExecutionResult,
+                      query_span) -> None:
+        telemetry = self.telemetry
+        rows = len(result.relation)
+        entry = telemetry.query_log.record(sql_text, kind, total_ms, phases,
+                                           rows=rows,
+                                           iterations=result.iterations)
+        metrics = telemetry.metrics
+        metrics.counter("repro_queries_total", "Statements executed.",
+                        kind=kind).inc()
+        metrics.histogram("repro_query_ms",
+                          "Statement wall time, milliseconds."
+                          ).observe(total_ms)
+        for phase, ms in phases.items():
+            metrics.counter("repro_phase_ms_total",
+                            "Wall milliseconds per execution phase.",
+                            phase=phase).inc(ms)
+        if entry.slow:
+            metrics.counter("repro_slow_queries_total",
+                            "Statements at/over the slow-query threshold."
+                            ).inc()
+        metrics.counter("repro_iterations_total",
+                        "Recursive with+ loop iterations."
+                        ).inc(result.iterations)
+        metrics.counter("repro_plans_compiled_total",
+                        "Statements compiled to physical plans in the"
+                        " recursive loop.").inc(result.plans_compiled)
+        metrics.counter("repro_plan_cache_hits_total",
+                        "Cached plans re-executed instead of recompiled."
+                        ).inc(result.plan_cache_hits)
+        metrics.counter("repro_replans_total",
+                        "Cached plans dropped for cardinality drift."
+                        ).inc(result.replans)
+        estimator = getattr(self.policy, "estimator", None)
+        if estimator is not None and \
+                estimator.refreshes > self._refreshes_seen:
+            metrics.counter("repro_stats_refreshes_total",
+                            "Statistics refreshes.", source="estimator"
+                            ).inc(estimator.refreshes - self._refreshes_seen)
+            self._refreshes_seen = estimator.refreshes
+        result.telemetry = QueryTelemetry(
+            phases=dict(phases), rows=rows, iterations=result.iterations,
+            span=query_span, per_iteration=result.per_iteration)
 
     def _run_analyze(self, statement: AnalyzeStatement) -> Relation:
         """Eagerly refresh statistics: ``ANALYZE`` (all) / ``ANALYZE t``."""
@@ -142,6 +330,10 @@ class Engine:
             table = self.database.table(name)
             table.analyze()
             rows.append((name, table.statistics.row_count))
+        if names:
+            self.telemetry.metrics.counter(
+                "repro_stats_refreshes_total", "Statistics refreshes.",
+                source="statement").inc(len(names))
         schema = Schema((Column("table_name", SqlType.TEXT),
                          Column("row_count", SqlType.INTEGER)))
         return Relation(schema, rows)

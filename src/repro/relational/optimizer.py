@@ -100,6 +100,8 @@ class CardinalityEstimator:
 
     def __init__(self, refresh: bool = False):
         self.refresh = refresh
+        #: Lazy statistics refreshes performed (telemetry reads this).
+        self.refreshes = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -174,6 +176,7 @@ class CardinalityEstimator:
         statistics = table.statistics
         if not statistics.fresh and self.refresh:
             table.analyze()
+            self.refreshes += 1
         if statistics.fresh:
             return statistics.row_count
         return len(table.rows)
@@ -248,6 +251,7 @@ class CardinalityEstimator:
             statistics = node.table.statistics
             if not statistics.fresh and self.refresh:
                 node.table.analyze()
+                self.refreshes += 1
             if statistics.fresh:
                 return statistics.column(name)
             return None

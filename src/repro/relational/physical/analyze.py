@@ -46,11 +46,16 @@ def instrument(root: PhysicalOperator
 
         def instrumented_rows():
             node_stats.calls += 1
+            # Create the source iterator eagerly so operators that do their
+            # work up front (the batch kernels' materialising rows()) are
+            # timed — and credited — even when the parent never iterates
+            # the result or the operator yields zero rows.
+            started = time.perf_counter()
+            iterator = iter(original())
+            node_stats.seconds += time.perf_counter() - started
 
             def gen():
-                started = time.perf_counter()
-                iterator = iter(original())
-                elapsed = time.perf_counter() - started
+                elapsed = 0.0
                 produced = 0
                 try:
                     while True:
@@ -111,7 +116,14 @@ def render_analysis(root: PhysicalOperator,
         else:
             actual = (f" (actual rows={node_stats.rows}"
                       f" time={node_stats.seconds * 1000:.3f} ms"
-                      f" loops={node_stats.calls})")
+                      f" loops={node_stats.calls}")
+            if estimate is not None:
+                # Estimated-vs-actual drift, per execution of this node: a
+                # ratio far from 1.00 marks the misestimates worth chasing.
+                per_loop = node_stats.rows / node_stats.calls
+                drift = per_loop / max(estimate, 1)
+                actual += f" drift={drift:.2f}x"
+            actual += ")"
         lines.append("  " * depth + f"-> {node.label}{suffix}{actual}")
         for child in node.children():
             visit(child, depth + 1)

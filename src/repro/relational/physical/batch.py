@@ -172,6 +172,7 @@ class BatchHashJoin(_BatchBinaryJoin):
         else:
             index = _build_index_tuple(build_rows, build_tuple)
             probe_key = probe_tuple
+        self.build_rows_observed += sum(map(len, index.values()))
         out: list[Row] = []
         extend = out.extend
         get = index.get
@@ -203,6 +204,7 @@ class BatchHashLeftOuterJoin(_BatchBinaryJoin):
         else:
             index = _build_index_tuple(right_rows, self._right_key)
             probe_key = self._left_key
+        self.build_rows_observed += sum(map(len, index.values()))
         pad = (None,) * self.right.schema.arity
         out: list[Row] = []
         extend = out.extend
@@ -246,6 +248,7 @@ class BatchHashFullOuterJoin(_BatchBinaryJoin):
                 else:
                     bucket.append(pos)
             probe_key = self._left_key
+        self.build_rows_observed += sum(map(len, index.values()))
         matched: set[int] = set()
         add_matched = matched.add
         pad_right = (None,) * self.right.schema.arity
@@ -316,9 +319,12 @@ class BatchHashAntiJoin(_BatchBinaryJoin):
         if not keys:
             return _materialize(self.left)
         out: list[Row] = []
+        seen = 0
         for chunk in _chunks(self.left):
+            seen += len(chunk)
             out.extend(row for key, row in zip(map(probe_key, chunk), chunk)
                        if key not in keys)
+        self.pruned_total += seen - len(out)
         return out
 
 

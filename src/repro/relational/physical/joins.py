@@ -39,6 +39,12 @@ def _keys_sql(keys: Sequence[Expression]) -> str:
 class _BinaryJoin(PhysicalOperator):
     """Shared machinery for key-based binary joins."""
 
+    #: Rows hashed into build-side tables, accumulated over executions.
+    #: Telemetry reads these as free byproducts (no per-probe cost).
+    build_rows_observed = 0
+    #: Rows the anti-join variants removed, accumulated over executions.
+    pruned_total = 0
+
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  left_keys: Sequence[Expression],
                  right_keys: Sequence[Expression]):
@@ -92,6 +98,7 @@ class HashJoin(_BinaryJoin):
             if any(v is None for v in key):
                 continue
             index.setdefault(key, []).append(row)
+        self.build_rows_observed += sum(map(len, index.values()))
         if self.build_side == "right":
             for row in probe.rows():
                 key = probe_key(row)
@@ -238,6 +245,7 @@ class HashLeftOuterJoin(_BinaryJoin):
         right_key = self._right_key
         for row in self.right.rows():
             index.setdefault(right_key(row), []).append(row)
+        self.build_rows_observed += sum(map(len, index.values()))
         pad = (None,) * self.right.schema.arity
         left_key = self._left_key
         for row in self.left.rows():
@@ -264,6 +272,7 @@ class HashFullOuterJoin(_BinaryJoin):
             key = right_key(row)
             if all(v is not None for v in key):
                 index.setdefault(key, []).append(pos)
+        self.build_rows_observed += sum(map(len, index.values()))
         matched: set[int] = set()
         pad_right = (None,) * self.right.schema.arity
         pad_left = (None,) * self.left.schema.arity
@@ -324,10 +333,16 @@ class HashAntiJoin(_BinaryJoin):
         keys = {key for key in map(right_key, self.right.rows())
                 if None not in key}
         left_key = self._left_key
-        for row in self.left.rows():
-            key = left_key(row)
-            if None in key or key not in keys:
-                yield row
+        pruned = 0
+        try:
+            for row in self.left.rows():
+                key = left_key(row)
+                if None in key or key not in keys:
+                    yield row
+                else:
+                    pruned += 1
+        finally:
+            self.pruned_total += pruned
 
 
 class NotInAntiJoin(_BinaryJoin):
@@ -360,12 +375,19 @@ class NotInAntiJoin(_BinaryJoin):
             # NOT IN over a set containing NULL can never be TRUE.
             return
         left_key = self._left_key
-        for row in self.left.rows():
-            key = left_key(row)
-            if any(v is None for v in key):
-                continue
-            if key not in keys:
-                yield row
+        pruned = 0
+        try:
+            for row in self.left.rows():
+                key = left_key(row)
+                if any(v is None for v in key):
+                    pruned += 1
+                    continue
+                if key not in keys:
+                    yield row
+                else:
+                    pruned += 1
+        finally:
+            self.pruned_total += pruned
 
 
 # -- build-side caching across plan re-executions ------------------------------
@@ -445,6 +467,7 @@ class CachedBuildHashJoin(HashJoin):
             if any(v is None for v in key):
                 continue
             index.setdefault(key, []).append(row)
+        self.build_rows_observed += sum(map(len, index.values()))
         self._cached_fingerprint = fingerprint
         self._cached_index = index if fingerprint is not None else None
         return index

@@ -84,6 +84,9 @@ class PlannerPolicy:
     """Choice points the compiler delegates to."""
 
     name = "default"
+    #: A :class:`repro.observability.MetricsRegistry` when the owning
+    #: engine attached one; policies count their operator choices there.
+    metrics = None
 
     def __init__(self, executor: str = "tuple"):
         if executor not in _OPERATOR_SETS:
@@ -91,6 +94,16 @@ class PlannerPolicy:
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.executor = executor
         self._ops = _OPERATOR_SETS[executor]
+
+    def _count_join(self, join: PhysicalOperator) -> PhysicalOperator:
+        """Record which join operator this policy chose (plan-time only —
+        one counter increment per join node, never per row)."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_planner_join_choices_total",
+                "Join operators chosen at plan time, by policy.",
+                operator=join.label, policy=self.name).inc()
+        return join
 
     def make_equi_join(self, left: PhysicalOperator, right: PhysicalOperator,
                        left_keys: Sequence[Expression],
@@ -172,8 +185,8 @@ class HashFirstPolicy(PlannerPolicy):
     name = "hash-first"
 
     def make_equi_join(self, left, right, left_keys, right_keys):
-        return _stats_aware_hash_join(self._ops["equi"], left, right,
-                                      left_keys, right_keys)
+        return self._count_join(_stats_aware_hash_join(
+            self._ops["equi"], left, right, left_keys, right_keys))
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
         return self._ops["hash_agg"](child, keys, aggregates, key_aliases)
@@ -193,7 +206,8 @@ class HashJoinSortAggPolicy(PlannerPolicy):
     name = "hash-join-sort-agg"
 
     def make_equi_join(self, left, right, left_keys, right_keys):
-        return self._ops["equi"](left, right, left_keys, right_keys)
+        return self._count_join(
+            self._ops["equi"](left, right, left_keys, right_keys))
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
         # Sort aggregation is this profile's cost model; no batch twin.
@@ -215,10 +229,12 @@ class MergeJoinPolicy(PlannerPolicy):
 
     def make_equi_join(self, left, right, left_keys, right_keys):
         if self._both_sides_analyzed(left, right):
-            return self._ops["equi"](left, right, left_keys, right_keys)
+            return self._count_join(
+                self._ops["equi"](left, right, left_keys, right_keys))
         left = self._try_index_feed(left, left_keys)
         right = self._try_index_feed(right, right_keys)
-        return MergeJoin(left, right, left_keys, right_keys)
+        return self._count_join(
+            MergeJoin(left, right, left_keys, right_keys))
 
     def make_aggregate(self, child, keys, aggregates, key_aliases):
         return self._ops["hash_agg"](child, keys, aggregates, key_aliases)
@@ -318,7 +334,7 @@ class CostBasedPolicy(PlannerPolicy):
             merged = self._try_merge_join(left, right, left_keys, right_keys,
                                           left_rows, right_rows)
             if merged is not None:
-                return merged
+                return self._count_join(merged)
         stable_left = stable_input_fingerprint(left) is not None
         stable_right = stable_input_fingerprint(right) is not None
         if stable_right and rescanned_left and not rescanned_right:
@@ -339,7 +355,7 @@ class CostBasedPolicy(PlannerPolicy):
             join = self._ops["equi"](left, right, left_keys, right_keys,
                                      build_side)
         self.estimator.annotate(join)
-        return join
+        return self._count_join(join)
 
     def _try_merge_join(self, left, right, left_keys, right_keys,
                         left_rows, right_rows):

@@ -21,6 +21,7 @@ enhanced language.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -53,7 +54,7 @@ from .sql.ast import (
     WithStatement,
 )
 from .sql.compiler import QueryRunner
-from .strategies import apply_union_by_update
+from .strategies import UpdateCounts, apply_union_by_update
 from .table import Table
 
 #: Safety cap when a query carries no MAXRECURSION hint.
@@ -73,6 +74,18 @@ class IterationStat:
     delta_rows: int
     total_rows: int
     seconds: float
+    #: Delta rows appended as genuinely new keys/tuples this iteration.
+    inserted: int = 0
+    #: Existing rows overwritten by UNION BY UPDATE this iteration.
+    overwritten: int = 0
+    #: Delta rows the combine step discarded (UNION duplicates, no-op
+    #: union-by-update rows).
+    pruned: int = 0
+    #: Rows removed by anti-join operators while computing the deltas
+    #: (semi-naive pruning of already-derived tuples).
+    antijoin_pruned: int = 0
+    #: Wall seconds per recursive branch, in branch order.
+    branch_seconds: tuple = ()
 
 
 @dataclass
@@ -93,6 +106,23 @@ class WithExecutionResult:
     #: drifted from the cardinality they were planned for (cost-based
     #: policies only; see ``Engine(replan_factor=...)``).
     replans: int = 0
+    #: A :class:`repro.observability.QueryTelemetry` when executed through
+    #: an :class:`~repro.relational.engine.Engine` (phase timings, row
+    #: counts, convergence trajectory); ``None`` for bare executor runs.
+    telemetry: object | None = None
+
+    @property
+    def convergence(self) -> tuple[int, ...]:
+        """Delta cardinality per iteration — the fixpoint trajectory."""
+        return tuple(stat.delta_rows for stat in self.per_iteration)
+
+    def __repr__(self) -> str:
+        return (f"WithExecutionResult(rows={len(self.relation)},"
+                f" iterations={self.iterations},"
+                f" plans_compiled={self.plans_compiled},"
+                f" plan_cache_hits={self.plan_cache_hits},"
+                f" replans={self.replans},"
+                f" hit_maxrecursion={self.hit_maxrecursion})")
 
 
 # -- reference detection -------------------------------------------------------
@@ -399,6 +429,24 @@ class _CachedBranchPlans:
     def statement_count(self) -> int:
         return 1 + len(self.computed)
 
+    def all_plans(self) -> list:
+        return [plan for _, plan in self.computed] + [self.statement_plan]
+
+
+def _plans_pruned_total(plans) -> int:
+    """Cumulative anti-join ``pruned_total`` over every node of *plans*.
+
+    Anti-join operators accumulate their pruned-row counts across
+    executions as a free byproduct; the recursive loop diffs consecutive
+    readings to attribute pruning per iteration."""
+    total = 0
+    stack = list(plans)
+    while stack:
+        node = stack.pop()
+        total += getattr(node, "pruned_total", 0)
+        stack.extend(node.children())
+    return total
+
 
 # -- execution ---------------------------------------------------------------------
 
@@ -410,7 +458,7 @@ class RecursiveExecutor:
                  policy: PlannerPolicy, mode: str = "with+",
                  ubu_strategy: str | None = None,
                  temp_indexes: dict[str, Sequence[str]] | None = None,
-                 analyze: bool = False):
+                 analyze: bool = False, telemetry=None):
         if mode not in ("with", "with+"):
             raise ValueError(f"mode must be 'with' or 'with+', not {mode!r}")
         self.database = database
@@ -426,7 +474,30 @@ class RecursiveExecutor:
         #: instrumented; totals accumulate across every loop iteration and
         #: are rendered by :meth:`analysis_report`.
         self.analyze = analyze
+        #: The engine's :class:`repro.observability.Telemetry`, when run
+        #: through one.  Tracing-enabled telemetry turns on the same plan
+        #: instrumentation the analyze path uses, so traces carry
+        #: per-operator spans.
+        self.telemetry = telemetry
+        self.tracer = telemetry.tracer if telemetry is not None else None
+        #: Wall seconds spent compiling plans (initial queries, cached and
+        #: fresh branch plans, the final body) — the engine reports this as
+        #: the recursive statement's "plan" phase.
+        self.plan_seconds = 0.0
+        self._instrument = analyze or (self.tracer is not None
+                                       and self.tracer.enabled)
         self._analyzed: list[tuple[str, object, dict]] = []
+
+    def _span(self, name: str, **attrs):
+        """A tracer span when tracing is on, else a free null context."""
+        if self.tracer is not None and self.tracer.enabled:
+            return self.tracer.span(name, **attrs)
+        return nullcontext(None)
+
+    def instrumented_plans(self) -> list[tuple[str, object, dict]]:
+        """(title, plan, stats) per instrumented plan — the engine grafts
+        these into the trace as per-operator spans."""
+        return list(self._analyzed)
 
     # -- top level -------------------------------------------------------------
 
@@ -443,16 +514,16 @@ class RecursiveExecutor:
                 bindings[cte.name.lower()] = result
                 created_temp_names.append(cte.name)
             runner = QueryRunner(self.database, self.policy, bindings)
-            if self.analyze:
+            started = time.perf_counter()
+            body_plan = runner.plan(statement.body)
+            self.plan_seconds += time.perf_counter() - started
+            if self._instrument:
                 from .physical import instrument
 
-                body_plan = runner.plan(statement.body)
                 self._annotate_estimates(body_plan)
                 body_stats = instrument(body_plan)
                 self._analyzed.append(("final body", body_plan, body_stats))
-                stats.relation = Relation(body_plan.schema, body_plan.rows())
-            else:
-                stats.relation = runner.run(statement.body)
+            stats.relation = body_plan.execute()
             return stats
         finally:
             self._cleanup(created_temp_names)
@@ -511,9 +582,9 @@ class RecursiveExecutor:
             raise PlanError(f"recursive CTE {cte.name!r} has no initial query")
 
         runner = QueryRunner(self.database, self.policy, bindings)
-        current = runner.run(initial[0].statement)
+        current = self._run_timed(runner, initial[0].statement)
         for branch in initial[1:]:
-            extra = runner.run(branch.statement)
+            extra = self._run_timed(runner, branch.statement)
             if cte.union_kind is UnionKind.UNION_ALL:
                 current = current.union_all(extra)
             else:
@@ -568,6 +639,9 @@ class RecursiveExecutor:
         adaptive = getattr(self.policy, "adaptive", False)
         replan_factor = max(
             float(getattr(self.policy, "replan_factor", 8.0)), 1.0)
+        # Cumulative anti-join pruned totals already attributed per cached
+        # branch plan; the per-iteration value is the delta against these.
+        pruned_seen: list[int] = [0] * len(recursive)
         while True:
             if iteration >= cap:
                 if limit is None:
@@ -580,44 +654,76 @@ class RecursiveExecutor:
             branch_slots[rname] = working if semi_naive else snapshot
             computed_slots[rname] = snapshot
             deltas: list[Relation] = []
-            for position, branch in enumerate(recursive):
-                if (adaptive and cached[position] is not None
-                        and _cardinality_drifted(
-                            planned_inputs[position],
-                            len(branch_slots[rname]), replan_factor)):
-                    cached[position] = None
-                    stats.replans += 1
-                if not cacheable[position]:
-                    statement_bindings = dict(bindings)
-                    statement_bindings[rname] = working if semi_naive \
-                        else snapshot
-                    computed_bindings = dict(bindings)
-                    computed_bindings[rname] = snapshot
-                    delta = self._run_branch(branch, statement_bindings,
-                                             computed_bindings,
-                                             computed_names)
-                    stats.plans_compiled += 1 + len(branch.computed_by)
-                elif cached[position] is None:
-                    planned_inputs[position] = len(branch_slots[rname])
-                    delta, entry = self._plan_and_run_branch(
-                        branch, bindings, branch_slots, computed_slots,
-                        computed_names)
-                    cached[position] = entry
-                    stats.plans_compiled += entry.statement_count
-                else:
-                    delta = self._run_cached_branch(
-                        cached[position], branch_slots, computed_slots,
-                        computed_names)
-                    stats.plan_cache_hits += cached[position].statement_count
-                deltas.append(delta)
-            changed, working = self._combine(cte, table, snapshot, deltas)
-            table = self.database.table(cte.name)  # drop/alter may swap it
-            elapsed = time.perf_counter() - started
+            branch_seconds: list[float] = []
+            antijoin_pruned = 0
+            with self._span("iteration", index=iteration) as iter_span:
+                for position, branch in enumerate(recursive):
+                    branch_started = time.perf_counter()
+                    if (adaptive and cached[position] is not None
+                            and _cardinality_drifted(
+                                planned_inputs[position],
+                                len(branch_slots[rname]), replan_factor)):
+                        cached[position] = None
+                        pruned_seen[position] = 0
+                        stats.replans += 1
+                    with self._span("branch", position=position):
+                        if not cacheable[position]:
+                            statement_bindings = dict(bindings)
+                            statement_bindings[rname] = working if semi_naive \
+                                else snapshot
+                            computed_bindings = dict(bindings)
+                            computed_bindings[rname] = snapshot
+                            delta, branch_pruned = self._run_branch(
+                                branch, statement_bindings,
+                                computed_bindings, computed_names)
+                            antijoin_pruned += branch_pruned
+                            stats.plans_compiled += 1 + len(branch.computed_by)
+                        elif cached[position] is None:
+                            planned_inputs[position] = len(branch_slots[rname])
+                            delta, entry = self._plan_and_run_branch(
+                                branch, bindings, branch_slots, computed_slots,
+                                computed_names)
+                            cached[position] = entry
+                            stats.plans_compiled += entry.statement_count
+                            total = _plans_pruned_total(entry.all_plans())
+                            antijoin_pruned += total - pruned_seen[position]
+                            pruned_seen[position] = total
+                        else:
+                            delta = self._run_cached_branch(
+                                cached[position], branch_slots, computed_slots,
+                                computed_names)
+                            stats.plan_cache_hits += \
+                                cached[position].statement_count
+                            total = _plans_pruned_total(
+                                cached[position].all_plans())
+                            antijoin_pruned += total - pruned_seen[position]
+                            pruned_seen[position] = total
+                    deltas.append(delta)
+                    branch_seconds.append(
+                        time.perf_counter() - branch_started)
+                changed, working, combine_counts = self._combine(
+                    cte, table, snapshot, deltas)
+                table = self.database.table(cte.name)  # drop/alter may swap it
+                elapsed = time.perf_counter() - started
+                delta_rows = sum(len(d) for d in deltas)
+                if iter_span is not None:
+                    iter_span.attrs.update(
+                        delta_rows=delta_rows, total_rows=len(table),
+                        inserted=combine_counts.inserted,
+                        overwritten=combine_counts.overwritten,
+                        antijoin_pruned=antijoin_pruned)
+            inserted, overwritten = (combine_counts.inserted,
+                                     combine_counts.overwritten)
             stats.per_iteration.append(IterationStat(
                 iteration=iteration,
-                delta_rows=sum(len(d) for d in deltas),
+                delta_rows=delta_rows,
                 total_rows=len(table),
-                seconds=elapsed))
+                seconds=elapsed,
+                inserted=inserted,
+                overwritten=overwritten,
+                pruned=max(0, delta_rows - inserted - overwritten),
+                antijoin_pruned=antijoin_pruned,
+                branch_seconds=tuple(branch_seconds)))
             if len(table) > DEFAULT_ROW_CAP:
                 raise RecursionLimitError(DEFAULT_ROW_CAP)
             if not changed:
@@ -771,18 +877,35 @@ class RecursiveExecutor:
             stack.extend(reversed(children.get(index, [])))
         return order
 
+    def _run_timed(self, runner: QueryRunner, statement) -> Relation:
+        """``runner.run(statement)`` with the compile half credited to
+        :attr:`plan_seconds` (phase accounting for the engine)."""
+        started = time.perf_counter()
+        plan = runner.plan(statement)
+        self.plan_seconds += time.perf_counter() - started
+        return plan.execute()
+
     def _run_branch(self, branch: CteBranch,
                     statement_bindings: dict[str, Relation],
                     computed_bindings: dict[str, Relation],
-                    computed_names: set[str]) -> Relation:
+                    computed_names: set[str]) -> tuple[Relation, int]:
         """Fill the COMPUTED BY tables (which see the full R), then run the
-        branch statement (which may see a semi-naive binding for R)."""
+        branch statement (which may see a semi-naive binding for R).
+
+        Returns ``(delta, antijoin_pruned)`` — the plans here are fresh
+        each iteration, so their pruned totals are per-iteration already.
+        """
         statement_bindings = dict(statement_bindings)
         computed_bindings = dict(computed_bindings)
+        plans = []
         for definition in branch.computed_by:
             runner = QueryRunner(self.database, self.policy,
                                  computed_bindings)
-            result = runner.run(definition.statement)
+            started = time.perf_counter()
+            plan = runner.plan(definition.statement)
+            self.plan_seconds += time.perf_counter() - started
+            plans.append(plan)
+            result = plan.execute()
             if definition.columns:
                 result = result.rename_columns(definition.columns)
             aux = self.database.create_temp_table(definition.name,
@@ -795,7 +918,12 @@ class RecursiveExecutor:
             computed_bindings[definition.name.lower()] = view
             statement_bindings[definition.name.lower()] = view
         runner = QueryRunner(self.database, self.policy, statement_bindings)
-        return runner.run(branch.statement)
+        started = time.perf_counter()
+        statement_plan = runner.plan(branch.statement)
+        self.plan_seconds += time.perf_counter() - started
+        plans.append(statement_plan)
+        delta = statement_plan.execute()
+        return delta, _plans_pruned_total(plans)
 
     def _plan_and_run_branch(self, branch: CteBranch,
                              bindings: dict[str, Relation],
@@ -809,8 +937,10 @@ class RecursiveExecutor:
         for definition in branch.computed_by:
             runner = QueryRunner(self.database, self.policy, bindings,
                                  live_slots=computed_slots)
+            started = time.perf_counter()
             plan = runner.plan(definition.statement)
-            if self.analyze:
+            self.plan_seconds += time.perf_counter() - started
+            if self._instrument:
                 from .physical import instrument
 
                 self._annotate_estimates(plan)
@@ -821,8 +951,10 @@ class RecursiveExecutor:
                                 computed_slots, computed_names)
         runner = QueryRunner(self.database, self.policy, bindings,
                              live_slots=branch_slots)
+        started = time.perf_counter()
         statement_plan = runner.plan(branch.statement)
-        if self.analyze:
+        self.plan_seconds += time.perf_counter() - started
+        if self._instrument:
             from .physical import instrument
 
             self._annotate_estimates(statement_plan)
@@ -868,11 +1000,12 @@ class RecursiveExecutor:
 
     def _combine(self, cte: CommonTableExpression, table: Table,
                  snapshot: Relation, deltas: list[Relation]
-                 ) -> tuple[bool, Relation]:
+                 ) -> tuple[bool, Relation, UpdateCounts]:
         """Fold the deltas into the recursive table.
 
-        Returns ``(changed, working)`` where *working* is the relation the
-        next semi-naive step should see (the genuinely new rows).
+        Returns ``(changed, working, counts)`` where *working* is the
+        relation the next semi-naive step should see (the genuinely new
+        rows) and *counts* records what the combine actually wrote.
         """
         if cte.union_kind is UnionKind.UNION_ALL:
             added = 0
@@ -881,7 +1014,7 @@ class RecursiveExecutor:
                 added += table.insert_relation(delta)
                 combined.extend(delta.rows)
             working = Relation(table.schema, combined)
-            return added > 0, working
+            return added > 0, working, UpdateCounts(inserted=added)
         if cte.union_kind is UnionKind.UNION:
             existing = set(table.rows)
             fresh: list[tuple] = []
@@ -893,18 +1026,20 @@ class RecursiveExecutor:
                         table.insert(coerced)
                         fresh.append(table.rows[-1])
             working = Relation(table.schema, fresh)
-            return bool(fresh), working
+            return bool(fresh), working, UpdateCounts(inserted=len(fresh))
         # union by update — single delta guaranteed by validation
         delta = deltas[0]
         for extra in deltas[1:]:
             delta = delta.union_all(extra)
         aligned = delta.rename_columns(table.schema.names) \
             if delta.schema.arity == table.schema.arity else delta
+        counts = UpdateCounts()
         new_table = apply_union_by_update(self.database, table, aligned,
-                                          cte.update_key, self.ubu_strategy)
+                                          cte.update_key, self.ubu_strategy,
+                                          counts=counts)
         self._maybe_index(new_table)
         after = new_table.snapshot()
-        return after != snapshot, after
+        return after != snapshot, after, counts
 
     def _maybe_index(self, table: Table) -> None:
         columns = self.temp_indexes.get(table.name) \

@@ -19,6 +19,7 @@ work its SQL counterpart implies — no artificial delays.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from .database import Database
@@ -32,26 +33,51 @@ UNION_BY_UPDATE_STRATEGIES = ("merge", "update_from", "full_outer_join",
                               "drop_alter")
 
 
+@dataclass
+class UpdateCounts:
+    """What one ``R ⊎ delta`` application did — byproducts each strategy
+    already computes, surfaced for the fixpoint-introspection telemetry.
+
+    ``inserted`` counts delta rows appended as new keys; ``overwritten``
+    counts existing rows the strategy wrote.  The strategies legitimately
+    disagree on no-op rows (MERGE writes an unchanged match, the
+    full-outer-join variants skip it) — the counts report what each plan
+    *does*, which is exactly the difference the paper's Exp-1 measures.
+    """
+
+    inserted: int = 0
+    overwritten: int = 0
+
+
 def apply_union_by_update(database: Database, table: Table, delta: Relation,
-                          key_columns: Sequence[str], strategy: str) -> Table:
+                          key_columns: Sequence[str], strategy: str,
+                          counts: UpdateCounts | None = None) -> Table:
     """Apply ``table ⊎ delta`` on *key_columns* using *strategy*.
 
     Returns the table holding the result — a *different* object for the
     ``drop_alter`` strategy, which swaps a new table into the catalog.
+    When *counts* is given, it is filled with the insert/overwrite totals.
     """
+    if counts is None:
+        counts = UpdateCounts()
     if not key_columns:
         # Keyless union-by-update replaces the relation wholesale (the
         # paper's "without attributes" form).
         table.replace_contents(delta)
+        counts.inserted = len(delta)
         return table
     if strategy == "merge":
-        _merge(table, delta, key_columns)
+        counts.inserted, counts.overwritten = \
+            _merge(table, delta, key_columns)
     elif strategy == "update_from":
-        _update_from(table, delta, key_columns)
+        counts.inserted, counts.overwritten = \
+            _update_from(table, delta, key_columns)
     elif strategy == "full_outer_join":
-        _full_outer_join(table, delta, key_columns)
+        counts.inserted, counts.overwritten = \
+            _full_outer_join(table, delta, key_columns)
     elif strategy == "drop_alter":
-        _drop_alter(database, table, delta, key_columns)
+        counts.inserted, counts.overwritten = \
+            _drop_alter(database, table, delta, key_columns)
         return database.table(table.name)
     else:
         raise ExecutionError(f"unknown union-by-update strategy {strategy!r}")
@@ -59,7 +85,7 @@ def apply_union_by_update(database: Database, table: Table, delta: Relation,
 
 
 def _merge(table: Table, delta: Relation,
-           key_columns: Sequence[str]) -> None:
+           key_columns: Sequence[str]) -> tuple[int, int]:
     """SQL MERGE, executed the way the RDBMSs do.
 
     A MERGE plan is an outer join between target and source followed by a
@@ -121,12 +147,13 @@ def _merge(table: Table, delta: Relation,
     table._maintain_indexes(updates, inserts)
     table._positions_cache = None
     table.statistics.invalidate()
+    return len(inserts), len(updates)
 
 
 def _update_from(table: Table, delta: Relation,
-                 key_columns: Sequence[str]) -> None:
+                 key_columns: Sequence[str]) -> tuple[int, int]:
     """``UPDATE ... FROM`` for the matches, then insert the remainder."""
-    table.update_from(delta, key_columns)
+    updated = table.update_from(delta, key_columns)
     target_positions = [table.schema.index_of(k) for k in key_columns]
     delta_positions = [delta.schema.index_of(k) for k in key_columns]
     existing = {tuple(row[i] for i in target_positions) for row in table.rows}
@@ -138,11 +165,16 @@ def _update_from(table: Table, delta: Relation,
             remainder.append(row)
     if remainder:
         table.insert_many(remainder)
+    return len(remainder), updated
 
 
 def _union_by_update_relation(current: Relation, delta: Relation,
-                              key_columns: Sequence[str]) -> Relation:
-    """The full-outer-join + coalesce evaluation of ``current ⊎ delta``."""
+                              key_columns: Sequence[str]
+                              ) -> tuple[Relation, int, int]:
+    """The full-outer-join + coalesce evaluation of ``current ⊎ delta``.
+
+    Returns ``(merged, inserted, overwritten)`` — *overwritten* counting
+    matched rows whose value actually changed."""
     current_positions = [current.schema.index_of(k) for k in key_columns]
     delta_positions = [delta.schema.index_of(k) for k in key_columns]
     replacement: dict[tuple, tuple] = {}
@@ -150,6 +182,7 @@ def _union_by_update_relation(current: Relation, delta: Relation,
         replacement[tuple(row[i] for i in delta_positions)] = row
     out: list[tuple] = []
     matched: set[tuple] = set()
+    overwritten = 0
     for row in current.rows:
         key = tuple(row[i] for i in current_positions)
         new = replacement.get(key)
@@ -157,16 +190,20 @@ def _union_by_update_relation(current: Relation, delta: Relation,
             out.append(row)
         else:
             matched.add(key)
+            if new != row:
+                overwritten += 1
             out.append(new)
+    inserted = 0
     for row in delta.rows:
         key = tuple(row[i] for i in delta_positions)
         if key not in matched:
+            inserted += 1
             out.append(row)
-    return Relation(current.schema, out)
+    return Relation(current.schema, out), inserted, overwritten
 
 
 def _full_outer_join(table: Table, delta: Relation,
-                     key_columns: Sequence[str]) -> None:
+                     key_columns: Sequence[str]) -> tuple[int, int]:
     """Full-outer-join semantics, applied incrementally.
 
     When the delta is small relative to the table (the recursive loop's
@@ -176,15 +213,17 @@ def _full_outer_join(table: Table, delta: Relation,
     than row-at-a-time churn at that size.
     """
     if 2 * len(delta) > len(table.rows):
-        table.merge_delta_rebuild(delta, key_columns)
+        replaced, appended = table.merge_delta_rebuild(delta, key_columns)
     else:
-        table.apply_delta_by_key(delta, key_columns)
+        replaced, appended = table.apply_delta_by_key(delta, key_columns)
+    return appended, replaced
 
 
 def _drop_alter(database: Database, table: Table, delta: Relation,
-                key_columns: Sequence[str]) -> None:
+                key_columns: Sequence[str]) -> tuple[int, int]:
     """Compute into a scratch table, DROP the old, RENAME the new."""
-    merged = _union_by_update_relation(table.snapshot(), delta, key_columns)
+    merged, inserted, overwritten = _union_by_update_relation(
+        table.snapshot(), delta, key_columns)
     scratch_name = f"__swap_{table.name}"
     scratch = database.create_temp_table(scratch_name, table.schema,
                                          replace=True)
@@ -200,6 +239,7 @@ def _drop_alter(database: Database, table: Table, delta: Relation,
     original_name = table.name
     database.drop_table(original_name)
     database.rename_table(scratch_name, original_name)
+    return inserted, overwritten
 
 
 def union_by_update_sql(target: str, source: str, key: str,

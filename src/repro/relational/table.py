@@ -350,13 +350,15 @@ class Table:
         return replaced, appended
 
     def merge_delta_rebuild(self, delta: Relation,
-                            key_columns: Sequence[str]) -> None:
+                            key_columns: Sequence[str]) -> tuple[int, int]:
         """One-pass ``self ⊎ delta`` rebuild for table-sized deltas.
 
         Same contents and row order as materialising the full-outer-join
         merge and calling :meth:`replace_contents`, but surviving rows are
         reused as-is (they are already coerced) and the delta is coerced
-        exactly once — one pass over the table instead of three.
+        exactly once — one pass over the table instead of three.  Returns
+        ``(replaced, appended)`` where *replaced* counts matched rows whose
+        value actually changed, matching :meth:`apply_delta_by_key`.
         """
         from operator import itemgetter
 
@@ -373,6 +375,7 @@ class Table:
         replacement = {delta_key(row): row for row in coerced}
         out: list[Row] = []
         matched: set = set()
+        replaced = 0
         get = replacement.get
         for row in self.rows:
             key = target_key(row)
@@ -381,11 +384,16 @@ class Table:
                 out.append(row)
             else:
                 matched.add(key)
+                if new != row:
+                    replaced += 1
                 out.append(new)
+        appended = len(out)
         out.extend(row for row in coerced
                    if delta_key(row) not in matched)
+        appended = len(out) - appended
         self.rows = out
         self._rebuild_auxiliary()
+        return replaced, appended
 
     # -- internals -----------------------------------------------------------------
 

@@ -1,0 +1,99 @@
+"""Metrics registry: series identity, types, and both exports."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+class TestCounters:
+    def test_same_series_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("queries_total", kind="select")
+        b = registry.counter("queries_total", kind="select")
+        c = registry.counter("queries_total", kind="recursive")
+        assert a is b and a is not c
+        a.inc()
+        a.inc(2)
+        assert b.value == 3.0
+        assert c.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x="1", y="2")
+        b = registry.counter("m", y="2", x="1")
+        assert a is b
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("m").inc(-1)
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+
+class TestHistograms:
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(1, 10, 100))
+        for value in (0.5, 5, 5, 50, 5000):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1, 1), (10, 3), (100, 4), (float("inf"), 5)]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(5060.5)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("ms", buckets=())
+
+
+class TestPrometheusExport:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", "Statements executed.",
+                         kind="select").inc(3)
+        text = registry.to_prometheus()
+        assert "# HELP repro_queries_total Statements executed." in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{kind="select"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_query_ms", "Latency.",
+                           buckets=(10, 100)).observe(42)
+        text = registry.to_prometheus()
+        assert 'repro_query_ms_bucket{le="10"} 0' in text
+        assert 'repro_query_ms_bucket{le="100"} 1' in text
+        assert 'repro_query_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_query_ms_sum 42" in text
+        assert "repro_query_ms_count 1" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestJsonExport:
+    def test_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help", kind="x").inc()
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        data = registry.to_json()
+        assert data["c"]["type"] == "counter"
+        assert data["c"]["series"] == [
+            {"labels": {"kind": "x"}, "value": 1.0}]
+        buckets = data["h"]["series"][0]["buckets"]
+        assert buckets[-1]["le"] == "+Inf"
+        assert buckets[-1]["count"] == 1

@@ -1,0 +1,52 @@
+"""Disabled-telemetry overhead guard.
+
+The always-on half of the telemetry (phase timings, query log, counters)
+must be nearly free.  The baseline stubs the engine's accounting entry
+points to no-ops — the execution pipeline is untouched either way, so the
+measured gap is exactly the always-on bookkeeping.  Best-of-N interleaved
+runs keep scheduler noise out; the 5% bound gets a small absolute slack
+so sub-10ms timings on busy CI machines don't flake.
+"""
+
+import gc
+import time
+
+from repro.core.algorithms import pagerank
+from repro.datasets import preferential_attachment
+from repro.relational import Engine
+from repro.relational.engine import Engine as EngineClass
+
+ROUNDS = 5
+
+
+def _time_run(graph) -> float:
+    engine = Engine("oracle")
+    engine.load_graph(graph)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        pagerank.run_sql(engine, graph, iterations=10)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def test_disabled_telemetry_overhead_under_5_percent(monkeypatch):
+    graph = preferential_attachment(150, 3, directed=True, seed=7)
+    _time_run(graph)  # warm-up: imports, code objects, caches
+
+    with_accounting = float("inf")
+    without_accounting = float("inf")
+    for _ in range(ROUNDS):
+        with_accounting = min(with_accounting, _time_run(graph))
+        with monkeypatch.context() as patch:
+            patch.setattr(EngineClass, "_record_query",
+                          lambda self, *args, **kwargs: None)
+            patch.setattr(EngineClass, "_publish_iterations",
+                          lambda self, result: None)
+            without_accounting = min(without_accounting, _time_run(graph))
+
+    assert with_accounting <= without_accounting * 1.05 + 0.005, (
+        f"always-on telemetry cost {with_accounting * 1000:.2f} ms vs"
+        f" {without_accounting * 1000:.2f} ms baseline")

@@ -1,0 +1,52 @@
+"""Query log ring buffer and slow-query flagging."""
+
+import pytest
+
+from repro.observability import QueryLog
+from repro.observability.querylog import MAX_SQL_LENGTH
+
+
+class TestQueryLog:
+    def test_ring_buffer_keeps_most_recent(self):
+        log = QueryLog(size=3)
+        for index in range(5):
+            log.record(f"select {index}", "select", total_ms=1.0)
+        assert len(log) == 3
+        assert [e.sql for e in log.entries()] == [
+            "select 2", "select 3", "select 4"]
+
+    def test_slow_threshold(self):
+        log = QueryLog(slow_ms=10.0)
+        fast = log.record("select 1", "select", total_ms=9.9)
+        slow = log.record("select 2", "select", total_ms=10.0)
+        assert not fast.slow and slow.slow
+        assert log.slow_queries() == [slow]
+
+    def test_sql_truncation(self):
+        log = QueryLog()
+        entry = log.record("x" * (MAX_SQL_LENGTH + 50), "select", 1.0)
+        assert len(entry.sql) == MAX_SQL_LENGTH + 1
+        assert entry.sql.endswith("…")
+
+    def test_entry_fields_and_to_dict(self):
+        log = QueryLog()
+        entry = log.record("select 1", "recursive", 12.345,
+                           phases={"parse": 1.0, "execute": 11.0},
+                           rows=7, iterations=3)
+        assert entry.timestamp > 0
+        data = entry.to_dict()
+        assert data["kind"] == "recursive"
+        assert data["total_ms"] == 12.345
+        assert data["phases"] == {"parse": 1.0, "execute": 11.0}
+        assert data["rows"] == 7 and data["iterations"] == 3
+
+    def test_clear_and_iter(self):
+        log = QueryLog()
+        log.record("select 1", "select", 1.0)
+        assert len(list(log)) == 1
+        log.clear()
+        assert len(log) == 0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(size=0)

@@ -1,0 +1,124 @@
+"""Tracer/Span semantics: nesting, disabled mode, exports."""
+
+import json
+
+from repro.observability import Span, Tracer
+
+
+class TestSpans:
+    def test_nesting_follows_dynamic_scope(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("iteration", index=1):
+                    pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["parse", "execute"]
+        iteration = root.children[1].children[0]
+        assert iteration.name == "iteration"
+        assert iteration.attrs == {"index": 1}
+
+    def test_durations_are_measured_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+        assert inner.start >= outer.start
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is None
+
+    def test_find_searches_the_forest(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("iteration"):
+                pass
+            with tracer.span("iteration"):
+                pass
+        with tracer.span("query"):
+            pass
+        assert len(tracer.find("query")) == 2
+        assert len(tracer.find("iteration")) == 2
+        assert tracer.find("missing") == []
+
+    def test_synthetic_children(self):
+        span = Span("execute", start=1.0, duration=2.0)
+        child = span.child("op:Seq Scan", duration=0.5, rows=10)
+        assert child.start == span.start
+        assert child.attrs["rows"] == 10
+        assert span.children == [child]
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current() is None
+
+
+class TestDisabledTracer:
+    def test_span_yields_none_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("query") as span:
+            assert span is None
+            with tracer.span("inner") as inner:
+                assert inner is None
+        assert tracer.roots == []
+        assert tracer.to_chrome_trace()["traceEvents"] == []
+
+
+class TestExports:
+    def _sample(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("query", sql="select 1"):
+            with tracer.span("execute"):
+                pass
+        return tracer
+
+    def test_json_export_is_nested(self):
+        data = json.loads(self._sample().to_json())
+        assert data[0]["name"] == "query"
+        assert data[0]["attrs"] == {"sql": "select 1"}
+        assert data[0]["children"][0]["name"] == "execute"
+
+    def test_json_export_stringifies_unsafe_attrs(self):
+        tracer = Tracer()
+        with tracer.span("query", obj=object()):
+            pass
+        data = json.loads(tracer.to_json())
+        assert isinstance(data[0]["attrs"]["obj"], str)
+
+    def test_chrome_trace_shape(self):
+        trace = self._sample().to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["query", "execute"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+        parent, child = events
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1
+
+    def test_export_chrome_writes_file(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert self._sample().export_chrome(path) == path
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["traceEvents"]

@@ -1,0 +1,98 @@
+"""Validate a Chrome trace export against ``trace_schema.json``.
+
+CI runs ``repro trace pagerank --export trace.json`` and feeds the result
+through this script.  The CI image installs pytest only, so this is a
+small stdlib validator covering the JSON-Schema subset the checked-in
+schema uses: ``type``, ``required``, ``properties``, ``items``, ``enum``,
+``minimum``, and ``minItems``.  Unknown keywords raise instead of being
+silently ignored — a schema edit that needs a bigger subset must extend
+the validator in the same commit.
+
+Usage: ``python tests/observability/validate_trace.py TRACE SCHEMA``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_HANDLED = {"$comment", "type", "required", "properties", "items", "enum",
+            "minimum", "minItems"}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The instance does not conform (or the schema needs keywords the
+    validator does not implement)."""
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Raise :class:`SchemaError` unless *instance* conforms to *schema*."""
+    unknown = set(schema) - _HANDLED
+    if unknown:
+        raise SchemaError(
+            f"{path}: schema uses unsupported keywords {sorted(unknown)}")
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if not isinstance(instance, python_type) or \
+                (expected in ("integer", "number")
+                 and isinstance(instance, bool)):
+            raise SchemaError(
+                f"{path}: expected {expected},"
+                f" got {type(instance).__name__}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not in {schema['enum']!r}")
+    if "minimum" in schema and instance < schema["minimum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} below minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], subschema, f"{path}.{key}")
+    if isinstance(instance, list):
+        if len(instance) < schema.get("minItems", 0):
+            raise SchemaError(
+                f"{path}: {len(instance)} items,"
+                f" need at least {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(instance):
+                validate(element, items, f"{path}[{index}]")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: validate_trace.py TRACE_JSON SCHEMA_JSON",
+              file=sys.stderr)
+        return 2
+    trace_path, schema_path = argv
+    with open(trace_path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    try:
+        validate(trace, schema)
+    except SchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {trace_path} conforms"
+          f" ({len(trace.get('traceEvents', []))} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
