@@ -1,0 +1,46 @@
+"""Delta-debugging shrinker.
+
+Greedy first-improvement descent over :meth:`Scenario.variants`: each
+variant is the scenario with exactly one clause removed (a join, a WHERE
+conjunct, an aggregate, a recursion feature flag) or its data reduced (a
+table halved, a single row dropped).  Any variant that still fails
+becomes the new current scenario; the loop restarts until no variant
+fails or the attempt budget runs out.
+
+The result is 1-minimal with respect to the variant moves: removing any
+single remaining clause (or row, for small tables) makes the failure
+disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .ir import Scenario
+
+ShrinkPredicate = Callable[[Scenario], bool]
+
+
+def shrink(scenario: Scenario, still_fails: ShrinkPredicate,
+           max_attempts: int = 400) -> Scenario:
+    """The smallest scenario reachable from *scenario* for which
+    *still_fails* stays true.  *still_fails* is treated as falsy when it
+    raises — a variant that breaks the harness itself is never kept."""
+    current = scenario
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for variant in current.variants():
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                failing = still_fails(variant)
+            except Exception:  # noqa: BLE001 — malformed variant: skip
+                failing = False
+            if failing:
+                current = variant
+                progress = True
+                break
+    return current

@@ -20,6 +20,10 @@ Commands
     fixpoint trajectory, and the span tree.  ``--export trace.json``
     writes Chrome trace events (load in ``chrome://tracing`` or Perfetto);
     ``--metrics metrics.prom`` writes the Prometheus text exposition.
+``fuzz``
+    Differential correctness campaign: generated programs run under the
+    full engine-configuration matrix plus metamorphic oracles; failures
+    are shrunk to minimal reproducers and written as pytest files.
 """
 
 from __future__ import annotations
@@ -222,6 +226,43 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.check import fuzz
+    from repro.check.oracles import STRATEGY_DIALECTS, EngineConfig
+
+    matrix = None
+    if args.executors or args.optimizers or args.telemetry:
+        executors = args.executors or ["tuple", "batch"]
+        optimizers = args.optimizers or ["off", "cost"]
+        telemetry = args.telemetry or ["off", "on"]
+        matrix = tuple(
+            EngineConfig(dialect=dialect, executor=executor,
+                         optimizer=optimizer, strategy=strategy,
+                         telemetry=mode)
+            for strategy, dialect in STRATEGY_DIALECTS
+            for executor in executors
+            for optimizer in optimizers
+            for mode in telemetry)
+    started = time.perf_counter()
+    last_tick = [started]
+
+    def on_progress(done, report):
+        now = time.perf_counter()
+        if now - last_tick[0] >= 5.0 or done == report.budget:
+            last_tick[0] = now
+            print(f"  {done}/{report.budget} scenarios,"
+                  f" {len(report.divergences)} divergence(s),"
+                  f" {now - started:.1f}s", file=sys.stderr)
+
+    report = fuzz(seed=args.seed, budget=args.budget, matrix=matrix,
+                  metamorphic=not args.no_metamorphic,
+                  regressions_dir=args.regressions_dir,
+                  shrink_attempts=args.shrink_attempts,
+                  on_progress=on_progress)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +318,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the Prometheus text exposition")
     common_flags(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("fuzz",
+                       help="differential correctness campaign")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of generated scenarios")
+    p.add_argument("--executors", nargs="*",
+                   choices=("tuple", "batch"),
+                   help="restrict the matrix's executor axis")
+    p.add_argument("--optimizers", nargs="*", choices=("off", "cost"),
+                   help="restrict the matrix's optimizer axis")
+    p.add_argument("--telemetry", nargs="*", choices=("off", "on"),
+                   help="restrict the matrix's telemetry axis")
+    p.add_argument("--no-metamorphic", action="store_true",
+                   help="config-matrix comparison only")
+    p.add_argument("--regressions-dir", metavar="DIR",
+                   help="write minimized reproducers as pytest files"
+                        " into DIR")
+    p.add_argument("--shrink-attempts", type=int, default=400)
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

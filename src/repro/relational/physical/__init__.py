@@ -43,10 +43,11 @@ from .sort import Sort
 from .distinct import Distinct
 from .limit import Limit
 from .materialize import Materialize
-from .rename import Requalify
+from .rename import ReorderColumns, Requalify
 from .window import WindowAggregate, WindowSpec
 
 __all__ = [
+    "ReorderColumns",
     "Requalify",
     "WindowAggregate",
     "WindowSpec",

@@ -25,8 +25,9 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Any, Iterator
 
+from ..errors import ExecutionError
 from ..expressions import BoundColumn, single_column_getter
-from ..relation import Relation, Row
+from ..relation import Relation, Row, require_numeric
 from ..schema import Schema
 from .aggregate import _AggregateBase
 from .base import PhysicalOperator
@@ -388,12 +389,25 @@ class BatchHashAggregate(_AggregateBase):
                     elif key not in acc:
                         acc[key] = 0
         elif function == "sum":
-            for key, value in pairs:
-                current = get(key, _MISSING)
-                if current is _MISSING:
-                    acc[key] = value
-                elif value is not None:
-                    acc[key] = value if current is None else current + value
+            # The numeric guard runs only when a group's accumulator is
+            # first written (cold path); heterogeneous late rows surface
+            # as a TypeError from ``+`` and are normalised below so both
+            # executors raise the same ExecutionError.
+            try:
+                for key, value in pairs:
+                    current = get(key, _MISSING)
+                    if current is _MISSING:
+                        require_numeric(function, value)
+                        acc[key] = value
+                    elif value is not None:
+                        if current is None:
+                            require_numeric(function, value)
+                            acc[key] = value
+                        else:
+                            acc[key] = current + value
+            except TypeError:
+                raise ExecutionError(
+                    f"{function}() requires numeric values") from None
         elif function == "min":
             for key, value in pairs:
                 current = get(key, _MISSING)
@@ -412,13 +426,21 @@ class BatchHashAggregate(_AggregateBase):
                     acc[key] = value
         else:  # avg
             counts: dict[Any, int] = {}
-            for key, value in pairs:
-                if value is not None:
-                    current = get(key)
-                    acc[key] = value if current is None else current + value
-                    counts[key] = counts.get(key, 0) + 1
-                elif key not in acc:
-                    acc[key] = None
+            try:
+                for key, value in pairs:
+                    if value is not None:
+                        current = get(key)
+                        if current is None:
+                            require_numeric(function, value)
+                            acc[key] = value
+                        else:
+                            acc[key] = current + value
+                        counts[key] = counts.get(key, 0) + 1
+                    elif key not in acc:
+                        acc[key] = None
+            except TypeError:
+                raise ExecutionError(
+                    f"{function}() requires numeric values") from None
             if self._scalar_key is not None:
                 return [(key, None if key not in counts
                          else acc[key] / counts[key])
@@ -471,7 +493,16 @@ class BatchHashAggregate(_AggregateBase):
                     continue
                 current = bucket[i]
                 if function == "sum" or function == "avg":
-                    bucket[i] = value if current is None else current + value
+                    if current is None:
+                        require_numeric(function, value)
+                        bucket[i] = value
+                    else:
+                        try:
+                            bucket[i] = current + value
+                        except TypeError:
+                            raise ExecutionError(
+                                f"{function}() requires numeric values"
+                            ) from None
                     if function == "avg":
                         avg_counts[key][i] += 1
                 elif function == "min":

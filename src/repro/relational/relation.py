@@ -50,6 +50,20 @@ class AggregateSpec:
             raise SchemaError(f"unknown aggregate function {self.function!r}")
 
 
+def require_numeric(function: str, value: Any) -> None:
+    """SUM/AVG are defined over numeric arguments only.
+
+    Both executors call this on the same boundary (the first non-NULL
+    value a group accumulates), so a ``sum`` over a TEXT column raises the
+    same :class:`ExecutionError` everywhere instead of one path raising a
+    bare ``TypeError`` while the other silently concatenates strings.
+    """
+    if value is not None and not isinstance(value, (int, float)):
+        raise ExecutionError(
+            f"{function.lower()}() requires numeric values,"
+            f" got {type(value).__name__}")
+
+
 def _finish_aggregate(function: str, values: list[Any]) -> Any:
     """Fold the non-NULL *values* of a group with *function* (SQL semantics)."""
     function = function.lower()
@@ -57,14 +71,15 @@ def _finish_aggregate(function: str, values: list[Any]) -> Any:
         return len(values)
     if not values:
         return None
-    if function == "sum":
-        return sum(values)
+    if function in ("sum", "avg"):
+        for value in values:
+            require_numeric(function, value)
+        total = sum(values)
+        return total if function == "sum" else total / len(values)
     if function == "min":
         return min(values)
     if function == "max":
         return max(values)
-    if function == "avg":
-        return sum(values) / len(values)
     raise ExecutionError(f"unknown aggregate {function!r}")
 
 

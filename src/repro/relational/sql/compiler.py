@@ -42,6 +42,7 @@ from ..physical import (
     PhysicalOperator,
     Project,
     RelationScan,
+    ReorderColumns,
     Requalify,
     Sort,
     TableScan,
@@ -161,16 +162,16 @@ class QueryRunner:
             return NestedLoopJoin(left, right, None)
         if source.kind is JoinKind.RIGHT:
             # Flip: RIGHT JOIN A B == LEFT JOIN B A with columns reordered.
-            # The paper's queries never depend on column order of a right
-            # join, but keep the schema order correct anyway via a project.
+            # The reorder is positional so qualifiers survive — a
+            # name-based projection would strip them and collide whenever
+            # both sides share column names (e.g. a self right-join).
             flipped = self._plan_join_source(
                 JoinSource(source.right, source.left, JoinKind.LEFT,
                            source.condition))
-            items = [(ColumnRef(c.name, c.qualifier), c.name)
-                     for c in left.schema.columns]
-            items += [(ColumnRef(c.name, c.qualifier), c.name)
-                      for c in right.schema.columns]
-            return self.policy.make_project(flipped, items)
+            n_right = len(right.schema.columns)
+            order = list(range(n_right, n_right + len(left.schema.columns)))
+            order += list(range(n_right))
+            return ReorderColumns(flipped, order)
         condition = source.condition
         pairs, residual = _split_equi_condition(condition, left.schema,
                                                 right.schema)

@@ -49,6 +49,52 @@ class UpdateCounts:
     overwritten: int = 0
 
 
+def consolidate_delta(delta: Relation,
+                      key_columns: Sequence[str]) -> Relation:
+    """Collapse duplicate-key delta rows so every strategy sees the same
+    well-formed input.
+
+    ``R ⊎ S`` is only defined when the delta carries one row per key.  The
+    four strategies used to disagree on malformed deltas: MERGE raised
+    (Oracle's ORA-30926), UPDATE..FROM applied an arbitrary row, and the
+    full-outer-join/drop-alter paths appended *both* rows — corrupting the
+    key invariant and, inside the recursive loop, preventing convergence
+    (``after != snapshot`` stayed true until MAXRECURSION).  The defined
+    semantics now match across all strategies and plan shapes:
+
+    * exact duplicate rows (same key, same values — re-derivations along
+      multiple paths) collapse silently to one;
+    * *conflicting* rows (same key, different values) raise
+      :class:`ConstraintError`, deterministically, regardless of the row
+      order the chosen plan produced them in.
+    """
+    if not key_columns or len(delta) <= 1:
+        return delta
+    positions = [delta.schema.index_of(k) for k in key_columns]
+    seen: dict[tuple, tuple] = {}
+    out: list[tuple] = []
+    collapsed = False
+    for row in delta.rows:
+        key = tuple(row[i] for i in positions)
+        previous = seen.get(key)
+        if previous is None:
+            seen[key] = row
+            out.append(row)
+        elif previous == row:
+            collapsed = True
+        else:
+            # Report the pair in a plan-independent order: the delta's row
+            # order varies with the join order the planner picked, and the
+            # error message must not.
+            first, second = sorted((previous, row), key=repr)
+            raise ConstraintError(
+                f"union by update delta has conflicting rows for key"
+                f" {key!r}: {first!r} vs {second!r}")
+    if not collapsed:
+        return delta
+    return Relation(delta.schema, out)
+
+
 def apply_union_by_update(database: Database, table: Table, delta: Relation,
                           key_columns: Sequence[str], strategy: str,
                           counts: UpdateCounts | None = None) -> Table:
@@ -57,9 +103,12 @@ def apply_union_by_update(database: Database, table: Table, delta: Relation,
     Returns the table holding the result — a *different* object for the
     ``drop_alter`` strategy, which swaps a new table into the catalog.
     When *counts* is given, it is filled with the insert/overwrite totals.
+    The delta is consolidated first (see :func:`consolidate_delta`), so
+    every strategy computes the same result from the same input.
     """
     if counts is None:
         counts = UpdateCounts()
+    delta = consolidate_delta(delta, key_columns)
     if not key_columns:
         # Keyless union-by-update replaces the relation wholesale (the
         # paper's "without attributes" form).

@@ -1,0 +1,1 @@
+"""Tests for the differential correctness harness (repro.check)."""

@@ -1,0 +1,120 @@
+"""Oracle plumbing: injected engine faults must surface as divergences.
+
+These tests break the engine on purpose (monkeypatched operators, via
+pytest's undo-on-teardown) and assert the differential runner notices —
+the end-to-end guarantee that a real regression in one execution path
+cannot slip past the harness.
+"""
+
+import pytest
+
+from repro.check.ir import (
+    AggItemIR,
+    ItemIR,
+    JoinIR,
+    Scenario,
+    SelectIR,
+    TableIR,
+    WithIR,
+)
+from repro.check.oracles import default_matrix, relevant_matrix
+from repro.check.runner import DifferentialRunner
+from repro.relational.physical import batch as batch_module
+
+T0 = TableIR("T0", (("k0", "int"), ("c0", "int")),
+             ((1, 10), (2, 20), (2, 21), (3, None)))
+
+JOIN_SCENARIO = Scenario(
+    seed=0, tables=(T0,),
+    query=SelectIR(
+        base_table="T0", base_alias="q0",
+        joins=(JoinIR("join", "T0", "q1", "q0", "k0", "k0"),),
+        items=(ItemIR(("col", "q0", "k0"), "o0"),
+               ItemIR(("col", "q1", "c0"), "o1"))))
+
+AGG_SCENARIO = Scenario(
+    seed=0, tables=(T0,),
+    query=SelectIR(
+        base_table="T0", base_alias="q0",
+        items=(ItemIR(("col", "q0", "k0"), "g0"),),
+        agg_items=(AggItemIR("count", None, "a0"),)))
+
+UBU_SCENARIO = Scenario(
+    seed=0,
+    tables=(TableIR("E", (("F", "int"), ("T", "int"), ("ew", "double")),
+                    ((0, 1, 1.0), (1, 2, 0.5))),
+            TableIR("V", (("ID", "int"), ("vw", "double")),
+                    ((0, 0.0), (1, 1.0), (2, 2.0)))),
+    query=WithIR(union_kind="union by update", seeds=(0,),
+                 aggregate="min", maxrecursion=5))
+
+
+def test_healthy_engine_passes_all_oracles():
+    runner = DifferentialRunner()
+    for scenario in (JOIN_SCENARIO, AGG_SCENARIO, UBU_SCENARIO):
+        divergence = runner.check(scenario)
+        assert divergence is None, divergence and divergence.detail
+
+
+def test_injected_join_fault_is_caught(monkeypatch):
+    """Drop one row from the batch hash join only: tuple and batch
+    executors now answer differently and the matrix oracle must fire."""
+    original = batch_module.BatchHashJoin._compute
+
+    def lossy(self):
+        rows = original(self)
+        return rows[:-1]
+
+    monkeypatch.setattr(batch_module.BatchHashJoin, "_compute", lossy)
+    divergence = DifferentialRunner().check(JOIN_SCENARIO)
+    assert divergence is not None
+    assert divergence.oracle == "matrix"
+    assert "batch" in divergence.detail
+
+
+def test_injected_aggregate_fault_is_caught(monkeypatch):
+    """Off-by-one in the batch count aggregate: caught by the matrix."""
+    original = batch_module.BatchHashAggregate._compute_single
+
+    def off_by_one(self, function, arg):
+        rows = original(self, function, arg)
+        if function == "count":
+            rows = [(key_count[0], key_count[1] + 1)
+                    if len(key_count) == 2 else key_count
+                    for key_count in rows]
+        return rows
+
+    monkeypatch.setattr(batch_module.BatchHashAggregate,
+                        "_compute_single", off_by_one)
+    divergence = DifferentialRunner().check(AGG_SCENARIO)
+    assert divergence is not None
+    assert divergence.oracle == "matrix"
+
+
+def test_injected_crash_is_caught(monkeypatch):
+    """A raw exception escaping any cell is reported as a crash even if
+    every configuration dies the same way."""
+
+    def boom(self):
+        raise RuntimeError("synthetic operator failure")
+
+    monkeypatch.setattr(batch_module.BatchHashJoin, "_compute", boom)
+    runner = DifferentialRunner()
+    divergence = runner.check(JOIN_SCENARIO)
+    assert divergence is not None
+    assert divergence.oracle in ("matrix", "crash")
+
+
+def test_matrix_covers_every_strategy_and_executor():
+    matrix = default_matrix()
+    assert len(matrix) == 32
+    assert {c.strategy for c in matrix} == {
+        "merge", "full_outer_join", "update_from", "drop_alter"}
+    assert {c.executor for c in matrix} == {"tuple", "batch"}
+    assert {c.optimizer for c in matrix} == {"off", "cost"}
+    assert {c.telemetry for c in matrix} == {"off", "on"}
+    # Plain selects collapse the strategy axis...
+    reduced = relevant_matrix(JOIN_SCENARIO, matrix)
+    assert len(reduced) < len(matrix)
+    # ...recursive scenarios keep all 32 cells.
+    assert relevant_matrix(UBU_SCENARIO, matrix) == matrix

@@ -1,0 +1,63 @@
+"""Shrinker: delta-debugging reaches small reproducers.
+
+The predicate here is syntactic (``sum(`` appears in the rendered SQL)
+so the test is hermetic — no engine bug required — but the moves are the
+same ones a real divergence shrink uses: drop joins, conjuncts,
+aggregates, rows.
+"""
+
+from repro.check import clause_count, generate_scenario
+from repro.check.ir import ItemIR, Scenario, SelectIR, TableIR
+from repro.check.shrinker import shrink
+
+
+def test_known_bug_shrinks_to_at_most_five_clauses():
+    scenario = generate_scenario(58)  # 3-way-join aggregate query
+    assert clause_count(scenario) >= 8
+
+    def still_fails(candidate: Scenario) -> bool:
+        return "sum(" in candidate.sql()
+
+    shrunk = shrink(scenario, still_fails)
+    assert still_fails(shrunk)
+    assert clause_count(shrunk) <= 5
+    # Data shrinks too: the syntactic predicate needs no rows at all.
+    assert sum(len(t.rows) for t in shrunk.tables) == 0
+
+
+def test_shrink_result_is_one_minimal():
+    scenario = generate_scenario(58)
+    still_fails = lambda candidate: "sum(" in candidate.sql()  # noqa: E731
+    shrunk = shrink(scenario, still_fails)
+    for variant in shrunk.variants():
+        assert not still_fails(variant), (
+            "a single further removal still fails — shrink stopped early")
+
+
+def test_shrink_keeps_original_when_nothing_smaller_fails():
+    table = TableIR("T0", (("k0", "int"),), ((1,),))
+    query = SelectIR(base_table="T0", base_alias="q0",
+                     items=(ItemIR(("col", "q0", "k0"), "o0"),))
+    scenario = Scenario(seed=0, tables=(table,), query=query)
+    assert shrink(scenario, lambda s: False) == scenario
+
+
+def test_shrink_respects_attempt_budget():
+    scenario = generate_scenario(58)
+    calls = []
+
+    def noisy(candidate: Scenario) -> bool:
+        calls.append(1)
+        return "sum(" in candidate.sql()
+
+    shrink(scenario, noisy, max_attempts=10)
+    assert len(calls) <= 11
+
+
+def test_predicate_exceptions_count_as_not_failing():
+    scenario = generate_scenario(58)
+
+    def brittle(candidate: Scenario) -> bool:
+        raise RuntimeError("harness bug")
+
+    assert shrink(scenario, brittle) == scenario

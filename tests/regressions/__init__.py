@@ -1,0 +1,7 @@
+"""Minimized reproducers for divergences the differential fuzzer found.
+
+Each file pins one formerly-divergent program: the engine configurations
+in :func:`repro.check.replay.assert_matrix_agreement`'s matrix used to
+disagree on it (different rows, different errors, or a raw crash), and
+the fix that restored agreement is documented in the test docstring.
+"""

@@ -1,0 +1,52 @@
+"""Reproducer: RIGHT JOIN between relations sharing column names failed
+with ``duplicate column 'k0' in schema``.
+
+Found by ``repro fuzz`` (every generated table shares the ``k0`` join
+key, so any RIGHT JOIN — including self-joins — hit it, while the
+equivalent LEFT/FULL joins worked).  The compiler flips a right join
+into a left join and used to restore column order with a *name-based*
+projection, which stripped the side qualifiers and collided.  The flip
+now reorders positionally
+(:class:`repro.relational.physical.ReorderColumns`), keeping each
+column's qualifier and type intact.
+"""
+
+from repro.check.replay import assert_matrix_agreement
+
+TABLES = (
+    ("T0", (("k0", "int"), ("c0", "int")),
+     ((1, 10), (2, 20), (3, None))),
+    ("T1", (("k0", "int"), ("c0", "int")),
+     ((2, 200), (4, 400))),
+)
+
+
+def test_self_right_join_resolves_qualified_columns():
+    outcome = assert_matrix_agreement(
+        TABLES,
+        "select a.k0 as x, b.c0 as y from T0 a"
+        " right join T0 b on a.k0 = b.k0")
+    assert outcome[0] == "rows"
+    assert sorted(outcome[2].elements()) == [
+        (1, 10), (2, 20), (3, None)]
+
+
+def test_right_join_pads_left_side_with_nulls():
+    outcome = assert_matrix_agreement(
+        TABLES,
+        "select a.k0 as x, b.k0 as y, b.c0 as z from T0 a"
+        " right join T1 b on a.k0 = b.k0")
+    assert outcome[0] == "rows"
+    assert sorted(outcome[2].elements(), key=repr) == [
+        (2, 2, 200), (None, 4, 400)]
+
+
+def test_right_join_chain_keeps_column_order():
+    outcome = assert_matrix_agreement(
+        TABLES,
+        "select a.k0 as x from T0 a"
+        " full join T1 b on a.k0 = b.k0"
+        " right join T0 c on b.k0 = c.k0")
+    assert outcome[0] == "rows"
+    assert sorted(outcome[2].elements(), key=repr) == [
+        (2,), (None,), (None,)]

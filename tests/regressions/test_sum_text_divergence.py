@@ -1,0 +1,54 @@
+"""Reproducer: ``sum()``/``avg()`` over a TEXT column diverged by executor.
+
+Found by ``repro fuzz`` (aggregate queries over NULL-heavy generated
+schemas).  Before the fix:
+
+* the tuple executor's :func:`~repro.relational.relation._finish_aggregate`
+  raised a raw ``TypeError`` from ``sum()`` — a crash, not an engine
+  error;
+* the batch executor's ``BatchHashAggregate`` folded with ``+`` as it
+  streamed, which silently *string-concatenated* TEXT values (and the
+  cost-based policy promotes the batch aggregate even under
+  ``executor="tuple"``, so ``optimizer="cost"`` changed answers too).
+
+One path crashed, the other returned data: a three-way divergence.  Both
+paths now raise the same :class:`~repro.relational.errors.ExecutionError`
+via :func:`~repro.relational.relation.require_numeric`.
+"""
+
+from repro.check.replay import assert_matrix_agreement
+
+TABLES = (
+    ("T0", (("k0", "int"), ("c0", "text")),
+     ((1, "a"), (1, "b"), (2, "c"), (2, None), (3, None))),
+)
+
+
+def test_sum_over_text_is_a_consistent_engine_error():
+    outcome = assert_matrix_agreement(
+        TABLES, "select sum(c0) as s from T0")
+    assert outcome[0] == "error"
+    assert outcome[1] == "ExecutionError"
+    assert "sum() requires numeric values" in outcome[2]
+
+
+def test_avg_over_text_is_a_consistent_engine_error():
+    outcome = assert_matrix_agreement(
+        TABLES, "select avg(c0) as s from T0")
+    assert outcome[0] == "error"
+    assert outcome[1] == "ExecutionError"
+    assert "avg() requires numeric values" in outcome[2]
+
+
+def test_grouped_sum_over_text_is_a_consistent_engine_error():
+    outcome = assert_matrix_agreement(
+        TABLES, "select k0 as g, sum(c0) as s from T0 group by k0")
+    assert outcome[0] == "error"
+    assert outcome[1] == "ExecutionError"
+
+
+def test_numeric_aggregates_still_work_everywhere():
+    outcome = assert_matrix_agreement(
+        TABLES, "select k0 as g, count(c0) as n from T0 group by k0")
+    assert outcome[0] == "rows"
+    assert sorted(outcome[2].elements()) == [(1, 2), (2, 1), (3, 0)]

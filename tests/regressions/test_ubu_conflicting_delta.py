@@ -1,0 +1,50 @@
+"""Reproducer: conflicting duplicate-key UNION BY UPDATE deltas diverged
+by strategy.
+
+Found by ``repro fuzz`` (non-aggregated UBU recursion over a generated
+graph where two frontier nodes reach the same target in one iteration).
+With edges ``1->2 (ew 1.0)`` and ``3->2 (ew 2.0)`` and seeds ``{1, 3}``,
+iteration 1's delta contains both ``(2, 1.0)`` and ``(2, 2.0)`` — two
+different values for key 2.  Before the fix each strategy improvised:
+
+* ``merge`` raised :class:`~repro.relational.errors.ConstraintError`
+  (MERGE's each-row-matched-once rule);
+* ``update_from`` silently kept the *last* row (UPDATE ... FROM
+  last-write-wins);
+* ``full_outer_join`` and ``drop_alter`` inserted *both* rows, breaking
+  the key invariant of the working table.
+
+Three different answers for the same program.
+:func:`repro.relational.strategies.consolidate_delta` now rejects
+conflicting deltas with the same deterministic ConstraintError (pair
+reported in plan-independent order) before any strategy runs.
+"""
+
+from repro.check.replay import assert_matrix_agreement
+
+TABLES = (
+    ("E", (("F", "int"), ("T", "int"), ("ew", "double")),
+     ((1, 2, 1.0), (3, 2, 2.0), (2, 4, 1.0))),
+)
+
+SQL = (
+    "with t(ID, val) as ("
+    " (select 1 as ID, 0.0 as val from E where F = 1 group by F"
+    "  union all"
+    "  select 3 as ID, 0.0 as val from E where F = 3 group by F)"
+    " union by update ID"
+    " (select E.T as ID, t.val + E.ew as val"
+    "  from t join E on E.F = t.ID)"
+    " maxrecursion 4"
+    ") select ID, val from t"
+)
+
+
+def test_conflicting_delta_is_a_consistent_constraint_error():
+    outcome = assert_matrix_agreement(TABLES, SQL, recursive=True)
+    assert outcome[0] == "error"
+    assert outcome[1] == "ConstraintError"
+    assert "conflicting rows for key (2,)" in outcome[2]
+    # The offending pair is reported smallest-first regardless of the
+    # join order the planner picked.
+    assert "(2, 1.0) vs (2, 2.0)" in outcome[2]

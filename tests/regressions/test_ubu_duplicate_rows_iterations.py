@@ -1,0 +1,96 @@
+"""Reproducer: exact-duplicate UNION BY UPDATE delta rows corrupted the
+working table and broke iteration-count parity.
+
+Found by ``repro fuzz``.  With edges ``1->3`` and ``2->3`` (equal weight
+1.0) and seeds ``{1, 2}`` (both ``val 0.0``), iteration 1 computes the
+row ``(3, 1.0)`` *twice* — an exact duplicate, one per incoming edge.
+Before the fix ``full_outer_join`` and ``drop_alter`` inserted both
+copies: the working table held two rows for key 3, every later
+iteration re-derived and re-inserted them, the loop never converged, and
+the program's iteration count (observable through ``maxrecursion`` and
+the ``__iterations__`` virtual relation) disagreed with ``merge`` /
+``update_from``.  :func:`repro.relational.strategies.consolidate_delta`
+now collapses exact duplicates before the strategy runs, so every
+strategy sees the same single-row delta.
+"""
+
+from repro.check.replay import assert_matrix_agreement
+from repro.relational import Engine
+
+EDGES = ((1, 3, 1.0), (2, 3, 1.0), (3, 4, 0.5))
+
+TABLES = (
+    ("E", (("F", "int"), ("T", "int"), ("ew", "double")), EDGES),
+)
+
+SQL = (
+    "with t(ID, val) as ("
+    " (select 1 as ID, 0.0 as val from E where F = 1 group by F"
+    "  union all"
+    "  select 2 as ID, 0.0 as val from E where F = 2 group by F)"
+    " union by update ID"
+    " (select E.T as ID, t.val + E.ew as val"
+    "  from t join E on E.F = t.ID)"
+    " maxrecursion 4"
+    ") select ID, val from t"
+)
+
+
+def test_duplicate_delta_rows_collapse_identically_everywhere():
+    outcome = assert_matrix_agreement(TABLES, SQL, recursive=True)
+    assert outcome[0] == "rows"
+    assert sorted(outcome[2].elements()) == [
+        (1, 0.0), (2, 0.0), (3, 1.0), (4, 1.5)]
+    # Fixpoint reached at iteration 3, well before the cap of 4 — the
+    # duplicate rows used to keep the loop churning into the cap.
+    assert outcome[3] == 3
+
+
+def _run(strategy: str, dialect: str):
+    engine = Engine(dialect=dialect)
+    engine.union_by_update_strategy = strategy
+    engine.database.load_edge_table("E", list(EDGES))
+    result = engine.execute_detailed(SQL)
+    trace = engine.execute(
+        "select iteration, delta_rows, total_rows from __iterations__")
+    return engine, result, sorted(trace.rows)
+
+
+def test_iteration_trace_parity_across_strategies():
+    """The ``__iterations__`` trajectory is part of the contract: every
+    strategy must report the same per-iteration delta/total counts."""
+    baseline = None
+    for strategy, dialect in (("merge", "oracle"),
+                              ("full_outer_join", "oracle"),
+                              ("update_from", "postgres"),
+                              ("drop_alter", "db2")):
+        _, result, trace = _run(strategy, dialect)
+        if baseline is None:
+            baseline = (result.iterations, trace)
+            assert trace == [(1, 2, 3), (2, 3, 4), (3, 3, 4)]
+        else:
+            assert (result.iterations, trace) == baseline, strategy
+
+
+def test_iteration_count_parity_cached_vs_fresh_plans():
+    """Re-executing on the same engine (warm plan caches, reused temp
+    machinery) must reproduce rows and the iteration trajectory exactly —
+    at the maxrecursion boundary a stale cached plan used to be able to
+    shift when the loop stopped."""
+    engine, first, first_trace = _run("full_outer_join", "oracle")
+    second = engine.execute_detailed(SQL)
+    second_trace = sorted(engine.execute(
+        "select iteration, delta_rows, total_rows"
+        " from __iterations__").rows)
+    assert sorted(first.relation.rows) == sorted(second.relation.rows)
+    assert first.iterations == second.iterations
+    assert first_trace == second_trace
+    # And with the cap set exactly at the fixpoint iteration, the cap
+    # must not change the answer: cap == 3 still converges.
+    boundary_sql = SQL.replace("maxrecursion 4", "maxrecursion 3")
+    fresh = Engine(dialect="oracle")
+    fresh.union_by_update_strategy = "full_outer_join"
+    fresh.database.load_edge_table("E", list(EDGES))
+    capped = fresh.execute_detailed(boundary_sql)
+    assert sorted(capped.relation.rows) == sorted(first.relation.rows)
+    assert capped.iterations == 3

@@ -118,3 +118,50 @@ def test_all_strategies_agree(base, delta):
         outcomes.append(table.snapshot().to_dict())
     expected = {**base, **delta}
     assert all(o == expected for o in outcomes)
+
+
+class TestDuplicateDeltaParity:
+    """Duplicate-key deltas used to split the strategies three ways:
+    merge raised, update_from kept the last row, and full_outer_join /
+    drop_alter inserted both copies (corrupting the key invariant).
+    ``consolidate_delta`` now normalises the delta before any strategy
+    runs, so all four agree."""
+
+    def test_exact_duplicates_collapse_identically(self):
+        dupes = Relation.from_pairs(("ID", "vw"),
+                                    [(2, 9.0), (2, 9.0), (4, 4.0)])
+        outcomes = []
+        for strategy in UNION_BY_UPDATE_STRATEGIES:
+            database = Database()
+            table = fresh_table(database, BASE)
+            table = apply_union_by_update(database, table, dupes, ("ID",),
+                                          strategy)
+            snapshot = table.snapshot()
+            # One row per key — nobody may insert the duplicate twice.
+            assert len(snapshot) == 4, strategy
+            outcomes.append(snapshot.to_dict())
+        assert outcomes.count(outcomes[0]) == len(outcomes)
+        assert outcomes[0] == {1: 1.0, 2: 9.0, 3: 3.0, 4: 4.0}
+
+    @pytest.mark.parametrize("strategy", UNION_BY_UPDATE_STRATEGIES)
+    def test_conflicting_duplicates_raise_everywhere(self, strategy):
+        conflict = Relation.from_pairs(("ID", "vw"),
+                                       [(2, 1.0), (2, 2.0)])
+        database = Database()
+        table = fresh_table(database, BASE)
+        with pytest.raises(ConstraintError) as info:
+            apply_union_by_update(database, table, conflict, ("ID",),
+                                  strategy)
+        # Identical message on every strategy, rows in repr order.
+        assert "conflicting rows for key (2,)" in str(info.value)
+        assert "(2, 1.0) vs (2, 2.0)" in str(info.value)
+
+    def test_conflict_message_is_plan_order_independent(self):
+        reversed_conflict = Relation.from_pairs(("ID", "vw"),
+                                                [(2, 2.0), (2, 1.0)])
+        database = Database()
+        table = fresh_table(database, BASE)
+        with pytest.raises(ConstraintError) as info:
+            apply_union_by_update(database, table, reversed_conflict,
+                                  ("ID",), "full_outer_join")
+        assert "(2, 1.0) vs (2, 2.0)" in str(info.value)
