@@ -55,30 +55,34 @@ class EngineConfig:
     optimizer: str = "off"
     strategy: str = "full_outer_join"
     telemetry: str = "off"
+    storage: str = "rows"
 
     def label(self) -> str:
         return (f"{self.dialect}/{self.executor}/opt={self.optimizer}"
-                f"/{self.strategy}/telemetry={self.telemetry}")
+                f"/{self.strategy}/telemetry={self.telemetry}"
+                f"/{self.storage}")
 
     def build_engine(self) -> Engine:
         engine = Engine(dialect=self.dialect, executor=self.executor,
-                        optimizer=self.optimizer, telemetry=self.telemetry)
+                        optimizer=self.optimizer, telemetry=self.telemetry,
+                        storage=self.storage)
         engine.union_by_update_strategy = self.strategy
         return engine
 
 
 def default_matrix() -> tuple[EngineConfig, ...]:
-    """The full 32-cell matrix: 4 strategy/dialect pairs x 2 executors
-    x 2 optimizer settings x 2 telemetry settings."""
+    """The full 64-cell matrix: 4 strategy/dialect pairs x 2 executors
+    x 2 optimizer settings x 2 telemetry settings x 2 storage backends."""
     configs = []
     for strategy, dialect in STRATEGY_DIALECTS:
         for executor in ("tuple", "batch"):
             for optimizer in ("off", "cost"):
                 for telemetry in ("off", "on"):
-                    configs.append(EngineConfig(
-                        dialect=dialect, executor=executor,
-                        optimizer=optimizer, strategy=strategy,
-                        telemetry=telemetry))
+                    for storage in ("rows", "columnar"):
+                        configs.append(EngineConfig(
+                            dialect=dialect, executor=executor,
+                            optimizer=optimizer, strategy=strategy,
+                            telemetry=telemetry, storage=storage))
     return tuple(configs)
 
 
@@ -94,7 +98,7 @@ def relevant_matrix(scenario: Scenario,
     out = []
     for config in matrix:
         key = (config.dialect, config.executor, config.optimizer,
-               config.telemetry)
+               config.telemetry, config.storage)
         if key in seen:
             continue
         seen.add(key)

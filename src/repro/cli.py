@@ -203,6 +203,25 @@ def cmd_trace(args) -> int:
          "aj-pruned"], rows, "Fixpoint trajectory (__iterations__)"))
     print()
 
+    storage_rows = []
+    for table in engine.database.all_tables():
+        store = table.rows
+        row = [table.name, table.storage, len(store),
+               table.index_rebuilds, table.incremental_index_ops]
+        if hasattr(store, "blocks_sealed"):
+            codecs = " ".join(f"{codec}x{count}" for codec, count
+                              in sorted(store.encoding_counts.items()))
+            row += [store.blocks_sealed, store.block_decays,
+                    store.row_assigns, codecs or "-"]
+        else:
+            row += ["-", "-", "-", "-"]
+        storage_rows.append(row)
+    print(format_table(
+        ["table", "storage", "rows", "rebuilds", "incr-ops", "sealed",
+         "decays", "assigns", "codecs"], storage_rows,
+        "Storage (per-table maintenance and compression counters)"))
+    print()
+
     print("Spans:")
     for root in engine.tracer.roots:
         _print_span(root)
@@ -231,18 +250,20 @@ def cmd_fuzz(args) -> int:
     from repro.check.oracles import STRATEGY_DIALECTS, EngineConfig
 
     matrix = None
-    if args.executors or args.optimizers or args.telemetry:
+    if args.executors or args.optimizers or args.telemetry or args.storage:
         executors = args.executors or ["tuple", "batch"]
         optimizers = args.optimizers or ["off", "cost"]
         telemetry = args.telemetry or ["off", "on"]
+        storages = args.storage or ["rows", "columnar"]
         matrix = tuple(
             EngineConfig(dialect=dialect, executor=executor,
                          optimizer=optimizer, strategy=strategy,
-                         telemetry=mode)
+                         telemetry=mode, storage=storage)
             for strategy, dialect in STRATEGY_DIALECTS
             for executor in executors
             for optimizer in optimizers
-            for mode in telemetry)
+            for mode in telemetry
+            for storage in storages)
     started = time.perf_counter()
     last_tick = [started]
 
@@ -331,6 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the matrix's optimizer axis")
     p.add_argument("--telemetry", nargs="*", choices=("off", "on"),
                    help="restrict the matrix's telemetry axis")
+    p.add_argument("--storage", nargs="*", choices=("rows", "columnar"),
+                   help="restrict the matrix's storage axis")
     p.add_argument("--no-metamorphic", action="store_true",
                    help="config-matrix comparison only")
     p.add_argument("--regressions-dir", metavar="DIR",

@@ -14,7 +14,8 @@ Counters stay on even with tracing disabled (they are one float add
 each); tracing is opt-in via ``Engine(telemetry="on")``.
 """
 
-from .collect import attach_operator_spans, record_plan_metrics, walk_plan
+from .collect import (attach_operator_spans, record_plan_metrics,
+                      record_storage_metrics, walk_plan)
 from .metrics import (DEFAULT_BUCKETS_MS, Counter, Gauge, Histogram,
                       MetricsRegistry)
 from .querylog import QueryLog, QueryLogEntry
@@ -35,6 +36,7 @@ __all__ = [
     "Tracer",
     "attach_operator_spans",
     "record_plan_metrics",
+    "record_storage_metrics",
     "resolve_telemetry",
     "walk_plan",
 ]

@@ -82,3 +82,49 @@ def record_plan_metrics(metrics: MetricsRegistry, root: Any,
             metrics.counter(
                 "repro_antijoin_pruned_rows_total",
                 "Rows removed by anti-join delta pruning.").inc(pruned)
+
+
+def record_storage_metrics(metrics: MetricsRegistry, database: Any) -> None:
+    """Snapshot per-table storage counters into gauges.
+
+    Tables keep their maintenance counters (``index_rebuilds``,
+    ``incremental_index_ops``) and — on the columnar backend — the
+    store's compression counters as plain attributes; this copies the
+    current values into labelled gauges so they export next to the
+    operator metrics.  Gauges, not counters: the sources are already
+    cumulative, and ``set`` makes re-collection idempotent.
+    """
+    for table in database.all_tables():
+        labels = {"table": table.name, "storage": table.storage}
+        metrics.gauge(
+            "repro_storage_index_rebuilds",
+            "Full index/keyset rebuilds per table.",
+            **labels).set(table.index_rebuilds)
+        metrics.gauge(
+            "repro_storage_incremental_index_ops",
+            "Incremental per-row index maintenance operations per table.",
+            **labels).set(table.incremental_index_ops)
+        store = table.rows
+        if not hasattr(store, "blocks_sealed"):
+            continue  # row backend: no compression counters
+        metrics.gauge(
+            "repro_storage_blocks_sealed",
+            "Morsel blocks sealed (encoded) per columnar table.",
+            **labels).set(store.blocks_sealed)
+        metrics.gauge(
+            "repro_storage_block_decays",
+            "Sealed blocks decayed back to plain columns on mutation.",
+            **labels).set(store.block_decays)
+        metrics.gauge(
+            "repro_storage_row_assigns",
+            "Whole-contents replacements (recursive delta applications).",
+            **labels).set(store.row_assigns)
+        metrics.gauge(
+            "repro_storage_resident_bytes",
+            "Resident bytes of the encoded columnar representation.",
+            **labels).set(store.size_bytes())
+        for codec, count in sorted(store.encoding_counts.items()):
+            metrics.gauge(
+                "repro_storage_encoded_columns",
+                "Sealed column vectors per codec.",
+                codec=codec, **labels).set(count)

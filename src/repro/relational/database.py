@@ -10,6 +10,7 @@ in place of the previous iteration's table.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 from .errors import CatalogError
@@ -19,10 +20,17 @@ from .table import Table
 
 
 class Database:
-    """An in-memory catalog of base and temporary tables."""
+    """An in-memory catalog of base and temporary tables.
 
-    def __init__(self, name: str = "repro"):
+    ``storage`` is the physical backend every table (base and temporary)
+    is created with — ``"rows"`` or ``"columnar"``.  The default comes
+    from the ``REPRO_STORAGE`` environment variable so a whole test run
+    can be flipped to columnar without touching call sites.
+    """
+
+    def __init__(self, name: str = "repro", storage: str | None = None):
         self.name = name
+        self.storage = storage or os.environ.get("REPRO_STORAGE", "rows")
         self._tables: dict[str, Table] = {}
         self._temp_tables: dict[str, Table] = {}
 
@@ -33,7 +41,8 @@ class Database:
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        table = Table(name, schema, temporary=False, enforce_key=enforce_key)
+        table = Table(name, schema, temporary=False, enforce_key=enforce_key,
+                      storage=self.storage)
         self._tables[key] = table
         return table
 
@@ -46,7 +55,8 @@ class Database:
             if not replace:
                 raise CatalogError(f"temporary table {name!r} already exists")
             del self._temp_tables[key]
-        table = Table(name, schema, temporary=True, enforce_key=enforce_key)
+        table = Table(name, schema, temporary=True, enforce_key=enforce_key,
+                      storage=self.storage)
         self._temp_tables[key] = table
         return table
 
@@ -98,6 +108,11 @@ class Database:
     def table_names(self) -> list[str]:
         return sorted({t.name for t in self._tables.values()}
                       | {t.name for t in self._temp_tables.values()})
+
+    def all_tables(self) -> list[Table]:
+        """Every live table, base then temporary (observability walks
+        this to snapshot storage counters)."""
+        return list(self._tables.values()) + list(self._temp_tables.values())
 
     # -- convenience loading -----------------------------------------------------------
 

@@ -30,6 +30,7 @@ from ..observability import (
     Telemetry,
     attach_operator_spans,
     record_plan_metrics,
+    record_storage_metrics,
     resolve_telemetry,
 )
 from .database import Database
@@ -101,23 +102,44 @@ class Engine:
         timings (which *does* add per-row instrumentation cost).  An
         existing :class:`repro.observability.Telemetry` may be passed to
         share one registry across several engines.
+    storage:
+        Physical table storage: ``"rows"`` (list of row tuples) or
+        ``"columnar"`` (typed, compressed column vectors in morsel
+        blocks — see ``docs/storage.md``).  ``None`` (default) keeps the
+        attached database's backend (itself defaulting to the
+        ``REPRO_STORAGE`` environment variable, then ``"rows"``).
+        Results are identical across backends; only the physical layout
+        — and the batch executor's ability to run block kernels over it
+        — differs.
     """
 
     def __init__(self, dialect: str | Dialect = "oracle",
                  database: Database | None = None, mode: str = "with+",
                  executor: str = "tuple", optimizer: str = "off",
                  replan_factor: float = 8.0,
-                 telemetry: str | bool | Telemetry | None = "off"):
+                 telemetry: str | bool | Telemetry | None = "off",
+                 storage: str | None = None):
         self.dialect = (dialect if isinstance(dialect, Dialect)
                         else get_dialect(dialect))
-        self.database = database if database is not None else Database()
+        if storage is not None and storage not in ("rows", "columnar"):
+            raise ValueError(
+                f"unknown storage {storage!r}; expected 'rows' or 'columnar'")
+        self.database = (database if database is not None
+                         else Database(storage=storage))
+        if storage is not None:
+            # Tables created from here on (including the recursive loop's
+            # temp tables) use the requested backend; existing tables keep
+            # whatever they were created with.
+            self.database.storage = storage
+        self.storage = self.database.storage
         if optimizer not in ("off", "cost"):
             raise ValueError(
                 f"unknown optimizer {optimizer!r}; expected 'off' or 'cost'")
         self.optimizer = optimizer
         if optimizer == "cost":
             self.policy: PlannerPolicy = POLICIES["cost-based"](
-                executor=executor, replan_factor=replan_factor)
+                executor=executor, replan_factor=replan_factor,
+                storage=self.storage)
         else:
             self.policy = POLICIES[self.dialect.policy_name](
                 executor=executor)
@@ -139,7 +161,14 @@ class Engine:
 
     @property
     def metrics(self):
-        """The engine's :class:`repro.observability.MetricsRegistry`."""
+        """The engine's :class:`repro.observability.MetricsRegistry`.
+
+        Access refreshes the storage-layer gauges (index maintenance and
+        compression counters live as table/store attributes between
+        collections), so readers always see current values next to the
+        operator metrics.
+        """
+        record_storage_metrics(self.telemetry.metrics, self.database)
         return self.telemetry.metrics
 
     @property

@@ -22,18 +22,38 @@ executor.
 
 from __future__ import annotations
 
+from itertools import repeat
 from operator import itemgetter
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
-from ..expressions import BoundColumn, single_column_getter
+from ..expressions import BoundColumn, bind, single_column_getter
 from ..relation import Relation, Row, require_numeric
 from ..schema import Schema
 from .aggregate import _AggregateBase
 from .base import PhysicalOperator
+from .blocks import (
+    ColumnBatch,
+    ConcatColumns,
+    DerivedColumns,
+    FilteredColumns,
+    JoinColumns,
+    RowsColumns,
+    StoreColumns,
+    _none_free,
+    clean_numeric,
+    compile_vector,
+    grouped_count,
+    grouped_max,
+    grouped_min,
+    grouped_sum,
+    int_keys,
+)
 from .filter import Filter
 from .joins import _BinaryJoin
 from .project import Project
+from .rename import Requalify
+from .scan import BindingScan, RelationScan, TableScan
 from .setops import UnionAllOp
 
 #: Rows pulled from a child iterator per batch.  Bounds peak memory for
@@ -84,6 +104,10 @@ class _BatchBinaryJoin(_BinaryJoin):
         # _BinaryJoin is already a single C call.
         self._left_scalar = _scalar_key(left_keys, left.schema)
         self._right_scalar = _scalar_key(right_keys, right.schema)
+        # Key column positions (all-plain-column keys only): what the
+        # columnar store's cached hash indexes are keyed by.
+        self._left_positions = _bound_positions(left_keys, left.schema)
+        self._right_positions = _bound_positions(right_keys, right.schema)
 
     def execute(self) -> Relation:
         return Relation.from_trusted_rows(self.schema, self._compute())
@@ -135,6 +159,99 @@ def _key_set(rows: list[Row], scalar, key_fn) -> set:
     return {key for key in map(key_fn, rows) if None not in key}
 
 
+# -- block pipeline dispatch -------------------------------------------------
+#
+# When a plan subtree is anchored at a columnar table scan, the batch
+# kernels switch from row tuples to the column batches of
+# :mod:`.blocks`.  Dispatch is conservative three ways: (1) a subtree
+# without a columnar anchor takes exactly the pre-existing row path, so
+# row-storage engines are untouched; (2) an instrumented plan (EXPLAIN
+# ANALYZE / telemetry="on") falls back so every inter-operator hand-off
+# stays observable; (3) the block computation is speculative — if a
+# kernel raises, the caller replays the operator through the row path,
+# which reproduces the row engine's exact error (or its result, when
+# only the vectorized evaluation order could fail).
+
+
+def _columnar_store(node: PhysicalOperator):
+    """The node's ColumnStore when it is a columnar table scan."""
+    if isinstance(node, TableScan):
+        store = node.table.rows
+        if getattr(store, "storage", "rows") == "columnar":
+            return store
+    return None
+
+
+def _instrumented(node: PhysicalOperator) -> bool:
+    """True when EXPLAIN ANALYZE patched ``rows`` anywhere in the tree."""
+    if "rows" in node.__dict__:
+        return True
+    return any(_instrumented(child) for child in node.children())
+
+
+def _has_columnar_anchor(node: PhysicalOperator) -> bool:
+    if _columnar_store(node) is not None:
+        return True
+    return any(_has_columnar_anchor(child) for child in node.children())
+
+
+def _block_eligible(node: PhysicalOperator) -> bool:
+    return _has_columnar_anchor(node) and not _instrumented(node)
+
+
+def _bound_positions(keys, schema) -> tuple[int, ...] | None:
+    """Column positions when every key is a plain column reference."""
+    bound = [bind(k, schema) for k in keys]
+    if bound and all(isinstance(b, BoundColumn) for b in bound):
+        return tuple(b.index for b in bound)
+    return None
+
+
+def _batch_source(node: PhysicalOperator) -> ColumnBatch | None:
+    """Resolve *node* into a column batch, or None to use the row path."""
+    if "rows" in node.__dict__:
+        return None
+    store = _columnar_store(node)
+    if store is not None:
+        return StoreColumns(store)
+    if isinstance(node, (RelationScan, BindingScan)):
+        return RowsColumns(list(node.rows()), node.schema.arity)
+    if isinstance(node, Requalify):
+        # Pure rename (ρ): rows pass through untouched.
+        return _batch_source(node.child)
+    if isinstance(node, BatchProject):
+        vectors = [compile_vector(bound) for bound, _ in node.items]
+        if any(v is None for v in vectors):
+            return None
+        child = _batch_source(node.child)
+        if child is None:
+            return None
+        return DerivedColumns(
+            child.length,
+            [(lambda v=v: v(child)) for v in vectors])
+    if isinstance(node, BatchFilter):
+        predicate = compile_vector(node.predicate)
+        if predicate is None:
+            return None
+        child = _batch_source(node.child)
+        if child is None:
+            return None
+        selection = [i for i, keep in enumerate(predicate(child))
+                     if keep is True]
+        return FilteredColumns(child, selection)
+    if isinstance(node, BatchUnionAll):
+        left = _batch_source(node.left)
+        if left is None:
+            return None
+        right = _batch_source(node.right)
+        if right is None:
+            return None
+        return ConcatColumns(left, right)
+    if type(node) is BatchHashJoin:
+        return node._block_source()
+    return None
+
+
 class BatchHashJoin(_BatchBinaryJoin):
     """Inner equi-join, batch build + chunked probe.
 
@@ -157,7 +274,178 @@ class BatchHashJoin(_BatchBinaryJoin):
             return f"{base}; build left"
         return base
 
+    def _block_source(self) -> ColumnBatch | None:
+        """Join output as gather vectors over a position index — no
+        concatenated row tuples are built at all.
+
+        When the build side is a columnar scan, the position index comes
+        from the store's cache and survives across fixpoint iterations;
+        otherwise (the common recursive shape puts the small delta on the
+        build side) an ephemeral index is built from the batch's key
+        column — same O(|build|) as the row path, but probing still pays
+        column-gather prices instead of per-row tuple construction.
+        """
+        if self.build_side == "right":
+            build, probe = self.right, self.left
+            build_positions = self._right_positions
+            probe_positions = self._left_positions
+        else:
+            build, probe = self.left, self.right
+            build_positions = self._left_positions
+            probe_positions = self._right_positions
+        if build_positions is None or probe_positions is None:
+            return None
+        probe_src = _batch_source(probe)
+        if probe_src is None:
+            return None
+        scalar = len(build_positions) == 1
+        kind = "scalar-positions" if scalar else "tuple-positions"
+        store = _columnar_store(build)
+        probe_store = _columnar_store(probe)
+        probe_idx: list[int] = []
+        build_pos: list[int] = []
+        if store is None and probe_store is not None and scalar:
+            # The recursive shape: small per-iteration delta on the
+            # build side, columnar table on the probe side.  The build
+            # keys are almost always unique (a consolidated delta keyed
+            # by vertex), so one dict maps key -> build position, and
+            # ``map(get, probe_keys)`` resolves every probe row in a
+            # single C pass — output lands in the row path's probe-major
+            # order with no sort and no per-probe-row Python iteration.
+            build_src = _batch_source(build)
+            if build_src is None:
+                return None
+            build_keys = build_src.column(build_positions[0])
+            if None not in build_keys:
+                # All-C construction: dict(zip(...)) keeps the *last*
+                # position per duplicate key, so a size mismatch both
+                # detects duplicates and (when unique) yields the map.
+                pos_map = dict(zip(build_keys, range(len(build_keys))))
+                unique = len(pos_map) == len(build_keys)
+            else:
+                pos_map = {}
+                unique = True
+                for pos, key in enumerate(build_keys):
+                    if key is None:
+                        continue
+                    if key in pos_map:
+                        unique = False
+                        break
+                    pos_map[key] = pos
+            probe_keys = probe_src.column(probe_positions[0])
+            if unique:
+                self.build_rows_observed += len(pos_map)
+                hits = list(map(pos_map.get, probe_keys))
+                if None not in hits:
+                    probe_idx = None  # identity: all probe rows match
+                    build_pos = hits
+                else:
+                    probe_idx = [i for i, h in enumerate(hits)
+                                 if h is not None]
+                    build_pos = [h for h in hits if h is not None]
+            else:
+                # Duplicate build keys: fall back to bucketed pairs and
+                # restore probe-major order (ties resolve to build-row
+                # order, as dict buckets do) with one C sort.
+                index, _ = probe_store.join_index(probe_positions, kind)
+                observed = len(build_keys) - build_keys.count(None)
+                self.build_rows_observed += observed
+                pairs: list[tuple[int, int]] = []
+                extend = pairs.extend
+                get = index.get
+                for pos, key in enumerate(build_keys):
+                    bucket = get(key)
+                    if bucket is not None:
+                        extend(zip(bucket, repeat(pos)))
+                pairs.sort()
+                probe_idx = [pair[0] for pair in pairs]
+                build_pos = [pair[1] for pair in pairs]
+            return JoinColumns(probe_src, build_src, probe_idx, build_pos,
+                               probe.schema.arity, build.schema.arity,
+                               probe_is_left=(self.build_side == "right"))
+        if store is not None:
+            index, observed = store.join_index(build_positions, kind)
+            build_src: ColumnBatch = StoreColumns(store)
+        else:
+            build_src = _batch_source(build)
+            if build_src is None:
+                return None
+            index = {}
+            if scalar:
+                build_keys = build_src.column(build_positions[0])
+            else:
+                build_keys = zip(*(build_src.column(p)
+                                   for p in build_positions))
+            for pos, key in enumerate(build_keys):
+                if (key is None if scalar else None in key):
+                    continue
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [pos]
+                else:
+                    bucket.append(pos)
+            observed = sum(map(len, index.values()))
+        self.build_rows_observed += observed
+        if scalar:
+            keys = probe_src.column(probe_positions[0])
+        else:
+            keys = zip(*(probe_src.column(p) for p in probe_positions))
+        if index:
+            get = index.get
+            extend_pos = build_pos.extend
+            extend_idx = probe_idx.extend
+            for i, key in enumerate(keys):
+                bucket = get(key)
+                if bucket is not None:
+                    extend_pos(bucket)
+                    extend_idx(repeat(i, len(bucket)))
+        return JoinColumns(probe_src, build_src, probe_idx, build_pos,
+                           probe.schema.arity, build.schema.arity,
+                           probe_is_left=(self.build_side == "right"))
+
+    def _cached_index_rows(self) -> list[Row] | None:
+        """Row-output probe against the build store's cached row index
+        (the pipeline-exit twin of :meth:`_block_source`)."""
+        if self.build_side == "right":
+            build, probe = self.right, self.left
+            positions = self._right_positions
+            probe_scalar, probe_tuple = self._left_scalar, self._left_key
+        else:
+            build, probe = self.left, self.right
+            positions = self._left_positions
+            probe_scalar, probe_tuple = self._right_scalar, self._right_key
+        store = _columnar_store(build)
+        if store is None or positions is None:
+            return None
+        if len(positions) == 1 and probe_scalar is not None:
+            index, observed = store.join_index(positions, "scalar-rows")
+            probe_key = probe_scalar
+        else:
+            index, observed = store.join_index(positions, "tuple-rows")
+            probe_key = probe_tuple
+        self.build_rows_observed += observed
+        out: list[Row] = []
+        if not index:
+            return out
+        extend = out.extend
+        get = index.get
+        if self.build_side == "right":
+            for chunk in _chunks(probe):
+                extend([row + match
+                        for key, row in zip(map(probe_key, chunk), chunk)
+                        for match in get(key, ())])
+        else:
+            for chunk in _chunks(probe):
+                extend([match + row
+                        for key, row in zip(map(probe_key, chunk), chunk)
+                        for match in get(key, ())])
+        return out
+
     def _compute(self) -> list[Row]:
+        if _block_eligible(self):
+            fast = self._cached_index_rows()
+            if fast is not None:
+                return fast
         if self.build_side == "right":
             build, probe = self.right, self.left
             build_scalar, probe_scalar = self._right_scalar, self._left_scalar
@@ -364,7 +652,50 @@ class BatchHashAggregate(_AggregateBase):
         return iter(self._compute())
 
     # -- single-aggregate fast paths -----------------------------------
+    def _block_single(self, function: str) -> list[tuple] | None:
+        """Whole-column grouped aggregation over a block pipeline.
+
+        Speculative: any exception (heterogeneous values, a kernel the
+        vectorizer mis-covers) returns None and the caller replays the
+        row path, reproducing its exact result or error.
+        """
+        try:
+            src = _batch_source(self.child)
+            if src is None:
+                return None
+            keys = src.column(self._bound_keys[0].index)
+            if not int_keys(keys):
+                return None
+            arg_expr = self._bound_args[0] if self._bound_args else None
+            if function == "count":
+                if arg_expr is not None:
+                    vector = compile_vector(arg_expr)
+                    if vector is None or not _none_free(vector(src)):
+                        return None
+                return grouped_count(keys)
+            if arg_expr is None:
+                return None
+            vector = compile_vector(arg_expr)
+            if vector is None:
+                return None
+            values = vector(src)
+            if not clean_numeric(values):
+                return None
+            if function == "sum":
+                return grouped_sum(keys, values)
+            if function == "min":
+                return grouped_min(keys, values)
+            if function == "max":
+                return grouped_max(keys, values)
+            return None
+        except Exception:
+            return None
+
     def _compute_single(self, function: str, arg) -> list[tuple]:
+        if self._scalar_key is not None and _block_eligible(self):
+            fast = self._block_single(function)
+            if fast is not None:
+                return fast
         key_fn = self._scalar_key or self._key_fn
         acc: dict[Any, Any] = {}
         get = acc.get
@@ -540,6 +871,13 @@ class BatchProject(Project):
         return iter(self._compute())
 
     def _compute(self) -> list[Row]:
+        if _block_eligible(self):
+            try:
+                source = _batch_source(self)
+                if source is not None:
+                    return source.rows()
+            except Exception:
+                pass  # replay through the row path for the exact error
         return list(map(self._builder, _materialize(self.child)))
 
 
@@ -554,6 +892,13 @@ class BatchFilter(Filter):
         return iter(self._compute())
 
     def _compute(self) -> list[Row]:
+        if _block_eligible(self):
+            try:
+                source = _batch_source(self)
+                if source is not None:
+                    return source.rows()
+            except Exception:
+                pass  # replay through the row path for the exact error
         evaluate = self._compiled
         return [row for row in _materialize(self.child)
                 if evaluate(row) is True]

@@ -312,11 +312,26 @@ class CostBasedPolicy(PlannerPolicy):
     #: materialisation overhead is not worth amortising.
     BATCH_AGG_THRESHOLD = 256
 
-    def __init__(self, executor: str = "tuple", replan_factor: float = 8.0):
+    #: Block-aware overrides, keyed by the catalog's storage backend.
+    #: Columnar tables feed the batch kernels whole column vectors with
+    #: no tuple materialisation, so the batch aggregate amortises sooner;
+    #: and a merge join must decode sealed blocks into sorted row tuples
+    #: while a hash join reads the key column straight out of the store,
+    #: so merge needs a much more balanced pair of inputs to win.
+    STORAGE_MERGE_BALANCE = {"columnar": 0.5}
+    STORAGE_BATCH_AGG_THRESHOLD = {"columnar": 64}
+
+    def __init__(self, executor: str = "tuple", replan_factor: float = 8.0,
+                 storage: str = "rows"):
         super().__init__(executor)
         from .optimizer import CardinalityEstimator
 
         self.replan_factor = replan_factor
+        self.storage = storage
+        self.MERGE_BALANCE = self.STORAGE_MERGE_BALANCE.get(
+            storage, type(self).MERGE_BALANCE)
+        self.BATCH_AGG_THRESHOLD = self.STORAGE_BATCH_AGG_THRESHOLD.get(
+            storage, type(self).BATCH_AGG_THRESHOLD)
         self.estimator = CardinalityEstimator(refresh=True)
 
     def make_equi_join(self, left, right, left_keys, right_keys):

@@ -1039,6 +1039,8 @@ class RecursiveExecutor:
                                           counts=counts)
         self._maybe_index(new_table)
         after = new_table.snapshot()
+        if counts.changed is not None:
+            return counts.changed, after, counts
         return after != snapshot, after, counts
 
     def _maybe_index(self, table: Table) -> None:

@@ -47,6 +47,12 @@ class UpdateCounts:
 
     inserted: int = 0
     overwritten: int = 0
+    #: Exact content-change verdict, when the strategy can prove one:
+    #: True/False means "the table's contents did / did not change as a
+    #: bag"; None means the strategy cannot tell (MERGE and UPDATE FROM
+    #: write no-op matches, so their counts overstate real change) and
+    #: the caller must compare snapshots itself.
+    changed: bool | None = None
 
 
 def consolidate_delta(delta: Relation,
@@ -71,8 +77,40 @@ def consolidate_delta(delta: Relation,
     if not key_columns or len(delta) <= 1:
         return delta
     positions = [delta.schema.index_of(k) for k in key_columns]
+    if len(positions) == 1:
+        # Single-column key (every recursive workload): extract the key
+        # column and test uniqueness in two C passes.  Deltas produced by
+        # a GROUP BY on the key — the steady state of the recursive loop
+        # — are always unique and return untouched.
+        from operator import itemgetter
+
+        keys = list(map(itemgetter(positions[0]), delta.rows))
+        try:
+            unique = len(set(keys)) == len(keys)
+        except TypeError:
+            unique = False  # unhashable key value: let the loop report it
+        if unique:
+            return delta
+        seen_scalar: dict = {}
+        out = []
+        collapsed = False
+        for key, row in zip(keys, delta.rows):
+            previous = seen_scalar.get(key)
+            if previous is None:
+                seen_scalar[key] = row
+                out.append(row)
+            elif previous == row:
+                collapsed = True
+            else:
+                first, second = sorted((previous, row), key=repr)
+                raise ConstraintError(
+                    f"union by update delta has conflicting rows for key"
+                    f" {(key,)!r}: {first!r} vs {second!r}")
+        if not collapsed:
+            return delta
+        return Relation(delta.schema, out)
     seen: dict[tuple, tuple] = {}
-    out: list[tuple] = []
+    out = []
     collapsed = False
     for row in delta.rows:
         key = tuple(row[i] for i in positions)
@@ -124,6 +162,10 @@ def apply_union_by_update(database: Database, table: Table, delta: Relation,
     elif strategy == "full_outer_join":
         counts.inserted, counts.overwritten = \
             _full_outer_join(table, delta, key_columns)
+        # Both full-outer-join merges count only rows whose value really
+        # changed, so the counts double as an exact convergence verdict —
+        # the fixpoint loop can skip its bag comparison of the table.
+        counts.changed = bool(counts.inserted or counts.overwritten)
     elif strategy == "drop_alter":
         counts.inserted, counts.overwritten = \
             _drop_alter(database, table, delta, key_columns)
@@ -276,9 +318,9 @@ def _drop_alter(database: Database, table: Table, delta: Relation,
     scratch_name = f"__swap_{table.name}"
     scratch = database.create_temp_table(scratch_name, table.schema,
                                          replace=True)
-    scratch.rows = [tuple(coerce(v, c.sql_type)
-                          for v, c in zip(row, table.schema.columns))
-                    for row in merged.rows]
+    scratch.rows.assign([tuple(coerce(v, c.sql_type)
+                               for v, c in zip(row, table.schema.columns))
+                         for row in merged.rows])
     # Re-create the old table's indexes on the replacement, as the paper's
     # drop/alter variant must.
     for index_name, index in table.indexes.items():

@@ -11,24 +11,46 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from .columnar import make_storage
 from .errors import CatalogError, ConstraintError, SchemaError
 from .indexes import Index, make_index
 from .relation import Relation, Row
 from .schema import Schema
 from .statistics import TableStatistics
-from .types import coerce, make_row_coercer
+from .types import SqlType, coerce, make_row_coercer
+
+# Values of exactly these Python types pass :func:`coerce` unchanged for
+# the given column type (NULL always does) — the columnar merge fast path
+# uses this to prove a whole delta column needs no coercion with one C
+# type scan instead of a per-row coercer call.
+_IDENTITY_TYPES = {
+    SqlType.INTEGER: frozenset({int, type(None)}),
+    SqlType.DOUBLE: frozenset({float, type(None)}),
+    SqlType.TEXT: frozenset({str, type(None)}),
+    SqlType.BOOLEAN: frozenset({bool, type(None)}),
+}
 
 
 class Table:
-    """A named, mutable table in a database catalog."""
+    """A named, mutable table in a database catalog.
+
+    ``storage`` picks the physical backend behind ``self.rows``:
+    ``"rows"`` (a plain Python list of row tuples) or ``"columnar"``
+    (typed, compressed column vectors in morsel blocks — see
+    :mod:`repro.relational.columnar`).  Both present the same list-like
+    surface, so every caller below is backend-agnostic; the one protocol
+    difference is that full-contents swaps go through ``rows.assign``
+    instead of rebinding the attribute.
+    """
 
     def __init__(self, name: str, schema: Schema, temporary: bool = False,
-                 enforce_key: bool = True):
+                 enforce_key: bool = True, storage: str = "rows"):
         self.name = name
         self.schema = schema
         self.temporary = temporary
         self.enforce_key = enforce_key and bool(schema.primary_key)
-        self.rows: list[Row] = []
+        self.storage = storage
+        self.rows = make_storage(storage, schema.arity)
         self.indexes: dict[str, Index] = {}
         self.statistics = TableStatistics()
         self._key_positions = schema.key_indexes() if schema.primary_key else ()
@@ -137,7 +159,7 @@ class Table:
         kept = [row for row in self.rows if not predicate(row)]
         removed = len(self.rows) - len(kept)
         if removed:
-            self.rows = kept
+            self.rows.assign(kept)
             self._rebuild_auxiliary()
         return removed
 
@@ -148,7 +170,7 @@ class Table:
                 f"cannot replace arity-{self.schema.arity} table {self.name}"
                 f" with arity-{relation.schema.arity} contents")
         coerce_row = self._coerce_row
-        self.rows = [coerce_row(row) for row in relation.rows]
+        self.rows.assign([coerce_row(row) for row in relation.rows])
         self._rebuild_auxiliary()
 
     def merge_by_key(self, source: Relation,
@@ -366,6 +388,10 @@ class Table:
             raise SchemaError(
                 f"cannot merge arity-{delta.schema.arity} delta into"
                 f" arity-{self.schema.arity} table {self.name}")
+        if self.storage == "columnar" and len(key_columns) == 1:
+            fast = self._merge_delta_columnar(delta, key_columns[0])
+            if fast is not None:
+                return fast
         target_key = itemgetter(*(self.schema.index_of(k)
                                   for k in key_columns))
         delta_key = itemgetter(*(delta.schema.index_of(k)
@@ -391,9 +417,66 @@ class Table:
         out.extend(row for row in coerced
                    if delta_key(row) not in matched)
         appended = len(out) - appended
-        self.rows = out
+        self.rows.assign(out)
         self._rebuild_auxiliary()
         return replaced, appended
+
+    def _merge_delta_columnar(self, delta: Relation,
+                              key_column: str) -> tuple[int, int] | None:
+        """Columnwise :meth:`merge_delta_rebuild` for columnar storage.
+
+        Reads the table's key column straight from the store (one decoded
+        vector), maps ``replacement.get`` over it in a single C pass, and
+        assembles the merged contents from the resulting hit vector — no
+        per-row key extraction or dict probe in Python.  Delta coercion is
+        skipped entirely when one C type scan per column proves every
+        value is already in stored form.  Row order, contents and the
+        ``(replaced, appended)`` counts match the row-path merge exactly.
+        Returns None on unhashable key values (the caller falls back).
+        """
+        from operator import eq, itemgetter
+
+        kpos = self.schema.index_of(key_column)
+        dpos = delta.schema.index_of(key_column)
+        coerced = self._coerce_delta_rows(delta)
+        rows = self.rows.materialized()
+        try:
+            delta_keys = list(map(itemgetter(dpos), coerced))
+            # Last write wins on duplicate delta keys, like the row path.
+            replacement = dict(zip(delta_keys, coerced))
+            id_col = self.rows.column(kpos)
+            hits = list(map(replacement.get, id_col))
+            present = set(id_col)
+        except TypeError:
+            return None
+        matched_total = len(hits) - hits.count(None)
+        if matched_total == len(hits):
+            out = hits  # every table row replaced: the hit vector is the result
+        else:
+            out = [row if new is None else new
+                   for new, row in zip(hits, rows)]
+        # eq(None, row) is False, so this counts matched-and-unchanged rows.
+        replaced = matched_total - sum(map(eq, hits, rows))
+        appended_rows = [row for key, row in zip(delta_keys, coerced)
+                         if key not in present]
+        out.extend(appended_rows)
+        self.rows.assign(out)
+        self._rebuild_auxiliary()
+        return replaced, len(appended_rows)
+
+    def _coerce_delta_rows(self, delta: Relation) -> list[Row]:
+        """Delta rows coerced to this table's column types, reusing the
+        incoming tuples untouched when a C type scan per column shows
+        every value already has its stored Python type."""
+        from operator import itemgetter
+
+        rows = delta.rows
+        for j, column in enumerate(self.schema.columns):
+            allowed = _IDENTITY_TYPES[column.sql_type]
+            if not set(map(type, map(itemgetter(j), rows))) <= allowed:
+                coerce_row = self._coerce_row
+                return [coerce_row(row) for row in rows]
+        return rows if isinstance(rows, list) else list(rows)
 
     # -- internals -----------------------------------------------------------------
 
