@@ -24,6 +24,18 @@ Commands
     Differential correctness campaign: generated programs run under the
     full engine-configuration matrix plus metamorphic oracles; failures
     are shrunk to minimal reproducers and written as pytest files.
+``profile ALGO``
+    Run one algorithm with continuous profiling on; print the top-K hot
+    operators, the aggregated fixpoint profile, and the misestimate
+    report.  ``--out stacks.txt`` writes the collapsed-stack flamegraph
+    file; ``--store profile.json`` merges into a persistent profile.
+``flight list|show|replay``
+    Inspect or re-execute flight-recorder bundles (see
+    ``Telemetry(flight_dir=...)``).
+``serve-metrics``
+    Load a dataset, start the live ops HTTP endpoint (``/metrics``,
+    ``/healthz``, ``/queries``, ``/profile``, ``/flight``), and serve
+    until interrupted.
 """
 
 from __future__ import annotations
@@ -284,6 +296,124 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_profile(args) -> int:
+    from repro.observability import ProfileStore
+
+    key = _resolve_algorithm(args.algorithm)
+    info = get_algorithm(key)
+    if not info.has_sql:
+        print(f"{key} ships reference/algebra implementations only",
+              file=sys.stderr)
+        return 2
+    engine, graph = _load_for(key, args, telemetry="profile")
+    result = info.run_sql(engine, graph)
+    profiler = engine.telemetry.profiler
+    print(f"{info.name} on {args.dataset} ({graph.num_nodes} nodes,"
+          f" {graph.num_edges} edges) under {args.dialect}:"
+          f" {result.iterations} iterations, {profiler.queries}"
+          f" profiled statements")
+    print()
+
+    top = profiler.top_operators(args.top)
+    print(format_table(
+        ["operator", "storage", "self ms", "share", "rows", "calls",
+         "~bytes"],
+        [[o["operator"], o["storage"], f"{o['seconds'] * 1000:.2f}",
+          f"{o['share'] * 100:.1f}%", o["rows"], o["calls"],
+          o["bytes_est"]] for o in top],
+        f"Top {len(top)} operators by self time"))
+    print()
+
+    iterations = profiler.iteration_profile()
+    if iterations:
+        rows = [[s["iteration"], s["runs"], s["delta_rows"],
+                 f"{s['ms']:.2f}", s["inserted"], s["pruned"]]
+                for s in iterations[:args.limit]]
+        if len(iterations) > args.limit:
+            rows.append(["..."] * 6)
+        print(format_table(
+            ["iter", "runs", "delta", "ms", "ins", "pruned"], rows,
+            "Fixpoint profile (aggregated by iteration index)"))
+        print()
+
+    misestimates = profiler.misestimate_report(args.top)
+    if misestimates:
+        print(format_table(
+            ["operator", "count", "over", "under", "worst", "detail"],
+            [[m["operator"], m["count"], m["over"], m["under"],
+              f"{m['worst_ratio']:.2f}x", m["worst_detail"][:40]]
+             for m in misestimates],
+            "Cardinality misestimates (drift beyond threshold)"))
+        print()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(profiler.to_collapsed())
+        print(f"wrote collapsed stacks to {args.out}"
+              " (flamegraph.pl / speedscope)")
+    if args.store:
+        store = ProfileStore(args.store)
+        store.merge(profiler.to_dict())
+        store.save()
+        print(f"merged into profile store {args.store}"
+              f" ({store.data['queries']} statements total)")
+    return 0
+
+
+def cmd_flight(args) -> int:
+    import json as _json
+
+    from repro.observability import (FlightRecorder, load_bundle,
+                                     replay_bundle)
+
+    if args.action == "list":
+        recorder = FlightRecorder(args.dir)
+        bundles = recorder.bundles()
+        if not bundles:
+            print(f"no bundles in {args.dir}")
+            return 0
+        rows = []
+        for path in bundles:
+            bundle = load_bundle(path)
+            error = bundle.get("error")
+            rows.append([
+                path.rsplit("/", 1)[-1], bundle["reason"], bundle["kind"],
+                bundle["engine"]["storage"],
+                f"{bundle['query']['total_ms']:.1f}",
+                error["type"] if error else "-",
+                bundle["sql"].strip().splitlines()[0][:40]])
+        print(format_table(
+            ["bundle", "reason", "kind", "storage", "ms", "error", "sql"],
+            rows, f"Flight bundles in {args.dir}"))
+        return 0
+    if args.action == "show":
+        print(_json.dumps(load_bundle(args.bundle), indent=1,
+                          default=str))
+        return 0
+    outcome = replay_bundle(args.bundle)
+    print(outcome.render())
+    return 0 if outcome.reproduced else 1
+
+
+def cmd_serve_metrics(args) -> int:
+    engine = Engine(args.dialect, telemetry=args.telemetry)
+    graph = load(args.dataset, args.scale)
+    common.load_graph(engine, graph)
+    common.prepare_transition(engine)
+    server = engine.serve_metrics(host=args.host, port=args.port)
+    print(f"serving {args.dataset} (scale={args.scale}) under"
+          f" {args.dialect} at {server.url}")
+    print("routes: /metrics /healthz /queries /profile /flight"
+          " — ctrl-c to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping")
+        server.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -361,6 +491,40 @@ def build_parser() -> argparse.ArgumentParser:
                         " into DIR")
     p.add_argument("--shrink-attempts", type=int, default=400)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("profile",
+                       help="run an algorithm with continuous profiling")
+    p.add_argument("algorithm")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the hot-operator / misestimate tables")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the collapsed-stack flamegraph file")
+    p.add_argument("--store", metavar="PATH",
+                   help="merge into a persistent profile store (JSON)")
+    common_flags(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("flight", help="inspect flight-recorder bundles")
+    flight_sub = p.add_subparsers(dest="action", required=True)
+    fp = flight_sub.add_parser("list", help="list bundles in a directory")
+    fp.add_argument("dir")
+    fp.set_defaults(fn=cmd_flight)
+    fp = flight_sub.add_parser("show", help="dump one bundle as JSON")
+    fp.add_argument("bundle")
+    fp.set_defaults(fn=cmd_flight)
+    fp = flight_sub.add_parser(
+        "replay", help="re-execute a bundle and compare the outcome")
+    fp.add_argument("bundle")
+    fp.set_defaults(fn=cmd_flight)
+
+    p = sub.add_parser("serve-metrics",
+                       help="start the live ops HTTP endpoint")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9188)
+    p.add_argument("--telemetry", default="profile",
+                   choices=("off", "on", "profile", "full"))
+    common_flags(p)
+    p.set_defaults(fn=cmd_serve_metrics)
     return parser
 
 

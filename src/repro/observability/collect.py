@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from .metrics import MetricsRegistry
+from .profiling import DRIFT_THRESHOLD
 from .tracing import Span
 
 
@@ -82,6 +83,45 @@ def record_plan_metrics(metrics: MetricsRegistry, root: Any,
             metrics.counter(
                 "repro_antijoin_pruned_rows_total",
                 "Rows removed by anti-join delta pruning.").inc(pruned)
+
+
+def record_drift_metrics(metrics: MetricsRegistry, root: Any,
+                         stats: dict[Any, Any],
+                         threshold: float = DRIFT_THRESHOLD) -> None:
+    """Count operators whose cardinality estimate drifted from reality.
+
+    For every executed operator carrying an ``estimated_rows`` annotation,
+    the per-execution actual is compared against the estimate; ratios
+    beyond *threshold* in either direction increment
+    ``repro_cardinality_misestimates_total`` labelled by operator and
+    direction (``under`` = actual exceeded the estimate, ``over`` = the
+    estimate exceeded the actual).  This is the aggregate half of the
+    EXPLAIN ANALYZE ``drift=`` annotation — the profiler's misestimate
+    report ranks the same observations per operator.
+    """
+    for node in walk_plan(root):
+        node_stats = stats.get(node)
+        estimate = getattr(node, "estimated_rows", None)
+        if node_stats is None or node_stats.calls == 0 or estimate is None:
+            continue
+        per_loop = node_stats.rows / node_stats.calls
+        if estimate <= 0:
+            if per_loop <= 0:
+                continue  # predicted empty, was empty
+            direction = "under"
+        else:
+            ratio = per_loop / estimate
+            if ratio > threshold:
+                direction = "under"
+            elif ratio < 1.0 / threshold:
+                direction = "over"
+            else:
+                continue
+        metrics.counter(
+            "repro_cardinality_misestimates_total",
+            "Executed operators whose est_rows drifted beyond the"
+            " threshold.",
+            operator=node.label, direction=direction).inc()
 
 
 def record_storage_metrics(metrics: MetricsRegistry, database: Any) -> None:

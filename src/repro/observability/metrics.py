@@ -32,6 +32,9 @@ DEFAULT_BUCKETS_MS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
 
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Quantiles summarised on histogram exposition (p50/p95/p99).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
 
 class Counter:
     """Monotonically increasing value."""
@@ -96,6 +99,37 @@ class Histogram:
             out.append((upper, running))
         out.append((math.inf, self.count))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile *q* (0..1), interpolated linearly
+        within the containing bucket — the classic ``histogram_quantile``
+        estimate.  Observations above the highest finite bucket clamp to
+        that bound; an empty histogram reports 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        lower = 0.0
+        previous_cumulative = 0
+        for upper, cumulative in self.cumulative():
+            if cumulative >= target:
+                if math.isinf(upper):
+                    break  # landed in the +Inf bucket: clamp below
+                bucket_count = cumulative - previous_cumulative
+                if bucket_count == 0:
+                    return upper
+                fraction = (target - previous_cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            lower = upper
+            previous_cumulative = cumulative
+        return self.buckets[-1]
+
+    def summary(self) -> dict[str, float]:
+        """The p50/p95/p99 estimates, keyed ``"p50"`` style."""
+        return {f"p{int(q * 100)}": self.quantile(q)
+                for q in SUMMARY_QUANTILES}
 
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
@@ -174,6 +208,8 @@ class MetricsRegistry:
                         "labels": labels,
                         "sum": metric.sum,
                         "count": metric.count,
+                        "quantiles": {name: round(value, 6) for name, value
+                                      in metric.summary().items()},
                         "buckets": [
                             {"le": "+Inf" if math.isinf(u) else u, "count": c}
                             for u, c in metric.cumulative()],
@@ -207,6 +243,16 @@ class MetricsRegistry:
                                  f" {_format_value(metric.sum)}")
                     lines.append(f"{name}_count{_render_labels(key)}"
                                  f" {metric.count}")
+                    if metric.count:
+                        # Summary-style quantile series next to the
+                        # buckets, so dashboards get p50/p95/p99 without
+                        # a histogram_quantile() detour.
+                        for q in SUMMARY_QUANTILES:
+                            quantile_key = key + (
+                                ("quantile", _format_value(q)),)
+                            lines.append(
+                                f"{name}{_render_labels(quantile_key)}"
+                                f" {_format_value(metric.quantile(q))}")
                 else:
                     lines.append(f"{name}{_render_labels(key)}"
                                  f" {_format_value(metric.value)}")

@@ -1,13 +1,24 @@
-"""The `Telemetry` bundle an engine carries: tracer + metrics + query log.
+"""The `Telemetry` bundle an engine carries: tracer + metrics + query log
++ profiler + (optional) flight recorder.
 
 ``Engine(telemetry=...)`` accepts either a :class:`Telemetry` instance or
 a shorthand spec resolved by :func:`resolve_telemetry`:
 
 * ``"off"`` / ``None`` / ``False`` — metrics and the query log stay on
-  (they are cheap), tracing is disabled;
+  (they are cheap), tracing and profiling are disabled;
 * ``"on"`` / ``True`` — tracing enabled as well;
+* ``"profile"`` — the continuous profiler enabled (per-operator plan
+  instrumentation feeding the aggregate profile) without span capture;
+* ``"full"`` — tracing *and* profiling;
 * an existing :class:`Telemetry` — shared between engines, e.g. to
   aggregate metrics across dialect facades.
+
+Keyword construction opens the remaining knobs::
+
+    Telemetry(tracing=False, profiling=True,
+              query_log_path="queries.jsonl",      # persistent JSONL sink
+              flight_dir="flight/",                # diagnostic bundles
+              slow_query_ms=50.0)
 
 Each executed statement also gets a :class:`QueryTelemetry` attached to
 its result (``result.telemetry``) summarising phase timings, row counts
@@ -19,28 +30,49 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry
-from .querylog import QueryLog
+from .profiling import Profiler
+from .querylog import DEFAULT_ROTATE_BYTES, QueryLog
 from .tracing import Span, Tracer
 
 
 class Telemetry:
-    """Tracer + metrics registry + query log, wired as one unit."""
+    """Tracer + metrics registry + query log + profiler + flight recorder,
+    wired as one unit."""
 
     def __init__(self, tracing: bool = False, query_log_size: int = 128,
-                 slow_query_ms: float = 100.0):
+                 slow_query_ms: float = 100.0, profiling: bool = False,
+                 query_log_path: str | None = None,
+                 query_log_rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+                 flight_dir: str | None = None, flight_max_bundles: int = 32,
+                 flight_max_rows: int | None = None):
         self.tracer = Tracer(enabled=tracing)
         self.metrics = MetricsRegistry()
-        self.query_log = QueryLog(size=query_log_size, slow_ms=slow_query_ms)
+        self.query_log = QueryLog(size=query_log_size, slow_ms=slow_query_ms,
+                                  jsonl_path=query_log_path,
+                                  rotate_bytes=query_log_rotate_bytes)
+        self.profiler = Profiler(enabled=profiling)
+        self.flight: FlightRecorder | None = None
+        if flight_dir is not None:
+            kwargs: dict[str, Any] = {"max_bundles": flight_max_bundles}
+            if flight_max_rows is not None:
+                kwargs["max_rows_per_table"] = flight_max_rows
+            self.flight = FlightRecorder(flight_dir, **kwargs)
 
     @property
     def tracing(self) -> bool:
         return self.tracer.enabled
 
+    @property
+    def profiling(self) -> bool:
+        return self.profiler.enabled
+
     def reset(self) -> None:
         self.tracer.reset()
         self.metrics.reset()
         self.query_log.clear()
+        self.profiler.reset()
 
 
 def resolve_telemetry(spec: Any) -> Telemetry:
@@ -51,9 +83,13 @@ def resolve_telemetry(spec: Any) -> Telemetry:
         return Telemetry(tracing=False)
     if spec in (True, "on"):
         return Telemetry(tracing=True)
+    if spec == "profile":
+        return Telemetry(tracing=False, profiling=True)
+    if spec == "full":
+        return Telemetry(tracing=True, profiling=True)
     raise ValueError(
-        f"telemetry must be 'on', 'off', or a Telemetry instance,"
-        f" got {spec!r}")
+        f"telemetry must be 'on', 'off', 'profile', 'full', or a Telemetry"
+        f" instance, got {spec!r}")
 
 
 @dataclass

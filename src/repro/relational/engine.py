@@ -29,14 +29,17 @@ from ..observability import (
     QueryTelemetry,
     Telemetry,
     attach_operator_spans,
+    record_drift_metrics,
     record_plan_metrics,
     record_storage_metrics,
     resolve_telemetry,
+    result_digest,
 )
 from .database import Database
 from .dialects import Dialect, get_dialect
-from .errors import FeatureNotSupportedError
-from .physical import execute_analyzed, explain_plan, instrument
+from .errors import FeatureNotSupportedError, RelationalError
+from .physical import (execute_analyzed, explain_plan, instrument,
+                       render_analysis)
 from .planner import POLICIES, PlannerPolicy
 from .psm import PsmProgram, translate_with_to_psm
 from .recursive import (
@@ -151,6 +154,10 @@ class Engine:
         # Planner policies count operator choices into the shared registry.
         self.policy.metrics = self.telemetry.metrics
         self._refreshes_seen = 0
+        #: (title, plan, stats) triples from the current statement's
+        #: instrumented plans — the flight recorder renders these into
+        #: est-vs-actual reports when it snapshots a bundle.
+        self._instrumented: list[tuple[str, object, dict]] = []
 
     # -- configuration -----------------------------------------------------------
 
@@ -207,28 +214,36 @@ class Engine:
         tracer = self.telemetry.tracer
         phases: dict[str, float] = {}
         sql_text = sql if isinstance(sql, str) else type(sql).__name__
+        self._instrumented = []
         total_started = time.perf_counter()
-        with tracer.span("query", sql=sql_text) as query_span:
-            started = time.perf_counter()
-            with tracer.span("parse"):
-                statement = (parse_statement(sql) if isinstance(sql, str)
-                             else sql)
-            phases["parse"] = (time.perf_counter() - started) * 1000
-            if isinstance(statement, AnalyzeStatement):
-                kind = "analyze"
+        try:
+            with tracer.span("query", sql=sql_text,
+                             storage=self.storage) as query_span:
                 started = time.perf_counter()
-                with tracer.span("execute"):
-                    result = WithExecutionResult(
-                        relation=self._run_analyze(statement))
-                phases["execute"] = (time.perf_counter() - started) * 1000
-            elif isinstance(statement, WithStatement) and \
-                    any(cte_is_recursive(c) for c in statement.ctes):
-                kind = "recursive"
-                result = self._execute_recursive(statement, mode, tracer,
-                                                 phases, query_span)
-            else:
-                kind = "select"
-                result = self._execute_plain(statement, tracer, phases)
+                with tracer.span("parse"):
+                    statement = (parse_statement(sql) if isinstance(sql, str)
+                                 else sql)
+                phases["parse"] = (time.perf_counter() - started) * 1000
+                if isinstance(statement, AnalyzeStatement):
+                    kind = "analyze"
+                    started = time.perf_counter()
+                    with tracer.span("execute"):
+                        result = WithExecutionResult(
+                            relation=self._run_analyze(statement))
+                    phases["execute"] = \
+                        (time.perf_counter() - started) * 1000
+                elif isinstance(statement, WithStatement) and \
+                        any(cte_is_recursive(c) for c in statement.ctes):
+                    kind = "recursive"
+                    result = self._execute_recursive(statement, mode, tracer,
+                                                     phases, query_span)
+                else:
+                    kind = "select"
+                    result = self._execute_plain(statement, tracer, phases)
+        except RelationalError as error:
+            total_ms = (time.perf_counter() - total_started) * 1000
+            self._record_failure(sql_text, total_ms, phases, error)
+            raise
         total_ms = (time.perf_counter() - total_started) * 1000
         self._record_query(sql_text, kind, total_ms, phases, result,
                            query_span)
@@ -247,17 +262,24 @@ class Engine:
             temp_indexes=self.temp_indexes,
             telemetry=self.telemetry)
         started = time.perf_counter()
+        profiler = self.telemetry.profiler
         with tracer.span("execute") as exec_span:
             result = executor.execute(statement)
-            if exec_span is not None:
-                for title, plan, plan_stats in executor.instrumented_plans():
+            for title, plan, plan_stats in executor.instrumented_plans():
+                if exec_span is not None:
                     root_stats = plan_stats.get(plan)
                     section = exec_span.child(
                         f"plan:{title}",
                         duration=root_stats.seconds if root_stats else 0.0)
                     attach_operator_spans(section, plan, plan_stats)
-                    record_plan_metrics(self.telemetry.metrics, plan,
-                                        plan_stats)
+                record_plan_metrics(self.telemetry.metrics, plan,
+                                    plan_stats)
+                record_drift_metrics(self.telemetry.metrics, plan,
+                                     plan_stats)
+                if profiler.enabled:
+                    profiler.record_plan("recursive", title, plan,
+                                         plan_stats, storage=self.storage)
+                self._instrumented.append((title, plan, plan_stats))
         elapsed_ms = (time.perf_counter() - started) * 1000
         plan_ms = executor.plan_seconds * 1000
         phases["plan"] = plan_ms
@@ -272,6 +294,8 @@ class Engine:
     def _execute_plain(self, statement: Statement, tracer,
                        phases) -> WithExecutionResult:
         runner = QueryRunner(self.database, self.policy)
+        profiler = self.telemetry.profiler
+        observe = tracer.enabled or profiler.enabled
         started = time.perf_counter()
         with tracer.span("plan"):
             plan = runner.plan(statement)
@@ -280,16 +304,25 @@ class Engine:
         with tracer.span("optimize"):
             # Estimate annotation is EXPLAIN/trace decoration; operator
             # selection itself happened inside plan() via the policy.
-            if tracer.enabled:
+            # The profiler needs it too — drift accounting compares the
+            # annotations against observed cardinalities.
+            if observe:
                 self._annotate_estimates(plan)
         phases["optimize"] = (time.perf_counter() - started) * 1000
         started = time.perf_counter()
         with tracer.span("execute") as exec_span:
-            if exec_span is not None:
+            if observe:
                 plan_stats = instrument(plan)
                 relation = plan.execute()
-                attach_operator_spans(exec_span, plan, plan_stats)
+                if exec_span is not None:
+                    attach_operator_spans(exec_span, plan, plan_stats)
                 record_plan_metrics(self.telemetry.metrics, plan, plan_stats)
+                record_drift_metrics(self.telemetry.metrics, plan,
+                                     plan_stats)
+                if profiler.enabled:
+                    profiler.record_plan("select", "query", plan, plan_stats,
+                                         storage=self.storage)
+                self._instrumented.append(("query", plan, plan_stats))
             else:
                 relation = plan.execute()
         phases["execute"] = (time.perf_counter() - started) * 1000
@@ -312,7 +345,8 @@ class Engine:
         rows = len(result.relation)
         entry = telemetry.query_log.record(sql_text, kind, total_ms, phases,
                                            rows=rows,
-                                           iterations=result.iterations)
+                                           iterations=result.iterations,
+                                           storage=self.storage)
         metrics = telemetry.metrics
         metrics.counter("repro_queries_total", "Statements executed.",
                         kind=kind).inc()
@@ -346,9 +380,52 @@ class Engine:
                             "Statistics refreshes.", source="estimator"
                             ).inc(estimator.refreshes - self._refreshes_seen)
             self._refreshes_seen = estimator.refreshes
+        telemetry.profiler.record_query(kind, phases, result.per_iteration)
+        if entry.slow and telemetry.flight is not None:
+            telemetry.flight.record(
+                self, reason="slow", sql=sql_text, kind=kind,
+                total_ms=total_ms, phases=phases, rows=rows,
+                iterations=result.iterations, span=query_span,
+                per_iteration=result.per_iteration,
+                plan_reports=self._plan_reports(),
+                digest=result_digest(result.relation.rows))
         result.telemetry = QueryTelemetry(
             phases=dict(phases), rows=rows, iterations=result.iterations,
             span=query_span, per_iteration=result.per_iteration)
+
+    def _record_failure(self, sql_text: str, total_ms: float,
+                        phases: dict[str, float], error: Exception) -> None:
+        """Log a failed statement and — when a flight recorder is wired —
+        snapshot a diagnostic bundle before the error propagates."""
+        telemetry = self.telemetry
+        telemetry.query_log.record(sql_text, "error", total_ms, phases,
+                                   storage=self.storage,
+                                   error=type(error).__name__)
+        telemetry.metrics.counter(
+            "repro_query_errors_total", "Statements that raised.",
+            error=type(error).__name__).inc()
+        if telemetry.flight is not None:
+            telemetry.flight.record(
+                self, reason="error", sql=sql_text, kind="error",
+                total_ms=total_ms, phases=phases, error=error,
+                plan_reports=self._plan_reports())
+
+    def _plan_reports(self) -> list[tuple[str, str]]:
+        """Render the statement's instrumented plans (est vs actual) for a
+        flight bundle."""
+        return [(title, render_analysis(plan, stats))
+                for title, plan, stats in self._instrumented]
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the live ops endpoint over this engine and return the
+        running :class:`~repro.observability.ObservabilityServer` (its
+        ``url`` property gives the bound address; call ``stop()`` to shut
+        it down)."""
+        from ..observability import ObservabilityServer
+
+        server = ObservabilityServer(self, host=host, port=port)
+        server.start()
+        return server
 
     def _run_analyze(self, statement: AnalyzeStatement) -> Relation:
         """Eagerly refresh statistics: ``ANALYZE`` (all) / ``ANALYZE t``."""

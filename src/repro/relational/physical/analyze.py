@@ -120,9 +120,13 @@ def render_analysis(root: PhysicalOperator,
             if estimate is not None:
                 # Estimated-vs-actual drift, per execution of this node: a
                 # ratio far from 1.00 marks the misestimates worth chasing.
+                # A zero/negative estimate has no meaningful ratio — those
+                # render as n/a instead of dividing by a clamped floor.
                 per_loop = node_stats.rows / node_stats.calls
-                drift = per_loop / max(estimate, 1)
-                actual += f" drift={drift:.2f}x"
+                if estimate > 0:
+                    actual += f" drift={per_loop / estimate:.2f}x"
+                else:
+                    actual += " drift=n/a"
             actual += ")"
         lines.append("  " * depth + f"-> {node.label}{suffix}{actual}")
         for child in node.children():

@@ -484,8 +484,9 @@ class RecursiveExecutor:
         #: fresh branch plans, the final body) — the engine reports this as
         #: the recursive statement's "plan" phase.
         self.plan_seconds = 0.0
-        self._instrument = analyze or (self.tracer is not None
-                                       and self.tracer.enabled)
+        self._instrument = analyze \
+            or (self.tracer is not None and self.tracer.enabled) \
+            or (telemetry is not None and telemetry.profiler.enabled)
         self._analyzed: list[tuple[str, object, dict]] = []
 
     def _span(self, name: str, **attrs):

@@ -32,6 +32,11 @@ class TestResolveTelemetry:
         assert not resolve_telemetry(False).tracing
         assert resolve_telemetry("on").tracing
         assert resolve_telemetry(True).tracing
+        assert not resolve_telemetry("on").profiling
+        profile = resolve_telemetry("profile")
+        assert profile.profiling and not profile.tracing
+        full = resolve_telemetry("full")
+        assert full.profiling and full.tracing
         shared = Telemetry()
         assert resolve_telemetry(shared) is shared
         with pytest.raises(ValueError):
@@ -199,6 +204,53 @@ class TestQueryLogAndMetrics:
         first.execute("select count(*) as n from E")
         second.execute("select count(*) as n from E")
         assert len(shared.query_log) == 2
+
+    @pytest.mark.parametrize("storage", ["rows", "columnar"])
+    def test_storage_backend_labels_entries_and_span_roots(self, storage):
+        engine = make_engine(telemetry="on", storage=storage)
+        engine.execute("select count(*) as n from E")
+        engine.execute_detailed(RECURSIVE_SQL)
+        assert all(entry.storage == storage
+                   for entry in engine.query_log.entries())
+        roots = engine.tracer.find("query")
+        assert roots
+        assert all(span.attrs["storage"] == storage for span in roots)
+
+    def test_failed_statement_logged_with_error_kind(self):
+        engine = make_engine()
+        with pytest.raises(Exception):
+            engine.execute("select no_such_column from E")
+        entry = engine.query_log.entries()[-1]
+        assert entry.kind == "error"
+        assert entry.error == "SchemaError"
+        data = engine.metrics.to_json()
+        series = data["repro_query_errors_total"]["series"]
+        assert series[0]["labels"] == {"error": "SchemaError"}
+
+    def test_cardinality_misestimate_counter_has_direction_labels(self):
+        from repro.observability import record_drift_metrics
+        from repro.relational.physical import instrument
+        from repro.relational.sql.compiler import QueryRunner
+        from repro.relational.sql.parser import parse_statement
+
+        engine = make_engine()
+        plan = QueryRunner(engine.database, engine.policy).plan(
+            parse_statement("select F from E"))
+        stats = instrument(plan)
+        plan.execute()
+        # Force both drift directions across the tree: the root far
+        # under-estimated, every other executed node far over-estimated.
+        nodes = [node for node in [plan] + list(plan.children())
+                 if stats.get(node) is not None]
+        nodes[0].estimated_rows = 1
+        for node in nodes[1:]:
+            node.estimated_rows = stats[node].rows * 100 + 100
+        record_drift_metrics(engine.telemetry.metrics, plan, stats)
+        data = engine.metrics.to_json()
+        series = data["repro_cardinality_misestimates_total"]["series"]
+        directions = {entry["labels"]["direction"] for entry in series}
+        assert "under" in directions
+        assert all(entry["labels"]["operator"] for entry in series)
 
 
 def _run(key, graph, **engine_kwargs):

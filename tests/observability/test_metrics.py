@@ -1,8 +1,9 @@
-"""Metrics registry: series identity, types, and both exports."""
+"""Metrics registry: series identity, types, quantiles, and both
+exports."""
 
 import pytest
 
-from repro.observability import MetricsRegistry
+from repro.observability import SUMMARY_QUANTILES, MetricsRegistry
 
 
 class TestCounters:
@@ -57,6 +58,68 @@ class TestHistograms:
     def test_empty_buckets_rejected(self):
         with pytest.raises(ValueError):
             MetricsRegistry().histogram("ms", buckets=())
+
+
+class TestQuantiles:
+    def test_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(10, 20, 40))
+        for value in (5, 15, 15, 15, 35, 35, 35, 35, 35, 35):
+            histogram.observe(value)
+        # p50 → target 5 of 10; cumulative (10,1) (20,4) (40,10):
+        # 4/10 land in (10,20], the 5th observation is 1/6 into (20,40].
+        assert histogram.quantile(0.1) == pytest.approx(10.0)
+        assert histogram.quantile(0.4) == pytest.approx(20.0)
+        assert histogram.quantile(0.5) == pytest.approx(20 + 20 / 6)
+        assert histogram.quantile(1.0) == pytest.approx(40.0)
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(1, 2))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.summary() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_overflow_clamps_to_highest_finite_bound(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(1, 2))
+        histogram.observe(1000)
+        assert histogram.quantile(0.99) == 2
+
+    def test_out_of_range_rejected(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(1,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_summary_keys_track_configured_quantiles(self):
+        histogram = MetricsRegistry().histogram("ms", buckets=(10,))
+        histogram.observe(5)
+        assert set(histogram.summary()) == {
+            f"p{int(q * 100)}" for q in SUMMARY_QUANTILES}
+
+    def test_prometheus_exposition_includes_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_query_ms", "Latency.",
+                                       buckets=(10, 100))
+        for value in (5, 5, 5, 5, 50):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'repro_query_ms{quantile="0.5"}' in text
+        assert 'repro_query_ms{quantile="0.95"}' in text
+        assert 'repro_query_ms{quantile="0.99"}' in text
+        # Quantile samples sit on the bare family name, after the
+        # histogram series, and only when observations exist.
+        assert text.index("repro_query_ms_count") \
+            < text.index('repro_query_ms{quantile="0.5"}')
+
+    def test_empty_histogram_exposes_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1,))
+        assert "quantile" not in registry.to_prometheus()
+
+    def test_json_export_carries_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(10,)).observe(5)
+        series = registry.to_json()["h"]["series"][0]
+        assert set(series["quantiles"]) == {"p50", "p95", "p99"}
 
 
 class TestPrometheusExport:

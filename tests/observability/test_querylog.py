@@ -1,4 +1,6 @@
-"""Query log ring buffer and slow-query flagging."""
+"""Query log ring buffer, slow-query flagging, and the JSONL sink."""
+
+import json
 
 import pytest
 
@@ -50,3 +52,50 @@ class TestQueryLog:
     def test_zero_size_rejected(self):
         with pytest.raises(ValueError):
             QueryLog(size=0)
+
+    def test_storage_and_error_fields(self):
+        log = QueryLog()
+        entry = log.record("select boom", "error", 1.0,
+                           storage="columnar", error="SchemaError")
+        data = entry.to_dict()
+        assert data["storage"] == "columnar"
+        assert data["error"] == "SchemaError"
+        # Defaults: rows backend, no error.
+        plain = log.record("select 1", "select", 1.0).to_dict()
+        assert plain["storage"] == "rows" and plain["error"] is None
+
+
+class TestJsonlSink:
+    def test_entries_stream_to_disk(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        log = QueryLog(size=2, jsonl_path=str(path))
+        for index in range(4):
+            log.record(f"select {index}", "select", float(index))
+        log.close()
+        lines = path.read_text().splitlines()
+        # The sink outlives the ring: all 4 entries, not just the last 2.
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert [r["sql"] for r in records] == [
+            f"select {i}" for i in range(4)]
+        assert all("storage" in r and "error" in r for r in records)
+
+    def test_rotation_keeps_one_previous_generation(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        log = QueryLog(jsonl_path=str(path), rotate_bytes=300)
+        for index in range(20):
+            log.record(f"select {index}", "select", 1.0)
+        log.close()
+        rotated = tmp_path / "queries.jsonl.1"
+        assert rotated.exists(), "rotation should have produced .1"
+        assert path.stat().st_size <= 300
+        # Both generations hold valid JSONL.
+        for generation in (path, rotated):
+            for line in generation.read_text().splitlines():
+                json.loads(line)
+
+    def test_no_sink_without_path(self, tmp_path):
+        log = QueryLog()
+        log.record("select 1", "select", 1.0)
+        log.close()  # harmless without a sink
+        assert list(tmp_path.iterdir()) == []
