@@ -1,0 +1,65 @@
+"""Partitioned execution vs serial (the parallel PR's acceptance bench).
+
+Runs PageRank, WCC and SSSP on the columnar/batch stack serially and on
+2- and 4-worker pools, asserting byte-identical results and identical
+iteration counts, and refreshes ``BENCH_parallel.json`` at the repo
+root.  Speedup is reported but only asserted when the host has enough
+cores for workers to actually run in parallel — the report's
+``host_cpus`` field records the machine class the numbers came from.
+"""
+
+from __future__ import annotations
+
+from repro.bench.parallel_bench import run_parallel_bench, write_report
+from repro.bench.reporting import format_table
+
+
+def _emit_report(report, emit) -> None:
+    rows = [[r["query"], r["serial_ms"], r["parallel2_ms"],
+             r["parallel4_ms"], f"{r['speedup']:.2f}x",
+             f"{r['speedup_2workers']:.2f}x", r["identical"],
+             r["iterations"]]
+            for r in report["results"]]
+    emit("parallel", format_table(
+        ("query", "serial_ms", "parallel2_ms", "parallel4_ms",
+         "speedup_4w", "speedup_2w", "identical", "iters"), rows,
+        title=f"partitioned vs serial execution ({report['dialect']},"
+              f" n={report['graph']['nodes']},"
+              f" host_cpus={report['host_cpus']})"))
+
+
+def test_parallel_comparison(benchmark, emit):
+    report = benchmark.pedantic(run_parallel_bench, rounds=1,
+                                iterations=1)
+    write_report(report)
+    _emit_report(report, emit)
+    for r in report["results"]:
+        assert r["identical"], (
+            f"{r['query']} partitioned results diverged from serial")
+    if report["host_cpus"] >= report["workers"]:
+        for r in report["results"]:
+            assert r["speedup"] >= 2.0, (
+                f"{r['query']} partitioned speedup {r['speedup']}x"
+                f" under 2x on a {report['host_cpus']}-cpu host")
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        # Small no-report run for CI: exercises the full scatter /
+        # broadcast / gather path on both pool sizes and enforces the
+        # identity contract; wall-clock speedup is not asserted here
+        # (CI containers are typically 1-2 cores, where a speedup is
+        # physically impossible) — the regression gate applies the
+        # host_cpus-aware policy instead.
+        report = run_parallel_bench(scale=0.1, repeats=1)
+        print(json.dumps(report, indent=2))
+        for entry in report["results"]:
+            assert entry["identical"], (
+                f"{entry['query']} partitioned results diverged")
+    else:
+        report = run_parallel_bench()
+        write_report(report)
+        print(json.dumps(report, indent=2))

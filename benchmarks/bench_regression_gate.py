@@ -38,7 +38,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: baseline file -> callable(scale) producing a fresh report of the
 #: same shape (every results[] entry carries `query`, `speedup`,
 #: `identical`).
-SUITES = ("executor", "optimizer", "storage")
+SUITES = ("executor", "optimizer", "storage", "parallel")
 
 
 def _run_suite(name: str, scale: float) -> dict[str, Any]:
@@ -48,6 +48,9 @@ def _run_suite(name: str, scale: float) -> dict[str, Any]:
     if name == "optimizer":
         from repro.bench.optimizer_bench import run_optimizer_bench
         return run_optimizer_bench(scale=scale, repeats=1)
+    if name == "parallel":
+        from repro.bench.parallel_bench import run_parallel_bench
+        return run_parallel_bench(scale=scale, repeats=1)
     from repro.bench.storage_bench import run_storage_bench
     return run_storage_bench(scale=scale, repeats=1)
 
@@ -67,7 +70,16 @@ def compare_suite(name: str, baseline: dict[str, Any],
     measured speedup stayed above ``baseline_speedup * ratio - slack``.
     Queries present only on one side are reported (and fail the gate) so
     a renamed workload can't silently drop out of coverage.
+
+    The parallel suite's speedup is a multiprocessing ratio: it only
+    means anything when the host has at least as many CPUs as the
+    benchmark's worker count, so on smaller hosts the floor check is
+    skipped (result identity — the part that is never hardware-bound —
+    is still enforced).
     """
+    enforce_speedup = True
+    if "host_cpus" in fresh and "workers" in fresh:
+        enforce_speedup = fresh["host_cpus"] >= fresh["workers"]
     fresh_by_query = {r["query"]: r for r in fresh["results"]}
     rows: list[dict[str, Any]] = []
     for entry in baseline["results"]:
@@ -92,6 +104,11 @@ def compare_suite(name: str, baseline: dict[str, Any],
         if not measured["identical"]:
             row.update(status="diverged",
                        detail="fresh run results not identical")
+        elif not enforce_speedup:
+            row.update(status="ok",
+                       detail=(f"speedup floor skipped: host has"
+                               f" {fresh['host_cpus']} cpu(s) for"
+                               f" {fresh['workers']} workers"))
         elif measured["speedup"] < floor:
             row.update(
                 status="regressed",

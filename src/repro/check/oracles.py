@@ -56,23 +56,30 @@ class EngineConfig:
     strategy: str = "full_outer_join"
     telemetry: str = "off"
     storage: str = "rows"
+    parallel: int = 0
 
     def label(self) -> str:
-        return (f"{self.dialect}/{self.executor}/opt={self.optimizer}"
+        text = (f"{self.dialect}/{self.executor}/opt={self.optimizer}"
                 f"/{self.strategy}/telemetry={self.telemetry}"
                 f"/{self.storage}")
+        if self.parallel:
+            text += f"/parallel={self.parallel}"
+        return text
 
     def build_engine(self) -> Engine:
         engine = Engine(dialect=self.dialect, executor=self.executor,
                         optimizer=self.optimizer, telemetry=self.telemetry,
-                        storage=self.storage)
+                        storage=self.storage, parallel=self.parallel)
         engine.union_by_update_strategy = self.strategy
         return engine
 
 
 def default_matrix() -> tuple[EngineConfig, ...]:
-    """The full 64-cell matrix: 4 strategy/dialect pairs x 2 executors
-    x 2 optimizer settings x 2 telemetry settings x 2 storage backends."""
+    """The full 80-cell matrix: 4 strategy/dialect pairs x 2 executors
+    x 2 optimizer settings x 2 telemetry settings x 2 storage backends,
+    plus 16 partitioned-execution cells (parallel=2, telemetry off —
+    telemetry forces serial execution, so parallel x telemetry=on would
+    just duplicate serial cells)."""
     configs = []
     for strategy, dialect in STRATEGY_DIALECTS:
         for executor in ("tuple", "batch"):
@@ -83,6 +90,13 @@ def default_matrix() -> tuple[EngineConfig, ...]:
                             dialect=dialect, executor=executor,
                             optimizer=optimizer, strategy=strategy,
                             telemetry=telemetry, storage=storage))
+    for strategy, dialect in STRATEGY_DIALECTS:
+        for executor in ("tuple", "batch"):
+            for storage in ("rows", "columnar"):
+                configs.append(EngineConfig(
+                    dialect=dialect, executor=executor,
+                    optimizer="off", strategy=strategy,
+                    telemetry="off", storage=storage, parallel=2))
     return tuple(configs)
 
 
@@ -98,7 +112,7 @@ def relevant_matrix(scenario: Scenario,
     out = []
     for config in matrix:
         key = (config.dialect, config.executor, config.optimizer,
-               config.telemetry, config.storage)
+               config.telemetry, config.storage, config.parallel)
         if key in seen:
             continue
         seen.add(key)

@@ -84,7 +84,8 @@ def _load_for(key: str, args,
         graph = random_dag(graph.num_nodes,
                            max(graph.average_degree / 2.0, 0.5),
                            seed=1234, name=f"{graph.name}-dag")
-    return Engine(args.dialect, telemetry=telemetry), graph
+    return Engine(args.dialect, telemetry=telemetry,
+                  parallel=getattr(args, "parallel", 0) or None), graph
 
 
 def _resolve_algorithm(token: str) -> str:
@@ -158,7 +159,8 @@ def cmd_psm(args) -> int:
 
 
 def cmd_query(args) -> int:
-    engine, graph = Engine(args.dialect), load(args.dataset, args.scale)
+    engine = Engine(args.dialect, parallel=args.parallel or None)
+    graph = load(args.dataset, args.scale)
     common.load_graph(engine, graph)
     common.prepare_transition(engine)
     result = engine.execute(args.sql, mode=args.mode)
@@ -234,6 +236,32 @@ def cmd_trace(args) -> int:
         "Storage (per-table maintenance and compression counters)"))
     print()
 
+    if args.parallel and args.parallel >= 2:
+        # Tracing instruments every operator, which forces serial
+        # execution — so the traced run above never touches the pool.
+        # Re-run untraced on a parallel engine and report its health.
+        par_engine = Engine(args.dialect, parallel=args.parallel)
+        par_result = info.run_sql(par_engine, graph)
+        pool = par_engine._parallel_pool
+        if pool is None:
+            print(f"Parallel: requested {args.parallel} workers but the"
+                  " query never engaged the pool (shape ineligible)")
+        else:
+            health = pool.health()
+            jobs = " ".join(f"{kind}x{count}" for kind, count
+                            in sorted(health["jobs"].items())) or "-"
+            busy = " ".join(f"{fraction * 100:.0f}%" for fraction
+                            in health["busy_fraction"])
+            print(format_table(
+                ["workers", "alive", "queue", "sent", "received",
+                 "busy", "jobs"],
+                [[health["workers"], health["alive"],
+                  health["queue_depth"], health["bytes_sent"],
+                  health["bytes_received"], busy, jobs]],
+                f"Parallel (untraced re-run: {par_result.iterations}"
+                f" iterations, pool health)"))
+        print()
+
     print("Spans:")
     for root in engine.tracer.roots:
         _print_span(root)
@@ -262,20 +290,27 @@ def cmd_fuzz(args) -> int:
     from repro.check.oracles import STRATEGY_DIALECTS, EngineConfig
 
     matrix = None
-    if args.executors or args.optimizers or args.telemetry or args.storage:
+    if (args.executors or args.optimizers or args.telemetry
+            or args.storage or args.parallel is not None):
         executors = args.executors or ["tuple", "batch"]
         optimizers = args.optimizers or ["off", "cost"]
         telemetry = args.telemetry or ["off", "on"]
         storages = args.storage or ["rows", "columnar"]
+        parallels = args.parallel if args.parallel is not None else [0]
         matrix = tuple(
             EngineConfig(dialect=dialect, executor=executor,
                          optimizer=optimizer, strategy=strategy,
-                         telemetry=mode, storage=storage)
+                         telemetry=mode, storage=storage,
+                         parallel=parallel)
             for strategy, dialect in STRATEGY_DIALECTS
             for executor in executors
             for optimizer in optimizers
             for mode in telemetry
-            for storage in storages)
+            for storage in storages
+            for parallel in parallels
+            # telemetry instrumentation forces serial execution, so a
+            # parallel x telemetry=on cell would duplicate a serial one
+            if not (parallel and mode == "on"))
     started = time.perf_counter()
     last_tick = [started]
 
@@ -429,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(DATASETS))
         p.add_argument("--scale", type=float, default=0.35)
         p.add_argument("--limit", type=int, default=10)
+        p.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="partitioned execution on N worker processes"
+                            " (0 = serial; also via REPRO_PARALLEL)")
 
     p = sub.add_parser("list", help="algorithms and datasets")
     p.add_argument("--scale", type=float, default=0.35)
@@ -484,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the matrix's telemetry axis")
     p.add_argument("--storage", nargs="*", choices=("rows", "columnar"),
                    help="restrict the matrix's storage axis")
+    p.add_argument("--parallel", nargs="*", type=int, metavar="N",
+                   help="restrict the matrix's parallel axis (worker"
+                        " counts; 0 = serial, e.g. --parallel 0 2)")
     p.add_argument("--no-metamorphic", action="store_true",
                    help="config-matrix comparison only")
     p.add_argument("--regressions-dir", metavar="DIR",

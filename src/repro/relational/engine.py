@@ -38,6 +38,7 @@ from ..observability import (
 from .database import Database
 from .dialects import Dialect, get_dialect
 from .errors import FeatureNotSupportedError, RelationalError
+from .parallel import WorkerPool, record_parallel_metrics, resolve_parallel
 from .physical import (execute_analyzed, explain_plan, instrument,
                        render_analysis)
 from .planner import POLICIES, PlannerPolicy
@@ -114,6 +115,15 @@ class Engine:
         Results are identical across backends; only the physical layout
         — and the batch executor's ability to run block kernels over it
         — differs.
+    parallel:
+        Worker count for partitioned parallel execution (see
+        ``docs/parallel.md``).  ``0``/``1`` stays serial; ``N >= 2``
+        hash-partitions eligible plans across a persistent
+        ``multiprocessing`` worker pool (shared per process and created
+        lazily on the first eligible query).  ``None`` (default) reads
+        the ``REPRO_PARALLEL`` environment variable, then ``0``.
+        Results are byte-identical to serial execution — parallelism
+        changes wall time, never answers or iteration counts.
     """
 
     def __init__(self, dialect: str | Dialect = "oracle",
@@ -121,7 +131,8 @@ class Engine:
                  executor: str = "tuple", optimizer: str = "off",
                  replan_factor: float = 8.0,
                  telemetry: str | bool | Telemetry | None = "off",
-                 storage: str | None = None):
+                 storage: str | None = None,
+                 parallel: int | None = None):
         self.dialect = (dialect if isinstance(dialect, Dialect)
                         else get_dialect(dialect))
         if storage is not None and storage not in ("rows", "columnar"):
@@ -150,6 +161,8 @@ class Engine:
         self.mode = mode
         self._ubu_strategy: str | None = None
         self.temp_indexes: dict[str, Sequence[str]] = {}
+        self.parallel = resolve_parallel(parallel)
+        self._parallel_pool: WorkerPool | None = None
         self.telemetry = resolve_telemetry(telemetry)
         # Planner policies count operator choices into the shared registry.
         self.policy.metrics = self.telemetry.metrics
@@ -176,7 +189,23 @@ class Engine:
         operator metrics.
         """
         record_storage_metrics(self.telemetry.metrics, self.database)
+        if self._parallel_pool is not None:
+            record_parallel_metrics(self.telemetry.metrics,
+                                    self._parallel_pool)
         return self.telemetry.metrics
+
+    def parallel_pool(self) -> WorkerPool | None:
+        """The shared worker pool for this engine's ``parallel`` setting,
+        created lazily on first use (``None`` when running serial).
+
+        This is the *provider* the parallel placement rule and fixpoint
+        driver call only after a query proves eligible — engines with
+        ``parallel=N`` that never run an eligible query never fork."""
+        if self.parallel < 2:
+            return None
+        if self._parallel_pool is None or not self._parallel_pool.usable():
+            self._parallel_pool = WorkerPool.shared(self.parallel)
+        return self._parallel_pool
 
     @property
     def query_log(self):
@@ -260,7 +289,9 @@ class Engine:
             mode=mode or self.mode,
             ubu_strategy=self._ubu_strategy,
             temp_indexes=self.temp_indexes,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            parallel_pool_provider=(self.parallel_pool
+                                    if self.parallel >= 2 else None))
         started = time.perf_counter()
         profiler = self.telemetry.profiler
         with tracer.span("execute") as exec_span:
@@ -299,6 +330,14 @@ class Engine:
         started = time.perf_counter()
         with tracer.span("plan"):
             plan = runner.plan(statement)
+            if self.parallel >= 2 and not observe:
+                # The parallel placement rule.  Skipped when observing:
+                # instrumentation wraps per-operator rows() hooks that a
+                # worker process would not report back.
+                from .parallel.plain import maybe_parallel_plan
+
+                plan = maybe_parallel_plan(plan, self.parallel_pool,
+                                           self.parallel)
         phases["plan"] = (time.perf_counter() - started) * 1000
         started = time.perf_counter()
         with tracer.span("optimize"):

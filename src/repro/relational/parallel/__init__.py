@@ -1,0 +1,52 @@
+"""Partitioned parallel execution over multiprocessing workers.
+
+The subsystem turns the columnar store's sealed morsel blocks into the
+currency of a partitioned executor: tables are hash-partitioned (or
+range-partitioned) into per-partition morsel block sets, shipped to a
+persistent worker pool through ``multiprocessing.shared_memory``
+segments (object columns ride a pickle fallback), and executed
+per-partition with Volcano-style exchange operators — shuffle at setup,
+broadcast for the fixpoint deltas, gather for results.  Results are
+byte-identical to the serial engine by construction: every partitioned
+plan preserves the serial operator's row enumeration order (see
+``docs/parallel.md`` for the ordering argument).
+
+Layering:
+
+``hashing``
+    seed-stable value hashing (``PYTHONHASHSEED``-independent) and
+    partition assignment;
+``shm``
+    codec export/import through shared-memory segments;
+``pool``
+    the persistent fork-based :class:`WorkerPool` with exchange-byte and
+    busy-fraction accounting;
+``spec``
+    physical-plan pattern matching into picklable execution specs;
+``worker``
+    the worker-side evaluator (runs inside pool processes);
+``fixpoint``
+    the parallel union-by-update fixpoint driver;
+``plain``
+    the :class:`GatherExchange` operator and the placement rule for
+    non-recursive statements.
+"""
+
+from .hashing import partition_of, stable_hash
+from .pool import (
+    ParallelError,
+    WorkerPool,
+    parallel_strict,
+    resolve_parallel,
+)
+from .metrics import record_parallel_metrics
+
+__all__ = [
+    "ParallelError",
+    "WorkerPool",
+    "parallel_strict",
+    "partition_of",
+    "record_parallel_metrics",
+    "resolve_parallel",
+    "stable_hash",
+]

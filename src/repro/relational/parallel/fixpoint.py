@@ -1,0 +1,314 @@
+"""The parallel union-by-update fixpoint driver.
+
+Mirrors the serial loop in
+:meth:`repro.relational.recursive.RecursiveExecutor._run_recursive_cte`
+step for step — same snapshot points, same combine call, same iteration
+statistics, same cap checks — but computes each iteration's delta on the
+worker pool:
+
+1. **Setup** (once): compile the branch plan exactly as the serial plan
+   cache would, extract a :class:`~.spec.DeltaSpec`, capture the static
+   inputs, and ship statics + the initial R snapshot to every worker
+   (hash-partitioning statics the ownership trace proved safe,
+   replicating the rest).
+2. **Iterate**: broadcast the previous iteration's *consolidated* delta
+   (workers update their R replicas with the exact
+   ``apply_delta_by_key`` discipline), workers evaluate their partition
+   and return tag-sorted owned groups, and the coordinator merge-sorts
+   the tags back into the serial row order.  The combine step then runs
+   the *real* union-by-update strategy on the real table, so results,
+   counts and convergence decisions are the serial code's own.
+
+Degradation: infrastructure failures (:class:`~.pool.ParallelError`)
+switch the remaining iterations to serial execution of the same cached
+plan — unless ``REPRO_PARALLEL_STRICT`` asks them to raise.  A *semantic*
+worker error (the query itself raising) also replays the iteration
+serially, which reproduces the exact serial exception — workers evaluate
+subsets of the serial stream, so error *ordering* across partitions
+cannot otherwise be trusted to match the serial engine's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any
+
+from ..errors import RecursionLimitError
+from ..recursive import (
+    DEFAULT_RECURSION_CAP,
+    DEFAULT_ROW_CAP,
+    IterationStat,
+    _branch_is_plan_cacheable,
+    split_branches,
+)
+from ..relation import Relation
+from ..sql.ast import UnionKind
+from ..sql.compiler import QueryRunner
+from ..strategies import consolidate_delta
+from .hashing import partition_of
+from .pool import ParallelError, parallel_strict
+from .shm import Shipment, ship_rows
+from .spec import ExtractError, extract_delta_spec
+
+_qid_counter = 0
+
+
+def _next_qid() -> int:
+    global _qid_counter
+    _qid_counter += 1
+    return _qid_counter
+
+
+def _eligible(cte: Any) -> Any | None:
+    """The single recursive branch when *cte* fits the parallel shape."""
+    if cte.union_kind is not UnionKind.UNION_BY_UPDATE:
+        return None
+    if not cte.update_key:
+        return None  # keyless UBU replaces wholesale; no delta merge
+    initial, recursive = split_branches(cte)
+    if len(recursive) != 1:
+        return None
+    branch = recursive[0]
+    if branch.computed_by:
+        return None
+    if not _branch_is_plan_cacheable(branch):
+        return None
+    return branch
+
+
+def _partition_statics(spec: Any, static_rows: dict[int, list],
+                       nworkers: int) -> dict[int, list[tuple[list, list]]]:
+    """Per-worker ``(rows, seqs)`` for every static input.
+
+    Statics with a proven ownership column are hash-partitioned on it;
+    the rest are replicated (same rows, full sequence range)."""
+    owner_columns: dict[int, int] = {}
+    for leaf in spec.leaves:
+        if leaf.owner_static is not None:
+            sid, column = leaf.owner_static
+            owner_columns[sid] = column
+    shipments: dict[int, list[tuple[list, list]]] = {}
+    for sid, rows in static_rows.items():
+        column = owner_columns.get(sid)
+        if column is None:
+            full = (rows, list(range(len(rows))))
+            shipments[sid] = [full] * nworkers
+            continue
+        parts: list[tuple[list, list]] = [([], []) for _ in range(nworkers)]
+        for seq, row in enumerate(rows):
+            target = parts[partition_of(row[column], nworkers)]
+            target[0].append(row)
+            target[1].append(seq)
+        shipments[sid] = parts
+    return shipments
+
+
+def try_parallel_fixpoint(executor: Any, cte: Any,
+                          bindings: dict[str, Relation],
+                          stats: Any, table: Any) -> Relation | None:
+    """Run the fixpoint loop of *cte* on the worker pool.
+
+    Returns the final relation, or ``None`` when the query is not
+    eligible / the pool is unavailable — the caller then falls through to
+    the untouched serial loop (the table has not been mutated)."""
+    branch = _eligible(cte)
+    if branch is None:
+        return None
+    provider = getattr(executor, "parallel_pool_provider", None)
+    if provider is None:
+        return None
+
+    rname = cte.name.lower()
+    snapshot0 = table.snapshot()
+    branch_slots: dict[str, Relation] = {rname: snapshot0}
+    runner = QueryRunner(executor.database, executor.policy, bindings,
+                         live_slots=branch_slots)
+    compile_started = time.perf_counter()
+    try:
+        plan = runner.plan(branch.statement)
+    except Exception:
+        return None  # let the serial path compile (and report) itself
+    compile_seconds = time.perf_counter() - compile_started
+    try:
+        spec, static_nodes = extract_delta_spec(plan, rname)
+    except ExtractError:
+        # Shape ineligibility falls back silently even under strict mode
+        # (strict governs environmental failures, not plan shapes).
+        return None
+    try:
+        pool = provider()
+    except Exception:
+        if parallel_strict():
+            raise
+        return None
+    if pool is None:
+        return None
+
+    # Committed: from here the loop either completes or degrades in ways
+    # that still mirror the serial engine exactly.
+    executor.plan_seconds += compile_seconds
+    qid = _next_qid()
+    nworkers = pool.nworkers
+    arity = table.schema.arity
+    key_positions = [table.schema.index_of(k) for k in cte.update_key]
+    sql_types = [c.sql_type for c in table.schema.columns]
+
+    static_rows = {sid: list(node.rows())
+                   for sid, node in static_nodes.items()}
+    partitioned = _partition_statics(spec, static_rows, nworkers)
+
+    shipments: list[Shipment] = []
+    try:
+        replica_ship = ship_rows(list(snapshot0.rows), arity)
+        shipments.append(replica_ship)
+        payloads = []
+        shm_bytes = replica_ship.shm_bytes
+        static_payloads: dict[int, list[dict]] = {}
+        for sid, parts in partitioned.items():
+            per_worker = []
+            replicated = all(part is parts[0] for part in parts)
+            for part_rows, part_seqs in (parts[:1] if replicated
+                                         else parts):
+                ship = ship_rows(part_rows, spec_static_arity(spec, sid),
+                                 seqs=part_seqs)
+                shipments.append(ship)
+                shm_bytes += ship.shm_bytes
+                per_worker.append(ship.payload)
+            if replicated:
+                per_worker = per_worker * nworkers
+            static_payloads[sid] = per_worker
+        for worker_id in range(nworkers):
+            payloads.append({
+                "qid": qid,
+                "spec": spec,
+                "statics": {sid: per_worker[worker_id]
+                            for sid, per_worker in static_payloads.items()},
+                "r": replica_ship.payload,
+                "key_positions": key_positions,
+                "sql_types": sql_types,
+            })
+        pool.scatter("fix_setup", payloads, extra_bytes=shm_bytes)
+    except ParallelError:
+        if parallel_strict():
+            raise
+        return None
+    finally:
+        for ship in shipments:
+            ship.release()
+
+    limit = cte.maxrecursion
+    cap = limit if limit is not None else DEFAULT_RECURSION_CAP
+    iteration = 0
+    hit_limit = False
+    serial_mode = False
+    pending_delta: Shipment | None = None
+    try:
+        while True:
+            if iteration >= cap:
+                if limit is None:
+                    raise RecursionLimitError(cap)
+                hit_limit = True
+                break
+            iteration += 1
+            started = time.perf_counter()
+            snapshot = table.snapshot()
+            branch_slots[rname] = snapshot
+            branch_started = time.perf_counter()
+            if serial_mode:
+                delta = plan.execute()
+            else:
+                try:
+                    payload = {"qid": qid,
+                               "delta": (pending_delta.payload
+                                         if pending_delta is not None
+                                         else None)}
+                    extra = (pending_delta.shm_bytes
+                             if pending_delta is not None else 0)
+                    replies = pool.broadcast("fix_iter", payload,
+                                             extra_bytes=extra)
+                    merged = heapq.merge(*replies)
+                    delta = Relation(plan.schema,
+                                     [row for _, row in merged])
+                except ParallelError:
+                    if parallel_strict():
+                        raise
+                    serial_mode = True
+                    delta = plan.execute()
+                except Exception:
+                    # Semantic worker failure: replay serially so the
+                    # exception (and its ordering) is exactly serial.
+                    serial_mode = True
+                    delta = plan.execute()
+                finally:
+                    if pending_delta is not None:
+                        pending_delta.release()
+                        pending_delta = None
+            branch_elapsed = time.perf_counter() - branch_started
+            if iteration == 1:
+                stats.plans_compiled += 1
+            else:
+                stats.plan_cache_hits += 1
+            # Consolidate before combine: the combine consolidates
+            # internally anyway, so a duplicate-key ConstraintError fires
+            # here with the same message, before any table mutation —
+            # exactly when the serial path would raise it.
+            aligned = delta.rename_columns(table.schema.names) \
+                if delta.schema.arity == table.schema.arity else delta
+            consolidated = consolidate_delta(aligned, cte.update_key)
+            changed, _working, counts = executor._combine(
+                cte, table, snapshot, [delta])
+            table = executor.database.table(cte.name)
+            elapsed = time.perf_counter() - started
+            delta_rows = len(delta)
+            stats.per_iteration.append(IterationStat(
+                iteration=iteration,
+                delta_rows=delta_rows,
+                total_rows=len(table),
+                seconds=elapsed,
+                inserted=counts.inserted,
+                overwritten=counts.overwritten,
+                pruned=max(0, delta_rows - counts.inserted
+                           - counts.overwritten),
+                antijoin_pruned=0,
+                branch_seconds=(branch_elapsed,)))
+            if len(table) > DEFAULT_ROW_CAP:
+                raise RecursionLimitError(DEFAULT_ROW_CAP)
+            if not changed:
+                break
+            if not serial_mode:
+                pending_delta = ship_rows(list(consolidated.rows), arity)
+    finally:
+        if pending_delta is not None:
+            pending_delta.release()
+        try:
+            if pool.usable():
+                pool.broadcast("fix_teardown", {"qid": qid})
+        except Exception:
+            pass
+    stats.iterations = iteration
+    stats.hit_maxrecursion = hit_limit
+    return table.snapshot()
+
+
+def spec_static_arity(spec: Any, sid: int) -> int:
+    """Arity of static input *sid* (found on its scan node in the spec)."""
+    from .spec import FilterSpec, JoinSpec, ProjectSpec, ScanSpec
+
+    def walk(tree: Any) -> int | None:
+        if isinstance(tree, ScanSpec):
+            if tree.source == "static" and tree.sid == sid:
+                return tree.arity
+            return None
+        if isinstance(tree, (FilterSpec, ProjectSpec)):
+            return walk(tree.child)
+        if isinstance(tree, JoinSpec):
+            found = walk(tree.left)
+            return found if found is not None else walk(tree.right)
+        return None
+
+    for leaf in spec.leaves:
+        found = walk(leaf.tree)
+        if found is not None:
+            return found
+    raise KeyError(sid)

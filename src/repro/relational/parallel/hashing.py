@@ -1,0 +1,66 @@
+"""Seed-stable hashing for partition assignment.
+
+``hash()`` on strings (and anything containing them) is salted per
+interpreter via ``PYTHONHASHSEED``, so partition assignment built on it
+would shuffle rows differently across coordinator restarts — poison for
+a byte-identity contract and for any debugging session that tries to
+reproduce a worker's slice.  :func:`stable_hash` instead CRC-32s a
+type-tagged byte rendering of the value, which is identical across
+interpreters, platforms and restarts.
+
+Partitioning must also respect SQL grouping semantics: Python dicts put
+``True``, ``1`` and ``1.0`` into one group, so all three must land on
+the same partition or a partitioned aggregation would split a serial
+group.  Numeric values are therefore hashed by *value* (integral floats
+as their integer, ``-0.0`` as ``0``), not by type.  NaN never equals
+anything (each NaN object is its own group), so any fixed bucket keeps
+all-NaN groups co-located and correct.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import zlib
+from typing import Any
+
+_NONE = b"\x00N"
+_NAN = b"\x00F"
+
+
+def _tag_bytes(value: Any) -> bytes:
+    if value is None:
+        return _NONE
+    # bool before int would be redundant: bool IS an int subclass and we
+    # hash by numeric value on purpose (True groups with 1 and 1.0).
+    if isinstance(value, int):
+        return b"i" + str(int(value)).encode("ascii")
+    if isinstance(value, float):
+        if math.isnan(value):
+            return _NAN
+        if value.is_integer():  # 2.0 groups with 2; -0.0 with 0
+            return b"i" + str(int(value)).encode("ascii")
+        return b"f" + struct.pack("<d", value)
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8", "surrogatepass")
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, tuple):
+        out = [b"t", str(len(value)).encode("ascii")]
+        for item in value:
+            piece = _tag_bytes(item)
+            out.append(str(len(piece)).encode("ascii") + b":")
+            out.append(piece)
+        return b"".join(out)
+    # Anything else (Decimal, date, ...) — repr is stable within a value.
+    return b"r" + repr(value).encode("utf-8", "surrogatepass")
+
+
+def stable_hash(value: Any) -> int:
+    """A 32-bit hash of *value* that is stable across interpreter runs."""
+    return zlib.crc32(_tag_bytes(value))
+
+
+def partition_of(value: Any, partitions: int) -> int:
+    """Partition index of *value* among ``partitions`` buckets."""
+    return zlib.crc32(_tag_bytes(value)) % partitions

@@ -1,0 +1,53 @@
+"""Worker-pool health exported through the metrics registry.
+
+Follows the storage-metrics convention (`record_storage_metrics`): the
+pool keeps cumulative counters as plain attributes, and collection
+copies the current values into labelled gauges with ``set`` so
+re-collection is idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def record_parallel_metrics(metrics: Any, pool: Any) -> None:
+    """Snapshot *pool* health into gauges on *metrics*.
+
+    Exposes: workers configured/alive, coordinator-side queue depth,
+    exchange bytes in both directions, completed jobs by kind, and the
+    per-worker busy fraction since pool start.
+    """
+    health = pool.health()
+    metrics.gauge(
+        "repro_parallel_workers",
+        "Worker pool size by state (configured vs. currently alive).",
+        state="configured").set(health["workers"])
+    metrics.gauge(
+        "repro_parallel_workers",
+        "Worker pool size by state (configured vs. currently alive).",
+        state="alive").set(health["alive"])
+    metrics.gauge(
+        "repro_parallel_queue_depth",
+        "Jobs dispatched to workers and not yet acknowledged.",
+        ).set(health["queue_depth"])
+    metrics.gauge(
+        "repro_parallel_exchange_bytes",
+        "Cumulative exchange bytes (messages plus shared-memory"
+        " segments) by direction.",
+        direction="sent").set(health["bytes_sent"])
+    metrics.gauge(
+        "repro_parallel_exchange_bytes",
+        "Cumulative exchange bytes (messages plus shared-memory"
+        " segments) by direction.",
+        direction="received").set(health["bytes_received"])
+    for kind, count in sorted(health["jobs"].items()):
+        metrics.gauge(
+            "repro_parallel_jobs",
+            "Completed worker jobs by job kind.",
+            kind=kind).set(count)
+    for worker_id, fraction in enumerate(health["busy_fraction"]):
+        metrics.gauge(
+            "repro_parallel_worker_busy_fraction",
+            "Fraction of pool uptime each worker spent executing jobs.",
+            worker=str(worker_id)).set(round(fraction, 6))

@@ -1,0 +1,217 @@
+"""Parallel placement for plain (non-recursive) statements.
+
+:func:`maybe_parallel_plan` is the optimizer's placement rule: it
+pattern-matches the compiled serial plan and, when a partitionable shape
+is found *and* the cost model favours fan-out, wraps the plan root in a
+:class:`GatherExchange`.  Two shapes are recognised:
+
+* **chain** — Filter/Project chains over a single scan.  The scan's rows
+  are split into contiguous ranges; concatenating worker outputs in
+  worker order reproduces the serial enumeration exactly.
+* **aggregate** — the grouped-aggregate shape shared with the fixpoint
+  path (hash-partitioned by group ownership, merged by rank tags).
+
+The cost rule is deliberately simple and observable: fan-out wins when
+the projected per-row evaluation savings exceed the per-row exchange
+cost plus the fixed dispatch overhead.  ``REPRO_PARALLEL_MIN_ROWS``
+overrides the resulting break-even input size (default
+:data:`MIN_PARALLEL_ROWS`); either way the decision is made per
+execution from the *actual* input cardinality, not an estimate.
+
+Failure semantics match the fixpoint driver: infrastructure errors fall
+back to serial execution (unless strict), and semantic worker errors
+replay the child serially so the raised exception is exactly the serial
+one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Any, Iterator
+
+from ..physical.base import PhysicalOperator
+from .pool import ParallelError, parallel_strict
+from .shm import ship_rows
+from .spec import (
+    ChainSpec,
+    ExtractError,
+    extract_chain_spec,
+    extract_delta_spec,
+)
+
+#: Default break-even input size for fan-out.  Below this the fixed
+#: dispatch cost (queue round-trip + payload encode) dominates any
+#: per-row savings.
+MIN_PARALLEL_ROWS = 10_000
+
+
+def min_parallel_rows() -> int:
+    raw = os.environ.get("REPRO_PARALLEL_MIN_ROWS", "")
+    if raw:
+        try:
+            return max(int(raw), 0)
+        except ValueError:
+            pass
+    return MIN_PARALLEL_ROWS
+
+
+def parallel_wins(rows: int, nworkers: int) -> bool:
+    """The placement cost rule: does fan-out beat serial for this input?
+
+    Serial cost ~ ``rows``; parallel cost ~ ``rows / nworkers`` compute
+    plus an exchange term proportional to rows and a fixed dispatch
+    overhead expressed in row-equivalents (folded into the break-even
+    row count)."""
+    if nworkers < 2:
+        return False
+    break_even = min_parallel_rows()
+    savings = rows * (1.0 - 1.0 / nworkers)
+    exchange = rows * 0.25  # ship + decode, in per-row cost units
+    return rows >= break_even and savings > exchange
+
+
+class GatherExchange(PhysicalOperator):
+    """Root exchange: fan the child out to the pool, gather in order."""
+
+    label = "Gather Exchange"
+
+    def __init__(self, child: PhysicalOperator, pool_provider, mode: str,
+                 spec: Any, source: Any, nworkers: int):
+        self.child = child
+        self._provider = pool_provider
+        self.mode = mode  # "chain" | "aggregate"
+        self.spec = spec
+        self.source = source  # the chain shape's scan node (else None)
+        #: configured worker count — lets the cost rule run *before* the
+        #: pool provider is called, so losing queries never fork a pool.
+        self.nworkers = nworkers
+
+    @property
+    def schema(self):
+        return self.child.schema
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def detail(self) -> str:
+        return self.mode
+
+    def rows(self) -> Iterator[tuple]:
+        try:
+            result = self._parallel_rows()
+        except ParallelError:
+            if parallel_strict():
+                raise
+            result = None
+        except ExtractError:
+            result = None
+        except Exception:
+            # Semantic worker error: the serial replay reproduces the
+            # exact serial exception (workers evaluate subsets of the
+            # serial stream, so their error order is not authoritative).
+            result = None
+        if result is None:
+            return self.child.rows()
+        return iter(result)
+
+    def _parallel_rows(self) -> list | None:
+        if self.mode == "chain":
+            return self._run_chain()
+        return self._run_aggregate()
+
+    def _pool(self):
+        pool = self._provider()
+        if pool is None:
+            raise ParallelError("parallel pool unavailable")
+        return pool
+
+    def _run_chain(self) -> list | None:
+        rows = list(self.source.rows())
+        if not parallel_wins(len(rows), self.nworkers):
+            return None
+        pool = self._pool()
+        spec: ChainSpec = self.spec
+        quotient, remainder = divmod(len(rows), pool.nworkers)
+        shipments = []
+        try:
+            payloads = []
+            shm_bytes = 0
+            start = 0
+            for worker_id in range(pool.nworkers):
+                size = quotient + (1 if worker_id < remainder else 0)
+                ship = ship_rows(rows[start:start + size], spec.arity)
+                start += size
+                shipments.append(ship)
+                shm_bytes += ship.shm_bytes
+                payloads.append({"spec": spec, "slice": ship.payload})
+            replies = pool.scatter("chain_exec", payloads,
+                                   extra_bytes=shm_bytes)
+        finally:
+            for ship in shipments:
+                ship.release()
+        out: list = []
+        for reply in replies:
+            out.extend(reply)
+        return out
+
+    def _run_aggregate(self) -> list | None:
+        spec, static_nodes = self.spec
+        static_rows = {sid: list(node.rows())
+                       for sid, node in static_nodes.items()}
+        total = sum(len(rows) for rows in static_rows.values())
+        if not parallel_wins(total, self.nworkers):
+            return None
+        pool = self._pool()
+        from .fixpoint import _partition_statics, spec_static_arity
+
+        partitioned = _partition_statics(spec, static_rows, pool.nworkers)
+        shipments = []
+        try:
+            static_payloads: dict[int, list[dict]] = {}
+            shm_bytes = 0
+            for sid, parts in partitioned.items():
+                replicated = all(part is parts[0] for part in parts)
+                per_worker = []
+                for part_rows, part_seqs in (parts[:1] if replicated
+                                             else parts):
+                    ship = ship_rows(part_rows,
+                                     spec_static_arity(spec, sid),
+                                     seqs=part_seqs)
+                    shipments.append(ship)
+                    shm_bytes += ship.shm_bytes
+                    per_worker.append(ship.payload)
+                if replicated:
+                    per_worker = per_worker * pool.nworkers
+                static_payloads[sid] = per_worker
+            payloads = [{"spec": spec,
+                         "statics": {sid: per_worker[worker_id]
+                                     for sid, per_worker
+                                     in static_payloads.items()}}
+                        for worker_id in range(pool.nworkers)]
+            replies = pool.scatter("agg_exec", payloads,
+                                   extra_bytes=shm_bytes)
+        finally:
+            for ship in shipments:
+                ship.release()
+        return [row for _, row in heapq.merge(*replies)]
+
+
+def maybe_parallel_plan(plan: PhysicalOperator, pool_provider,
+                        nworkers: int) -> PhysicalOperator:
+    """The placement rule: wrap *plan* in a :class:`GatherExchange` when
+    it matches a partitionable shape.  The cost decision happens at
+    execution time against actual input cardinality."""
+    try:
+        chain, source = extract_chain_spec(plan)
+        return GatherExchange(plan, pool_provider, "chain", chain,
+                              source, nworkers)
+    except ExtractError:
+        pass
+    try:
+        rname = "\x00never-a-relation-name"
+        spec, static_nodes = extract_delta_spec(plan, rname)
+        return GatherExchange(plan, pool_provider, "aggregate",
+                              (spec, static_nodes), None, nworkers)
+    except ExtractError:
+        return plan

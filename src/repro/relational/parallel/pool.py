@@ -1,0 +1,261 @@
+"""The persistent multiprocessing worker pool.
+
+One pool serves many engines: :meth:`WorkerPool.shared` keeps a lazy
+per-size registry so the differential fuzzer's hundreds of short-lived
+engines reuse one set of processes instead of forking per scenario.
+Workers are forked daemons, each with a private job queue and a shared
+reply queue; jobs and replies are pre-pickled to bytes on the sending
+side so the pool's exchange-byte counters are exact, not estimates.
+
+Error contract: a worker exception is shipped back pickled and
+**re-raised in the coordinator with its original type** whenever the
+exception object survives pickling.  That keeps outcome parity with the
+serial engine — a query that raises ``ConstraintError`` serially raises
+``ConstraintError`` under ``parallel=N`` too, which the differential
+fuzzer's outcome comparison depends on.  Infrastructure failures (dead
+worker, queue timeout) raise :class:`ParallelError` instead; callers
+fall back to serial execution unless ``REPRO_PARALLEL_STRICT`` is set.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+import traceback
+from typing import Any
+
+#: Generous per-job wall timeout — parallel jobs are loop iterations and
+#: bench workloads, not user-facing RPCs.  A worker that blows this is
+#: treated as dead.
+JOB_TIMEOUT_S = 600.0
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+class ParallelError(RuntimeError):
+    """Parallel infrastructure failure (worker death, timeout, setup)."""
+
+
+def parallel_strict() -> bool:
+    """True when silent serial fallback is disabled (test/debug mode)."""
+    return os.environ.get("REPRO_PARALLEL_STRICT", "") not in ("", "0")
+
+
+def resolve_parallel(parallel: int | None) -> int:
+    """Engine ``parallel=`` resolution: explicit value, else the
+    ``REPRO_PARALLEL`` environment default, else 0 (serial)."""
+    if parallel is None:
+        raw = os.environ.get("REPRO_PARALLEL", "0")
+        try:
+            parallel = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PARALLEL must be an integer, not {raw!r}") from None
+    if parallel < 0:
+        raise ValueError(f"parallel must be >= 0, not {parallel}")
+    return parallel
+
+
+def _freeze_error(exc: BaseException) -> tuple:
+    """A reply-safe rendering of *exc*: the pickled exception when
+    possible (for exact re-raise), else its text."""
+    try:
+        return ("pickled", pickle.dumps(exc, protocol=_PROTO))
+    except Exception:
+        return ("text", type(exc).__name__,
+                f"{exc}\n{traceback.format_exc()}")
+
+
+def _worker_main(worker_id: int, nworkers: int, inq, outq) -> None:
+    """Worker process body: a dispatch loop over pre-pickled jobs."""
+    from . import worker as handlers
+
+    state = handlers.WorkerState(worker_id, nworkers)
+    busy = 0.0
+    while True:
+        message = inq.get()
+        if message is None:
+            break
+        job_id, kind, payload = pickle.loads(message)
+        started = time.perf_counter()
+        try:
+            result = handlers.dispatch(state, kind, payload)
+            busy += time.perf_counter() - started
+            reply = (job_id, worker_id, True, result, busy)
+        except BaseException as exc:  # noqa: BLE001 — shipped, not hidden
+            busy += time.perf_counter() - started
+            reply = (job_id, worker_id, False, _freeze_error(exc), busy)
+        outq.put(pickle.dumps(reply, protocol=_PROTO))
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent worker processes."""
+
+    #: size -> pool, for :meth:`shared`
+    _registry: dict[int, "WorkerPool"] = {}
+
+    def __init__(self, nworkers: int):
+        import multiprocessing as mp
+
+        if nworkers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else None)
+        self.nworkers = nworkers
+        self._inqs = [context.Queue() for _ in range(nworkers)]
+        self._outq = context.Queue()
+        self._processes = []
+        for worker_id in range(nworkers):
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, nworkers, self._inqs[worker_id],
+                      self._outq),
+                daemon=True, name=f"repro-parallel-{worker_id}")
+            process.start()
+            self._processes.append(process)
+        self._job_counter = 0
+        self._pending = 0
+        self.closed = False
+        self.started_at = time.perf_counter()
+        #: exchange accounting (exact: sizes of the pickled messages plus
+        #: any shared-memory segment bytes the caller reports)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: jobs completed, by job kind
+        self.jobs_by_kind: dict[str, int] = {}
+        #: last reported cumulative busy seconds per worker
+        self.busy_seconds = [0.0] * nworkers
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def shared(cls, nworkers: int) -> "WorkerPool":
+        """The process-wide pool of the given size (lazily created,
+        recreated if its workers died)."""
+        pool = cls._registry.get(nworkers)
+        if pool is None or not pool.usable():
+            pool = cls(nworkers)
+            cls._registry[nworkers] = pool
+        return pool
+
+    @classmethod
+    def close_all(cls) -> None:
+        for pool in list(cls._registry.values()):
+            pool.close()
+        cls._registry.clear()
+
+    def usable(self) -> bool:
+        return (not self.closed
+                and all(p.is_alive() for p in self._processes))
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for inq in self._inqs:
+            try:
+                inq.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.time() + 2.0
+        for process in self._processes:
+            process.join(timeout=max(deadline - time.time(), 0.1))
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+
+    # -- job submission ----------------------------------------------------
+
+    def broadcast(self, kind: str, payload: Any,
+                  extra_bytes: int = 0) -> list[Any]:
+        """Run the same job on every worker; results in worker order.
+
+        The payload is pickled once; ``extra_bytes`` reports
+        shared-memory bytes that ride outside the message (for the
+        exchange counters)."""
+        if not self.usable():
+            raise ParallelError("worker pool is closed or degraded")
+        self._job_counter += 1
+        job_id = self._job_counter
+        message = pickle.dumps((job_id, kind, payload), protocol=_PROTO)
+        self.bytes_sent += (len(message)) * self.nworkers + extra_bytes
+        for inq in self._inqs:
+            inq.put(message)
+        self._pending += self.nworkers
+        return self._collect(job_id, kind, self.nworkers)
+
+    def scatter(self, kind: str, payloads: list[Any],
+                extra_bytes: int = 0) -> list[Any]:
+        """Run one job per worker with per-worker payloads."""
+        if len(payloads) != self.nworkers:
+            raise ValueError("scatter needs one payload per worker")
+        if not self.usable():
+            raise ParallelError("worker pool is closed or degraded")
+        self._job_counter += 1
+        job_id = self._job_counter
+        for worker_id, payload in enumerate(payloads):
+            message = pickle.dumps((job_id, kind, payload),
+                                   protocol=_PROTO)
+            self.bytes_sent += len(message)
+            self._inqs[worker_id].put(message)
+        self.bytes_sent += extra_bytes
+        self._pending += self.nworkers
+        return self._collect(job_id, kind, self.nworkers)
+
+    def _collect(self, job_id: int, kind: str, expected: int) -> list[Any]:
+        import queue as queue_module
+
+        results: dict[int, Any] = {}
+        failure: tuple | None = None
+        received = 0
+        while received < expected:
+            try:
+                raw = self._outq.get(timeout=JOB_TIMEOUT_S)
+            except queue_module.Empty:
+                self._pending -= expected - received
+                raise ParallelError(
+                    f"timed out waiting for {kind} replies"
+                    f" ({received}/{expected} received)") from None
+            self.bytes_received += len(raw)
+            got_job, worker_id, ok, result, busy = pickle.loads(raw)
+            if got_job != job_id:  # pragma: no cover - stale reply
+                continue
+            received += 1
+            self._pending -= 1
+            self.busy_seconds[worker_id] = busy
+            if ok:
+                results[worker_id] = result
+            elif failure is None:
+                failure = result
+        self.jobs_by_kind[kind] = self.jobs_by_kind.get(kind, 0) + expected
+        if failure is not None:
+            self._raise_worker_error(kind, failure)
+        return [results[i] for i in range(expected)]
+
+    @staticmethod
+    def _raise_worker_error(kind: str, failure: tuple) -> None:
+        if failure[0] == "pickled":
+            raise pickle.loads(failure[1])
+        raise ParallelError(
+            f"worker failed during {kind}: {failure[1]}: {failure[2]}")
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Pool health snapshot for ``/metrics`` and ``repro trace``."""
+        uptime = max(time.perf_counter() - self.started_at, 1e-9)
+        return {
+            "workers": self.nworkers,
+            "alive": sum(p.is_alive() for p in self._processes),
+            "queue_depth": max(self._pending, 0),
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "jobs": dict(self.jobs_by_kind),
+            "uptime_s": uptime,
+            "busy_fraction": [min(busy / uptime, 1.0)
+                              for busy in self.busy_seconds],
+        }
+
+
+atexit.register(WorkerPool.close_all)

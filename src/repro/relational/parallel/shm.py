@@ -1,0 +1,269 @@
+"""Shipping row sets between processes through shared memory.
+
+A shipment re-encodes its rows column-major into 2048-row morsels with
+the columnar store's codecs (:mod:`repro.relational.columnar.encodings`)
+and lays every fixed-width buffer — typed arrays and null bitmaps — into
+one ``multiprocessing.shared_memory`` segment.  The *descriptor* that
+travels over the worker queue is then tiny: codec names, offsets and
+scalar fields, plus the object-valued codec fields (``PlainColumn``
+values, dictionary/RLE value tables) which cannot live in a flat buffer
+and ride the descriptor as ordinary pickles — the "pickle fallback".
+Small shipments skip shared memory entirely: for a few hundred rows the
+pickle of the rows beats a segment round-trip.
+
+Lifecycle: the coordinator keeps the segment handles on the
+:class:`Shipment` and unlinks them once the workers acknowledge the
+message (workers copy out of the segment and detach immediately, so no
+cross-process refcounting is needed).  Workers attach without resource
+tracking — the coordinator owns the segment's lifetime.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import Any, Sequence
+
+from ..columnar.encodings import (
+    ColumnCodec,
+    DeltaColumn,
+    DictionaryColumn,
+    FloatColumn,
+    ForColumn,
+    IntColumn,
+    PlainColumn,
+    RLEColumn,
+    encode_column,
+)
+
+#: Rows per encoded morsel — matches the columnar store's sealed blocks.
+MORSEL_ROWS = 2048
+
+#: Below this row count a shipment pickles its rows directly; the codec
+#: + segment machinery only pays off once buffers are non-trivial.
+SHM_MIN_ROWS = 256
+
+#: field classification per codec name (see encodings.py)
+_ARRAY_FIELDS = {"int64": ("data",), "float64": ("data",),
+                 "for": ("offsets",), "delta": ("deltas",),
+                 "rle": ("run_lengths",), "dictionary": ("codes",)}
+_BYTES_FIELDS = {"int64": ("nulls",), "float64": ("nulls",),
+                 "for": ("nulls",)}
+_SCALAR_FIELDS = {"for": ("base",), "delta": ("first",)}
+_OBJECT_FIELDS = {"plain": ("values",), "rle": ("run_values",),
+                  "dictionary": ("values",)}
+
+_BUILDERS = {
+    "plain": lambda f: PlainColumn(f["values"]),
+    "int64": lambda f: IntColumn(f["data"], f["nulls"]),
+    "float64": lambda f: FloatColumn(f["data"], f["nulls"]),
+    "for": lambda f: ForColumn(f["base"], f["offsets"], f["nulls"]),
+    "delta": lambda f: DeltaColumn(f["first"], f["deltas"]),
+    "rle": lambda f: RLEColumn(f["run_values"], f["run_lengths"]),
+    "dictionary": lambda f: DictionaryColumn(f["codes"], f["values"]),
+}
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without registering it with the
+    resource tracker (the coordinator owns unlinking).  Before Python
+    3.13 there is no ``track=False``; registering and then unregistering
+    is not equivalent — forked workers share the coordinator's tracker
+    process, whose name cache is a set, so the duplicate registration
+    collapses and the second unregister (worker's, after the
+    coordinator's unlink) crashes the tracker loop with a KeyError.
+    Suppressing the register call entirely avoids the race."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        try:
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+        except AttributeError:  # pragma: no cover - tracker moved
+            return shared_memory.SharedMemory(name=name)
+
+
+class Shipment:
+    """A picklable payload plus the coordinator-side segment handles."""
+
+    def __init__(self, payload: dict, segments: list):
+        self.payload = payload
+        self._segments = segments
+
+    @property
+    def uses_shm(self) -> bool:
+        return bool(self._segments)
+
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes riding in shared segments (exchange accounting)."""
+        return sum(segment.size for segment in self._segments)
+
+    def release(self) -> None:
+        """Unlink the backing segments (call once workers have copied)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double release
+                pass
+        self._segments = []
+
+
+def export_blocks(blocks: Sequence[tuple[int, Sequence[ColumnCodec]]]
+                  ) -> tuple[dict, list]:
+    """Lay encoded blocks into one shared segment.
+
+    Returns ``(descriptor, segments)``; the descriptor is picklable and
+    self-contained apart from the named segment.  With no fixed-width
+    buffers at all (pure object columns) no segment is created.
+    """
+    from multiprocessing import shared_memory
+
+    buffers: list[bytes] = []
+    offset = 0
+    block_specs = []
+    for count, columns in blocks:
+        column_specs = []
+        for column in columns:
+            name = column.name
+            spec: dict[str, Any] = {"codec": name, "arrays": [],
+                                    "bytes": [], "scalars": {},
+                                    "objects": {}}
+            for field in _ARRAY_FIELDS.get(name, ()):
+                arr: array = getattr(column, field)
+                raw = arr.tobytes()
+                spec["arrays"].append((field, arr.typecode, offset,
+                                       len(raw)))
+                buffers.append(raw)
+                offset += len(raw)
+            for field in _BYTES_FIELDS.get(name, ()):
+                raw = getattr(column, field)
+                if raw is None:
+                    spec["bytes"].append((field, None, 0))
+                else:
+                    spec["bytes"].append((field, offset, len(raw)))
+                    buffers.append(raw)
+                    offset += len(raw)
+            for field in _SCALAR_FIELDS.get(name, ()):
+                spec["scalars"][field] = getattr(column, field)
+            for field in _OBJECT_FIELDS.get(name, ()):
+                spec["objects"][field] = list(getattr(column, field))
+            column_specs.append(spec)
+        block_specs.append({"count": count, "columns": column_specs})
+
+    segments = []
+    segment_name = None
+    if offset:
+        segment = shared_memory.SharedMemory(create=True, size=offset)
+        view = segment.buf
+        position = 0
+        for raw in buffers:
+            view[position:position + len(raw)] = raw
+            position += len(raw)
+        segments.append(segment)
+        segment_name = segment.name
+    return {"segment": segment_name, "blocks": block_specs}, segments
+
+
+def import_blocks(descriptor: dict) -> list[tuple[int, list[ColumnCodec]]]:
+    """Rebuild the encoded blocks of an :func:`export_blocks` descriptor.
+
+    All buffer contents are copied out of the segment before it is
+    detached, so the result outlives the coordinator's unlink.
+    """
+    segment = None
+    buf = b""
+    if descriptor["segment"] is not None:
+        segment = _attach_segment(descriptor["segment"])
+        buf = bytes(segment.buf)
+    try:
+        blocks: list[tuple[int, list[ColumnCodec]]] = []
+        for block_spec in descriptor["blocks"]:
+            columns: list[ColumnCodec] = []
+            for spec in block_spec["columns"]:
+                fields: dict[str, Any] = dict(spec["scalars"])
+                fields.update(spec["objects"])
+                for field, typecode, offset, nbytes in spec["arrays"]:
+                    arr = array(typecode)
+                    arr.frombytes(buf[offset:offset + nbytes])
+                    fields[field] = arr
+                for field, offset, nbytes in spec["bytes"]:
+                    fields[field] = (None if offset is None
+                                     else buf[offset:offset + nbytes])
+                fields.setdefault("nulls", None)
+                columns.append(_BUILDERS[spec["codec"]](fields))
+            blocks.append((block_spec["count"], columns))
+        return blocks
+    finally:
+        if segment is not None:
+            segment.close()
+
+
+def ship_rows(rows: Sequence[tuple], arity: int,
+              seqs: Sequence[int] | None = None,
+              min_shm_rows: int = SHM_MIN_ROWS) -> Shipment:
+    """Package *rows* (and optional global sequence numbers) for a worker.
+
+    Rows at or over ``min_shm_rows`` travel as shared-memory morsel
+    blocks; smaller sets (and zero-arity rows) pickle directly.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    if len(rows) < min_shm_rows or arity == 0:
+        payload = {"kind": "pickle", "rows": rows,
+                   "seqs": list(seqs) if seqs is not None else None}
+        return Shipment(payload, [])
+    blocks = []
+    for start in range(0, len(rows), MORSEL_ROWS):
+        chunk = rows[start:start + MORSEL_ROWS]
+        columns = [encode_column([row[i] for row in chunk])
+                   for i in range(arity)]
+        blocks.append((len(chunk), columns))
+    if seqs is not None:
+        blocks.append((len(rows), [encode_column(list(seqs))]))
+    descriptor, segments = export_blocks(blocks)
+    payload = {"kind": "columnar", "arity": arity,
+               "count": len(rows), "has_seqs": seqs is not None,
+               "descriptor": descriptor}
+    return Shipment(payload, segments)
+
+
+def receive_rows(payload: dict) -> tuple[list[tuple], list[int] | None]:
+    """Worker-side inverse of :func:`ship_rows`."""
+    if payload["kind"] == "pickle":
+        return payload["rows"], payload["seqs"]
+    blocks = import_blocks(payload["descriptor"])
+    seqs: list[int] | None = None
+    if payload["has_seqs"]:
+        (_, seq_columns) = blocks[-1]
+        blocks = blocks[:-1]
+        seqs = seq_columns[0].decode()
+    rows: list[tuple] = []
+    for count, columns in blocks:
+        if not columns:
+            rows.extend([()] * count)
+            continue
+        decoded = [column.decode() for column in columns]
+        rows.extend(zip(*decoded))
+    return rows, seqs
+
+
+def payload_size(payload: dict) -> int:
+    """Approximate exchange bytes of a shipment payload: the pickled
+    descriptor plus the shared segment it references."""
+    size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    descriptor = payload.get("descriptor")
+    if descriptor is not None:
+        for block in descriptor["blocks"]:
+            for spec in block["columns"]:
+                size += sum(n for _, _, _, n in spec["arrays"])
+                size += sum(n for _, _, n in spec["bytes"])
+    return size

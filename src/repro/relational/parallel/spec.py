@@ -1,0 +1,292 @@
+"""Physical-plan pattern matching into picklable execution specs.
+
+The parallel driver never invents its own plan: it compiles the serial
+plan first, then *extracts* a worker spec from it — bound expression
+trees and operator shapes lifted verbatim out of the physical operators.
+Workers re-compile the same bound expressions, so a parallel run
+evaluates exactly the code the serial run would, just over partitioned
+inputs.  Anything the matcher does not recognise raises
+:class:`ExtractError`, and the caller falls back to the untouched serial
+path — the matcher is a gate, not a translator.
+
+The recognised delta-query shape (what union-by-update bodies compile
+to)::
+
+    [Project]
+      HashAggregate               -- grouped; sort aggregates fall back
+        [UnionAll of] leaf...
+          [Filter|Project|Requalify]*
+            (HashJoin over nested chains) | scan
+
+Scans split into *static* inputs (base tables, materialised relations,
+earlier CTE results — captured once per fixpoint) and the recursive
+binding *R* (replicated to every worker and maintained by delta merge).
+
+Ownership tracing: for each leaf the matcher tries to prove the
+aggregate's group key is an identity copy of one static column.  When it
+succeeds, that static can be hash-partitioned instead of replicated —
+every row can only ever contribute to groups its worker owns.  The proof
+is conservative (identity ``BoundColumn`` hops only); failure just means
+the static is replicated, never an answer change, because workers filter
+their aggregation streams by group ownership regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..expressions import BoundColumn, FunctionCall, bind
+from .hashing import partition_of
+
+
+class ExtractError(Exception):
+    """The plan does not fit a partitionable shape (fall back to serial)."""
+
+
+# -- picklable spec nodes --------------------------------------------------
+
+@dataclass
+class ScanSpec:
+    """A leaf input: ``source`` is ``"r"`` or ``"static"`` (with sid)."""
+    source: str
+    sid: int | None
+    arity: int
+
+
+@dataclass
+class FilterSpec:
+    child: Any
+    predicate: Any  # bound Expression
+    arity: int
+
+
+@dataclass
+class ProjectSpec:
+    child: Any
+    exprs: list  # bound Expressions
+    arity: int
+
+
+@dataclass
+class JoinSpec:
+    left: Any
+    right: Any
+    left_keys: list   # bound against the left child's schema
+    right_keys: list
+    build_side: str
+    left_arity: int
+    arity: int
+
+
+@dataclass
+class LeafSpec:
+    tree: Any
+    #: (sid, column) when the group key identity-traces to this leaf's
+    #: static column — that static may be hash-partitioned.
+    owner_static: tuple[int, int] | None
+
+
+@dataclass
+class DeltaSpec:
+    """One union-by-update delta query, ready to ship to workers."""
+    leaves: list
+    group_keys: list          # bound against the aggregate child schema
+    aggregates: list          # (function, bound argument or None)
+    project_exprs: list | None  # bound against the aggregate schema
+    arity: int                # output arity
+
+
+def group_partition(key: tuple, partitions: int) -> int:
+    """Partition of a group key tuple.
+
+    Single-column keys hash the bare value so the assignment agrees with
+    per-column static partitioning (``partition_of(row[col])``)."""
+    if len(key) == 1:
+        return partition_of(key[0], partitions)
+    return partition_of(key, partitions)
+
+
+# -- expression guards -----------------------------------------------------
+
+def _check_deterministic(expr: Any) -> None:
+    """Reject expressions whose value depends on coordinator-process
+    state (the engine RNG): evaluating them in a worker would diverge."""
+    if isinstance(expr, FunctionCall) and \
+            expr.name.lower() in ("rand", "random"):
+        raise ExtractError("non-deterministic function in parallel subtree")
+    for child in expr.children():
+        _check_deterministic(child)
+
+
+def _checked(expr: Any) -> Any:
+    _check_deterministic(expr)
+    return expr
+
+
+# -- plan matching ---------------------------------------------------------
+
+def _unwrap(node: Any) -> Any:
+    while node.label == "Requalify":
+        node = node.child
+    return node
+
+
+def _flatten_union(node: Any, out: list) -> None:
+    if node.label == "Union All":
+        for child in node.children():
+            _flatten_union(_unwrap(child), out)
+    else:
+        out.append(node)
+
+
+class _Extractor:
+    def __init__(self, rname: str):
+        self.rname = rname
+        self.statics: dict[int, Any] = {}  # sid -> plan scan node
+
+    def subtree(self, node: Any) -> Any:
+        node_label = node.label
+        if node_label == "Requalify":
+            return self.subtree(node.child)
+        if node_label == "Filter":
+            child = self.subtree(node.child)
+            return FilterSpec(child, _checked(node.predicate),
+                              node.schema.arity)
+        if node_label == "Project":
+            child = self.subtree(node.child)
+            exprs = [_checked(bound) for bound, _ in node.items]
+            return ProjectSpec(child, exprs, node.schema.arity)
+        if node_label == "Hash Join":
+            left = self.subtree(node.left)
+            right = self.subtree(node.right)
+            left_keys = [_checked(bind(k, node.left.schema))
+                         for k in node.left_keys]
+            right_keys = [_checked(bind(k, node.right.schema))
+                          for k in node.right_keys]
+            return JoinSpec(left, right, left_keys, right_keys,
+                            node.build_side, node.left.schema.arity,
+                            node.schema.arity)
+        if node_label in ("Seq Scan", "Relation Scan", "Index Scan"):
+            if (node_label == "Relation Scan" and hasattr(node, "slots")
+                    and node.name.lower() == self.rname):
+                return ScanSpec("r", None, node.schema.arity)
+            sid = len(self.statics)
+            self.statics[sid] = node
+            return ScanSpec("static", sid, node.schema.arity)
+        raise ExtractError(f"unsupported operator {node_label!r}")
+
+
+def _trace_owner(tree: Any, index: int) -> tuple[int, int] | None:
+    """Identity-trace output column *index* down to a static column."""
+    while True:
+        if isinstance(tree, ScanSpec):
+            if tree.source == "static":
+                return (tree.sid, index)
+            return None  # R column: replication handles it
+        if isinstance(tree, FilterSpec):
+            tree = tree.child
+            continue
+        if isinstance(tree, ProjectSpec):
+            expr = tree.exprs[index]
+            if not isinstance(expr, BoundColumn):
+                return None
+            index = expr.index
+            tree = tree.child
+            continue
+        if isinstance(tree, JoinSpec):
+            if index < tree.left_arity:
+                tree = tree.left
+            else:
+                index -= tree.left_arity
+                tree = tree.right
+            continue
+        return None
+
+
+def _tree_uses_r(tree: Any) -> bool:
+    if isinstance(tree, ScanSpec):
+        return tree.source == "r"
+    if isinstance(tree, (FilterSpec, ProjectSpec)):
+        return _tree_uses_r(tree.child)
+    if isinstance(tree, JoinSpec):
+        return _tree_uses_r(tree.left) or _tree_uses_r(tree.right)
+    return False
+
+
+def extract_delta_spec(plan: Any, rname: str
+                       ) -> tuple[DeltaSpec, dict[int, Any]]:
+    """Match *plan* (a compiled union-by-update branch) into a
+    :class:`DeltaSpec`.
+
+    Returns the spec plus ``{sid: scan node}`` for the static inputs the
+    coordinator must capture.  Raises :class:`ExtractError` when the plan
+    does not fit.
+    """
+    node = _unwrap(plan)
+    project_exprs = None
+    if node.label == "Project":
+        project_exprs = [_checked(bound) for bound, _ in node.items]
+        inner = _unwrap(node.child)
+    else:
+        inner = node
+    if inner.label != "Hash Aggregate":
+        raise ExtractError(f"top operator is {inner.label!r},"
+                           " not a hash aggregate")
+    if not inner.keys:
+        raise ExtractError("ungrouped aggregate (single global group)")
+    group_keys = [_checked(k) for k in inner._bound_keys]
+    aggregates = [(spec.function,
+                   _checked(arg) if arg is not None else None)
+                  for spec, arg in zip(inner.aggregates, inner._bound_args)]
+
+    extractor = _Extractor(rname)
+    leaf_nodes: list = []
+    _flatten_union(_unwrap(inner.child), leaf_nodes)
+    leaves = []
+    for leaf_node in leaf_nodes:
+        tree = extractor.subtree(leaf_node)
+        owner = None
+        if len(group_keys) == 1 and isinstance(group_keys[0], BoundColumn):
+            owner = _trace_owner(tree, group_keys[0].index)
+        leaves.append(LeafSpec(tree, owner))
+    spec = DeltaSpec(leaves, group_keys, aggregates, project_exprs,
+                     plan.schema.arity)
+    return spec, extractor.statics
+
+
+# -- the plain (non-recursive) chain shape ---------------------------------
+
+@dataclass
+class ChainSpec:
+    """A Filter/Project chain over a single scan, partitionable by
+    contiguous row ranges (concatenating worker outputs in worker order
+    reproduces the serial enumeration exactly)."""
+    tree: Any
+    arity: int  # scan arity (the shipped slice's width)
+
+
+def extract_chain_spec(plan: Any) -> tuple[ChainSpec, Any]:
+    """Match a plain plan into a range-partitionable chain.
+
+    Returns ``(spec, scan node)``; the caller captures and slices the
+    scan's rows.  The spec's single scan is rewritten as static sid 0.
+    """
+    extractor = _Extractor(rname="\x00never-a-relation-name")
+    tree = extractor.subtree(_unwrap(plan))
+    if _tree_uses_r(tree):  # pragma: no cover - rname can't match
+        raise ExtractError("unexpected recursive binding in plain plan")
+    if len(extractor.statics) != 1:
+        raise ExtractError("chain shape needs exactly one scan")
+
+    def has_join(node: Any) -> bool:
+        if isinstance(node, JoinSpec):
+            return True
+        if isinstance(node, (FilterSpec, ProjectSpec)):
+            return has_join(node.child)
+        return False
+
+    if has_join(tree):
+        raise ExtractError("joins are not range-partitionable")
+    return ChainSpec(tree, extractor.statics[0].schema.arity), \
+        extractor.statics[0]

@@ -1,0 +1,331 @@
+"""The worker-side evaluator (runs inside pool processes).
+
+Workers mirror the serial physical operators *exactly* — the filter's
+``is True`` test, the hash join's NULL-key skips and probe-major
+enumeration, the hash aggregate's per-group value lists folded by
+``_finish_aggregate`` — so a partitioned run computes bit-for-bit the
+values the serial run would.  What the serial engine gets for free
+(global enumeration order) is reconstructed from *rank tags*: every
+streamed row carries a tuple encoding its position in the serial
+enumeration (scan sequence numbers; probe-rank + build-rank at joins),
+and every emitted group carries the tag of its first contribution.  The
+coordinator merge-sorts worker outputs by tag, which reproduces the
+serial first-seen group order.
+
+Correctness never depends on how statics were partitioned: a worker
+keeps only the groups it *owns* (``group_partition(key) == worker_id``),
+so a replicated input merely produces discarded rows, and a partitioned
+input (proven safe by the spec's ownership trace) just avoids computing
+them in the first place.
+
+The recursive binding R is replicated: each worker maintains a full
+replica and applies the coordinator's consolidated delta with the same
+merge discipline as :meth:`Table.apply_delta_by_key` (last-wins
+replacement, overwrite-in-place with the equal-row skip, append in delta
+order), so replica row order — and therefore scan ranks — tracks the
+real table byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..expressions import compile_expression, compile_key_function
+from ..relation import _finish_aggregate
+from ..types import make_row_coercer
+from .shm import receive_rows
+from .spec import (
+    ChainSpec,
+    DeltaSpec,
+    FilterSpec,
+    JoinSpec,
+    ProjectSpec,
+    ScanSpec,
+    group_partition,
+)
+
+
+class WorkerState:
+    """Per-process state: identity plus the resident fixpoint queries."""
+
+    def __init__(self, worker_id: int, nworkers: int):
+        self.worker_id = worker_id
+        self.nworkers = nworkers
+        self.queries: dict[int, "_FixpointQuery"] = {}
+
+
+# -- replica maintenance ---------------------------------------------------
+
+class _Replica:
+    """A full copy of the recursive table, kept in the table's row order."""
+
+    def __init__(self, rows: list, key_positions: list[int],
+                 sql_types: list):
+        self.rows = rows  # already coerced (shipped from a snapshot)
+        self.key_positions = tuple(key_positions)
+        self.coerce_row = make_row_coercer(sql_types)
+        self.mapping: dict[tuple, list[int]] = {}
+        for position, row in enumerate(rows):
+            key = tuple(row[i] for i in self.key_positions)
+            self.mapping.setdefault(key, []).append(position)
+
+    def merge(self, delta_rows: list) -> None:
+        """Mirror of ``Table.apply_delta_by_key`` (sans indexes)."""
+        positions = self.key_positions
+        coerce_row = self.coerce_row
+        ordered: list[tuple[tuple, tuple]] = []
+        replacement: dict[tuple, tuple] = {}
+        for row in delta_rows:
+            key = tuple(row[i] for i in positions)
+            coerced = coerce_row(row)
+            ordered.append((key, coerced))
+            replacement[key] = coerced  # last occurrence wins
+        seen_matched: set[tuple] = set()
+        rows = self.rows
+        for key, new_row in replacement.items():
+            matches = self.mapping.get(key)
+            if not matches:
+                continue
+            seen_matched.add(key)
+            for position in matches:
+                if rows[position] == new_row:
+                    continue
+                rows[position] = new_row
+        for key, coerced in ordered:
+            if key in seen_matched:
+                continue
+            self.mapping.setdefault(key, []).append(len(rows))
+            rows.append(coerced)
+
+
+# -- spec tree compilation -------------------------------------------------
+
+TaggedStream = Callable[[], Iterator[tuple[tuple, tuple]]]
+
+
+def _tree_uses_r(tree: Any) -> bool:
+    if isinstance(tree, ScanSpec):
+        return tree.source == "r"
+    if isinstance(tree, (FilterSpec, ProjectSpec)):
+        return _tree_uses_r(tree.child)
+    return _tree_uses_r(tree.left) or _tree_uses_r(tree.right)
+
+
+def _compile_tree(tree: Any, statics: dict[int, tuple[list, list]],
+                  replica: _Replica | None) -> TaggedStream:
+    """Compile a spec tree into a (rank, row) stream generator.
+
+    Rank tuples increase lexicographically in enumeration order, and the
+    enumeration order mirrors the serial operator's output order on the
+    worker's subset of the input.
+    """
+    if isinstance(tree, ScanSpec):
+        if tree.source == "r":
+            def scan_r() -> Iterator[tuple[tuple, tuple]]:
+                for position, row in enumerate(replica.rows):
+                    yield (position,), row
+            return scan_r
+        rows, seqs = statics[tree.sid]
+        pairs = [((seq,), row) for seq, row in zip(seqs, rows)]
+        return lambda: iter(pairs)
+    if isinstance(tree, FilterSpec):
+        child = _compile_tree(tree.child, statics, replica)
+        evaluate = compile_expression(tree.predicate)
+
+        def run_filter() -> Iterator[tuple[tuple, tuple]]:
+            for rank, row in child():
+                if evaluate(row) is True:  # Filter's exact truth test
+                    yield rank, row
+        return run_filter
+    if isinstance(tree, ProjectSpec):
+        child = _compile_tree(tree.child, statics, replica)
+        builder = compile_key_function(tree.exprs)
+
+        def run_project() -> Iterator[tuple[tuple, tuple]]:
+            for rank, row in child():
+                yield rank, builder(row)
+        return run_project
+    if isinstance(tree, JoinSpec):
+        left = _compile_tree(tree.left, statics, replica)
+        right = _compile_tree(tree.right, statics, replica)
+        left_key = compile_key_function(tree.left_keys)
+        right_key = compile_key_function(tree.right_keys)
+        if tree.build_side == "right":
+            build, probe = right, left
+            build_key, probe_key = right_key, left_key
+            build_subtree = tree.right
+        else:
+            build, probe = left, right
+            build_key, probe_key = left_key, right_key
+            build_subtree = tree.left
+        # A build subtree without R never changes within one fixpoint:
+        # build its index once and reuse it every iteration.
+        cache: list = []
+        cacheable = not _tree_uses_r(build_subtree)
+        build_left = tree.build_side == "left"
+
+        def build_index() -> dict[tuple, list]:
+            index: dict[tuple, list] = {}
+            for rank, row in build():
+                key = build_key(row)
+                if any(v is None for v in key):
+                    continue
+                index.setdefault(key, []).append((rank, row))
+            return index
+
+        def run_join() -> Iterator[tuple[tuple, tuple]]:
+            if cacheable:
+                if not cache:
+                    cache.append(build_index())
+                index = cache[0]
+            else:
+                index = build_index()
+            for probe_rank, probe_row in probe():
+                key = probe_key(probe_row)
+                if any(v is None for v in key):
+                    continue
+                for build_rank, build_row in index.get(key, ()):
+                    # Output row is always left ++ right; the rank is
+                    # always probe-rank ++ build-rank (enumeration order).
+                    if build_left:
+                        yield (probe_rank + build_rank,
+                               build_row + probe_row)
+                    else:
+                        yield (probe_rank + build_rank,
+                               probe_row + build_row)
+        return run_join
+    raise TypeError(f"unknown spec node {type(tree).__name__}")
+
+
+# -- delta evaluation ------------------------------------------------------
+
+class _CompiledDelta:
+    """A DeltaSpec compiled against this worker's inputs."""
+
+    def __init__(self, spec: DeltaSpec,
+                 statics: dict[int, tuple[list, list]],
+                 replica: _Replica | None):
+        self.leaves = [_compile_tree(leaf.tree, statics, replica)
+                       for leaf in spec.leaves]
+        self.key_fn = compile_key_function(spec.group_keys)
+        self.functions = [function for function, _ in spec.aggregates]
+        self.arg_fns = [compile_expression(arg) if arg is not None else None
+                        for _, arg in spec.aggregates]
+        self.project = (compile_key_function(spec.project_exprs)
+                        if spec.project_exprs is not None else None)
+
+    def run(self, worker_id: int, nworkers: int
+            ) -> list[tuple[tuple, tuple]]:
+        """Owned groups as a tag-sorted ``[(first_tag, out_row), ...]``."""
+        key_fn = self.key_fn
+        arg_fns = self.arg_fns
+        groups: dict[tuple, list[list[Any]]] = {}
+        first_tag: dict[tuple, tuple] = {}
+        for leaf_index, leaf in enumerate(self.leaves):
+            for rank, row in leaf():
+                key = key_fn(row)
+                if group_partition(key, nworkers) != worker_id:
+                    continue
+                bucket = groups.get(key)
+                if bucket is None:
+                    bucket = [[] for _ in arg_fns]
+                    groups[key] = bucket
+                    first_tag[key] = (leaf_index,) + rank
+                for slot, arg in zip(bucket, arg_fns):
+                    if arg is None:
+                        slot.append(1)
+                    else:
+                        value = arg(row)
+                        if value is not None:
+                            slot.append(value)
+        project = self.project
+        out: list[tuple[tuple, tuple]] = []
+        for key, bucket in groups.items():
+            row = key + tuple(
+                _finish_aggregate(function, values)
+                for function, values in zip(self.functions, bucket))
+            if project is not None:
+                row = project(row)
+            out.append((first_tag[key], row))
+        out.sort(key=lambda tagged: tagged[0])
+        return out
+
+
+class _FixpointQuery:
+    def __init__(self, spec: DeltaSpec, statics: dict[int, tuple],
+                 replica: _Replica):
+        self.replica = replica
+        self.compiled = _CompiledDelta(spec, statics, replica)
+
+
+def _receive_statics(payloads: dict[int, dict]) -> dict[int, tuple]:
+    statics: dict[int, tuple] = {}
+    for sid, payload in payloads.items():
+        rows, seqs = receive_rows(payload)
+        if seqs is None:
+            seqs = range(len(rows))
+        statics[sid] = (rows, seqs)
+    return statics
+
+
+# -- job handlers ----------------------------------------------------------
+
+def _handle_ping(state: WorkerState, payload: Any) -> int:
+    return state.worker_id
+
+
+def _handle_fix_setup(state: WorkerState, payload: dict) -> int:
+    statics = _receive_statics(payload["statics"])
+    replica_rows, _ = receive_rows(payload["r"])
+    replica = _Replica(list(replica_rows), payload["key_positions"],
+                       payload["sql_types"])
+    state.queries[payload["qid"]] = _FixpointQuery(
+        payload["spec"], statics, replica)
+    return len(replica.rows)
+
+
+def _handle_fix_iter(state: WorkerState, payload: dict) -> list:
+    query = state.queries[payload["qid"]]
+    delta = payload.get("delta")
+    if delta is not None:
+        rows, _ = receive_rows(delta)
+        query.replica.merge(rows)
+    return query.compiled.run(state.worker_id, state.nworkers)
+
+
+def _handle_fix_teardown(state: WorkerState, payload: dict) -> bool:
+    return state.queries.pop(payload["qid"], None) is not None
+
+
+def _handle_agg_exec(state: WorkerState, payload: dict) -> list:
+    """One-shot grouped aggregation over static inputs (plain queries)."""
+    statics = _receive_statics(payload["statics"])
+    compiled = _CompiledDelta(payload["spec"], statics, None)
+    return compiled.run(state.worker_id, state.nworkers)
+
+
+def _handle_chain_exec(state: WorkerState, payload: dict) -> list:
+    """Filter/Project chain over this worker's contiguous row slice."""
+    spec: ChainSpec = payload["spec"]
+    rows, seqs = receive_rows(payload["slice"])
+    if seqs is None:
+        seqs = range(len(rows))
+    stream = _compile_tree(spec.tree, {0: (rows, seqs)}, None)
+    return [row for _, row in stream()]
+
+
+_HANDLERS = {
+    "ping": _handle_ping,
+    "fix_setup": _handle_fix_setup,
+    "fix_iter": _handle_fix_iter,
+    "fix_teardown": _handle_fix_teardown,
+    "agg_exec": _handle_agg_exec,
+    "chain_exec": _handle_chain_exec,
+}
+
+
+def dispatch(state: WorkerState, kind: str, payload: Any) -> Any:
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        raise ValueError(f"unknown parallel job kind {kind!r}")
+    return handler(state, payload)

@@ -458,7 +458,8 @@ class RecursiveExecutor:
                  policy: PlannerPolicy, mode: str = "with+",
                  ubu_strategy: str | None = None,
                  temp_indexes: dict[str, Sequence[str]] | None = None,
-                 analyze: bool = False, telemetry=None):
+                 analyze: bool = False, telemetry=None,
+                 parallel_pool_provider=None):
         if mode not in ("with", "with+"):
             raise ValueError(f"mode must be 'with' or 'with+', not {mode!r}")
         self.database = database
@@ -480,6 +481,11 @@ class RecursiveExecutor:
         #: per-operator spans.
         self.telemetry = telemetry
         self.tracer = telemetry.tracer if telemetry is not None else None
+        #: Zero-argument callable returning a
+        #: :class:`repro.relational.parallel.WorkerPool` (or ``None``) —
+        #: called only after a fixpoint proves parallel-eligible, so the
+        #: pool is forked lazily.  ``None`` disables parallel execution.
+        self.parallel_pool_provider = parallel_pool_provider
         #: Wall seconds spent compiling plans (initial queries, cached and
         #: fresh branch plans, the final body) — the engine reports this as
         #: the recursive statement's "plan" phase.
@@ -597,6 +603,17 @@ class RecursiveExecutor:
                                                 replace=True)
         table.insert_relation(current)
         self._maybe_index(table)
+
+        if self.parallel_pool_provider is not None and not self._instrument:
+            # Partitioned parallel fixpoint (byte-identical to the serial
+            # loop below; see docs/parallel.md).  Returns None on any
+            # ineligible shape, falling through untouched.
+            from .parallel.fixpoint import try_parallel_fixpoint
+
+            parallel_result = try_parallel_fixpoint(
+                self, cte, bindings, stats, table)
+            if parallel_result is not None:
+                return parallel_result
 
         limit = cte.maxrecursion
         cap = limit if limit is not None else DEFAULT_RECURSION_CAP

@@ -1,0 +1,82 @@
+"""Seed-stability of the partitioning hash.
+
+Partition assignment decides which worker owns a group.  If it drifted
+with ``PYTHONHASHSEED`` (the way builtin ``hash`` does for strings),
+the same query could ship different partitions on different interpreter
+runs — harmless for correctness (every partitioning is correct) but
+fatal for reproducing a run, and a silent source of fuzz flakiness.
+So ``stable_hash`` must be a pure function of the *value*, across
+interpreter restarts and hash seeds.
+"""
+
+import math
+import subprocess
+import sys
+
+from repro.relational.parallel import partition_of, stable_hash
+
+VALUES = [None, 0, 1, -1, 2**63, True, False, 0.0, -0.0, 1.5, -1.5,
+          float("nan"), float("inf"), 3.0, 3, "a", "A", "", "é",
+          "\ud800", b"", b"raw", (1, "x"), ((1,), "x"), (1.0, "x"),
+          (), (None,)]
+
+_CHILD = r"""
+import sys
+sys.path.insert(0, {path!r})
+import math
+from repro.relational.parallel import partition_of, stable_hash
+values = [None, 0, 1, -1, 2**63, True, False, 0.0, -0.0, 1.5, -1.5,
+          float("nan"), float("inf"), 3.0, 3, "a", "A", "", "é",
+          "\ud800", b"", b"raw", (1, "x"), ((1,), "x"), (1.0, "x"),
+          (), (None,)]
+print([(stable_hash(v), partition_of(v, 4)) for v in values])
+"""
+
+
+def _child_assignments(hashseed: str) -> str:
+    import repro
+
+    root = repro.__file__.rsplit("/repro/", 1)[0]
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(path=root)],
+        env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def test_partitions_stable_across_hash_seeds():
+    parent = str([(stable_hash(v), partition_of(v, 4)) for v in VALUES])
+    seen = {parent}
+    for hashseed in ("0", "1", "31337"):
+        seen.add(_child_assignments(hashseed))
+    assert len(seen) == 1, "partition assignment depends on PYTHONHASHSEED"
+
+
+def test_numeric_cross_type_grouping():
+    # The engine groups 1, 1.0 and True together (SQL numeric equality),
+    # so they must land in the same partition or group ownership splits.
+    assert stable_hash(1) == stable_hash(1.0) == stable_hash(True)
+    assert stable_hash(0) == stable_hash(0.0) == stable_hash(-0.0) \
+        == stable_hash(False)
+    assert stable_hash(3) == stable_hash(3.0)
+    # ...but non-integral floats and strings keep their own identity.
+    assert stable_hash(1.5) != stable_hash("1.5")
+
+
+def test_nan_hashes_to_one_bucket():
+    assert stable_hash(float("nan")) == stable_hash(float("-nan"))
+    assert partition_of(float("nan"), 4) == partition_of(
+        math.nan, 4)
+
+
+def test_tuple_hash_is_injective_on_structure():
+    # Length-prefixed encoding: nesting must not collapse.
+    assert stable_hash((1, "x")) != stable_hash(((1,), "x"))
+    assert stable_hash(("ab", "c")) != stable_hash(("a", "bc"))
+    assert stable_hash(()) != stable_hash((None,))
+
+
+def test_partition_of_range():
+    for value in VALUES:
+        for n in (1, 2, 3, 4, 7):
+            assert 0 <= partition_of(value, n) < n

@@ -1,0 +1,70 @@
+"""Serial-path overhead guard for the parallel hooks.
+
+``Engine(parallel=0)`` — the default — must pay essentially nothing for
+the partitioned-execution machinery: the recursive executor's hook is a
+single attribute check (the provider is ``None``) and the plain path a
+single integer compare.  Same methodology as the telemetry overhead
+guard: best-of-N interleaved runs, gc pinned, 5% bound with a small
+absolute slack for sub-10ms timings on busy machines.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.core.algorithms import pagerank
+from repro.datasets import preferential_attachment
+from repro.relational import Engine
+from repro.relational.recursive import RecursiveExecutor
+
+ROUNDS = 5
+
+
+def _time_run(graph) -> float:
+    engine = Engine("oracle", parallel=0)
+    engine.load_graph(graph)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        pagerank.run_sql(engine, graph, iterations=10)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def test_parallel_zero_overhead_under_5_percent(monkeypatch):
+    graph = preferential_attachment(150, 3, directed=True, seed=7)
+    _time_run(graph)  # warm-up: imports, caches
+
+    original_init = RecursiveExecutor.__init__
+
+    def init_without_hook(self, *args, **kwargs):
+        kwargs.pop("parallel_pool_provider", None)
+        original_init(self, *args, **kwargs)
+        self.parallel_pool_provider = None
+
+    with_hooks = float("inf")
+    without_hooks = float("inf")
+    for _ in range(ROUNDS):
+        with_hooks = min(with_hooks, _time_run(graph))
+        with monkeypatch.context() as patch:
+            patch.setattr(RecursiveExecutor, "__init__",
+                          init_without_hook)
+            without_hooks = min(without_hooks, _time_run(graph))
+
+    assert with_hooks <= without_hooks * 1.05 + 0.005, (
+        f"parallel=0 hook cost {with_hooks * 1000:.2f} ms vs"
+        f" {without_hooks * 1000:.2f} ms baseline")
+
+
+def test_parallel_zero_never_creates_a_pool(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    graph = preferential_attachment(60, 3, directed=True, seed=7)
+    engine = Engine("oracle")  # parallel defaults to 0 with the env unset
+    assert engine.parallel == 0
+    engine.load_graph(graph)
+    pagerank.run_sql(engine, graph, iterations=3)
+    assert engine._parallel_pool is None
+    assert engine.parallel_pool() is None

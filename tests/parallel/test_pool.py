@@ -1,0 +1,104 @@
+"""Worker-pool lifecycle, health reporting and error transport."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.relational.parallel.pool import (
+    ParallelError,
+    WorkerPool,
+    parallel_strict,
+    resolve_parallel,
+)
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(2)
+    yield pool
+    pool.close()
+
+
+def test_resolve_parallel(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert resolve_parallel(None) == 0
+    assert resolve_parallel(3) == 3
+    monkeypatch.setenv("REPRO_PARALLEL", "4")
+    assert resolve_parallel(None) == 4
+    assert resolve_parallel(0) == 0  # explicit beats the environment
+    monkeypatch.setenv("REPRO_PARALLEL", "nope")
+    with pytest.raises(ValueError):
+        resolve_parallel(None)
+    with pytest.raises(ValueError):
+        resolve_parallel(-1)
+
+
+def test_parallel_strict(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL_STRICT", raising=False)
+    assert not parallel_strict()
+    monkeypatch.setenv("REPRO_PARALLEL_STRICT", "0")
+    assert not parallel_strict()
+    monkeypatch.setenv("REPRO_PARALLEL_STRICT", "1")
+    assert parallel_strict()
+
+
+def test_ping_and_health(pool):
+    replies = pool.broadcast("ping", {})
+    assert len(replies) == 2
+    health = pool.health()
+    assert health["workers"] == 2
+    assert health["alive"] == 2
+    assert health["queue_depth"] == 0
+    assert health["jobs"]["ping"] == 2
+    assert health["bytes_sent"] > 0
+    assert health["bytes_received"] > 0
+    assert len(health["busy_fraction"]) == 2
+    assert all(0.0 <= f <= 1.0 for f in health["busy_fraction"])
+
+
+def test_worker_error_reraises_original_type(pool):
+    # Unknown job kinds raise ValueError inside the worker; the pickled
+    # exception must come back as a ValueError here, not a ParallelError
+    # — that is what lets the coordinator replay semantic errors
+    # serially.
+    with pytest.raises(ValueError, match="no-such-kind"):
+        pool.broadcast("no-such-kind", {})
+    # the pool survives a failed job
+    assert pool.usable()
+    assert len(pool.broadcast("ping", {})) == 2
+
+
+def test_closed_pool_is_unusable(pool):
+    pool.close()
+    assert not pool.usable()
+    with pytest.raises(ParallelError):
+        pool.broadcast("ping", {})
+
+
+def test_shared_registry_recreates_closed_pools():
+    first = WorkerPool.shared(2)
+    try:
+        assert WorkerPool.shared(2) is first
+        first.close()
+        second = WorkerPool.shared(2)
+        assert second is not first
+        assert second.usable()
+    finally:
+        WorkerPool.shared(2).close()
+
+
+def test_workers_are_daemons_and_die_with_close(pool):
+    pids = [proc.pid for proc in pool._processes]
+    assert all(proc.daemon for proc in pool._processes)
+    pool.close()
+    for proc in pool._processes:
+        assert not proc.is_alive()
+    assert all(isinstance(pid, int) for pid in pids)
+
+
+def test_scatter_sends_one_payload_per_worker(pool):
+    with pytest.raises(ValueError):
+        pool.scatter("ping", [{}])  # wrong cardinality
+    replies = pool.scatter("ping", [{}, {}])
+    assert len(replies) == 2
