@@ -75,11 +75,11 @@ class EngineConfig:
 
 
 def default_matrix() -> tuple[EngineConfig, ...]:
-    """The full 80-cell matrix: 4 strategy/dialect pairs x 2 executors
+    """The full 96-cell matrix: 4 strategy/dialect pairs x 2 executors
     x 2 optimizer settings x 2 telemetry settings x 2 storage backends,
-    plus 16 partitioned-execution cells (parallel=2, telemetry off —
-    telemetry forces serial execution, so parallel x telemetry=on would
-    just duplicate serial cells)."""
+    plus 32 partitioned-execution cells (parallel=2, telemetry off *and*
+    on — workers ship their telemetry shards back, so instrumented runs
+    exercise the pool like any other)."""
     configs = []
     for strategy, dialect in STRATEGY_DIALECTS:
         for executor in ("tuple", "batch"):
@@ -92,11 +92,13 @@ def default_matrix() -> tuple[EngineConfig, ...]:
                             telemetry=telemetry, storage=storage))
     for strategy, dialect in STRATEGY_DIALECTS:
         for executor in ("tuple", "batch"):
-            for storage in ("rows", "columnar"):
-                configs.append(EngineConfig(
-                    dialect=dialect, executor=executor,
-                    optimizer="off", strategy=strategy,
-                    telemetry="off", storage=storage, parallel=2))
+            for telemetry in ("off", "on"):
+                for storage in ("rows", "columnar"):
+                    configs.append(EngineConfig(
+                        dialect=dialect, executor=executor,
+                        optimizer="off", strategy=strategy,
+                        telemetry=telemetry, storage=storage,
+                        parallel=2))
     return tuple(configs)
 
 

@@ -41,6 +41,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
 import time
 
@@ -237,12 +238,10 @@ def cmd_trace(args) -> int:
     print()
 
     if args.parallel and args.parallel >= 2:
-        # Tracing instruments every operator, which forces serial
-        # execution — so the traced run above never touches the pool.
-        # Re-run untraced on a parallel engine and report its health.
-        par_engine = Engine(args.dialect, parallel=args.parallel)
-        par_result = info.run_sql(par_engine, graph)
-        pool = par_engine._parallel_pool
+        # Workers carry their own telemetry shards, so the traced run
+        # above executed on the pool directly — report its health and
+        # the per-iteration straggler picture from the same run.
+        pool = engine._parallel_pool
         if pool is None:
             print(f"Parallel: requested {args.parallel} workers but the"
                   " query never engaged the pool (shape ineligible)")
@@ -258,8 +257,29 @@ def cmd_trace(args) -> int:
                 [[health["workers"], health["alive"],
                   health["queue_depth"], health["bytes_sent"],
                   health["bytes_received"], busy, jobs]],
-                f"Parallel (untraced re-run: {par_result.iterations}"
-                f" iterations, pool health)"))
+                "Parallel (traced run, pool health)"))
+            straggler_rows = []
+            for stat in result.per_iteration:
+                seconds = getattr(stat, "worker_seconds", ())
+                if not seconds:
+                    continue
+                max_ms = max(seconds) * 1000
+                median_ms = statistics.median(seconds) * 1000
+                wrows = getattr(stat, "worker_rows", ())
+                straggler_rows.append([
+                    stat.iteration, f"{max_ms:.2f}", f"{median_ms:.2f}",
+                    f"{max_ms / median_ms:.2f}" if median_ms else "-",
+                    max(wrows) if wrows else "-",
+                    int(statistics.median(wrows)) if wrows else "-"])
+            if straggler_rows:
+                if len(straggler_rows) > args.limit:
+                    straggler_rows = (straggler_rows[:args.limit]
+                                      + [["..."] * 6])
+                print()
+                print(format_table(
+                    ["iter", "max ms", "median ms", "skew", "max rows",
+                     "median rows"], straggler_rows,
+                    "Stragglers (per-iteration partition skew)"))
         print()
 
     print("Spans:")
@@ -307,10 +327,7 @@ def cmd_fuzz(args) -> int:
             for optimizer in optimizers
             for mode in telemetry
             for storage in storages
-            for parallel in parallels
-            # telemetry instrumentation forces serial execution, so a
-            # parallel x telemetry=on cell would duplicate a serial one
-            if not (parallel and mode == "on"))
+            for parallel in parallels)
     started = time.perf_counter()
     last_tick = [started]
 

@@ -22,6 +22,7 @@ children, exportable as JSON or Chrome trace events.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Sequence
 
@@ -105,7 +106,11 @@ class Engine:
         additionally enables tracing — nested spans with per-operator
         timings (which *does* add per-row instrumentation cost).  An
         existing :class:`repro.observability.Telemetry` may be passed to
-        share one registry across several engines.
+        share one registry across several engines.  ``None`` (default)
+        reads the ``REPRO_TELEMETRY`` environment variable, then
+        ``"off"``.  Telemetry composes with ``parallel``: worker
+        processes record their own spans/counters and ship them back for
+        merging, so tracing no longer forces serial execution.
     storage:
         Physical table storage: ``"rows"`` (list of row tuples) or
         ``"columnar"`` (typed, compressed column vectors in morsel
@@ -130,7 +135,7 @@ class Engine:
                  database: Database | None = None, mode: str = "with+",
                  executor: str = "tuple", optimizer: str = "off",
                  replan_factor: float = 8.0,
-                 telemetry: str | bool | Telemetry | None = "off",
+                 telemetry: str | bool | Telemetry | None = None,
                  storage: str | None = None,
                  parallel: int | None = None):
         self.dialect = (dialect if isinstance(dialect, Dialect)
@@ -163,6 +168,12 @@ class Engine:
         self.temp_indexes: dict[str, Sequence[str]] = {}
         self.parallel = resolve_parallel(parallel)
         self._parallel_pool: WorkerPool | None = None
+        #: worker count the last statement actually fanned out to
+        #: (0 = serial, including cost-rule declines and degradations) —
+        #: recorded in the query log and the root query span.
+        self._last_parallel = 0
+        if telemetry is None:
+            telemetry = os.environ.get("REPRO_TELEMETRY") or "off"
         self.telemetry = resolve_telemetry(telemetry)
         # Planner policies count operator choices into the shared registry.
         self.policy.metrics = self.telemetry.metrics
@@ -189,9 +200,14 @@ class Engine:
         operator metrics.
         """
         record_storage_metrics(self.telemetry.metrics, self.database)
-        if self._parallel_pool is not None:
-            record_parallel_metrics(self.telemetry.metrics,
-                                    self._parallel_pool)
+        pool = self._parallel_pool
+        if pool is None and self.parallel >= 2:
+            # The engine may not have engaged the (shared) pool itself
+            # yet; scrape-time collection still reflects whatever pool
+            # of this size already exists, without forking one.
+            pool = WorkerPool.peek(self.parallel)
+        if pool is not None:
+            record_parallel_metrics(self.telemetry.metrics, pool)
         return self.telemetry.metrics
 
     def parallel_pool(self) -> WorkerPool | None:
@@ -244,6 +260,7 @@ class Engine:
         phases: dict[str, float] = {}
         sql_text = sql if isinstance(sql, str) else type(sql).__name__
         self._instrumented = []
+        self._last_parallel = 0
         total_started = time.perf_counter()
         try:
             with tracer.span("query", sql=sql_text,
@@ -296,6 +313,7 @@ class Engine:
         profiler = self.telemetry.profiler
         with tracer.span("execute") as exec_span:
             result = executor.execute(statement)
+            self._last_parallel = getattr(executor, "parallel_used", 0)
             for title, plan, plan_stats in executor.instrumented_plans():
                 if exec_span is not None:
                     root_stats = plan_stats.get(plan)
@@ -330,14 +348,15 @@ class Engine:
         started = time.perf_counter()
         with tracer.span("plan"):
             plan = runner.plan(statement)
-            if self.parallel >= 2 and not observe:
-                # The parallel placement rule.  Skipped when observing:
-                # instrumentation wraps per-operator rows() hooks that a
-                # worker process would not report back.
+            if self.parallel >= 2:
+                # The parallel placement rule.  Workers carry their own
+                # telemetry shard and ship spans/counters back with the
+                # results, so observing no longer forces serial.
                 from .parallel.plain import maybe_parallel_plan
 
                 plan = maybe_parallel_plan(plan, self.parallel_pool,
-                                           self.parallel)
+                                           self.parallel,
+                                           telemetry=self.telemetry)
         phases["plan"] = (time.perf_counter() - started) * 1000
         started = time.perf_counter()
         with tracer.span("optimize"):
@@ -365,6 +384,7 @@ class Engine:
             else:
                 relation = plan.execute()
         phases["execute"] = (time.perf_counter() - started) * 1000
+        self._last_parallel = getattr(plan, "engaged", 0)
         return WithExecutionResult(relation=relation)
 
     def _publish_iterations(self, result: WithExecutionResult) -> None:
@@ -385,7 +405,10 @@ class Engine:
         entry = telemetry.query_log.record(sql_text, kind, total_ms, phases,
                                            rows=rows,
                                            iterations=result.iterations,
-                                           storage=self.storage)
+                                           storage=self.storage,
+                                           parallel=self._last_parallel)
+        if query_span is not None:
+            query_span.attrs["parallel"] = self._last_parallel
         metrics = telemetry.metrics
         metrics.counter("repro_queries_total", "Statements executed.",
                         kind=kind).inc()
@@ -439,7 +462,8 @@ class Engine:
         telemetry = self.telemetry
         telemetry.query_log.record(sql_text, "error", total_ms, phases,
                                    storage=self.storage,
-                                   error=type(error).__name__)
+                                   error=type(error).__name__,
+                                   parallel=self._last_parallel)
         telemetry.metrics.counter(
             "repro_query_errors_total", "Statements that raised.",
             error=type(error).__name__).inc()

@@ -25,6 +25,11 @@ Layering:
     physical-plan pattern matching into picklable execution specs;
 ``worker``
     the worker-side evaluator (runs inside pool processes);
+``telemetry``
+    cross-process observability: the per-worker telemetry shard, the
+    job trace context, and the coordinator-side
+    ``repro-telemetry-v1`` merge (rank-tagged spans, ``worker=``
+    labelled metrics, per-rank profile stacks);
 ``fixpoint``
     the parallel union-by-update fixpoint driver;
 ``plain``
@@ -40,10 +45,13 @@ from .pool import (
     resolve_parallel,
 )
 from .metrics import record_parallel_metrics
+from .telemetry import WorkerTelemetry, merge_worker_payloads
 
 __all__ = [
     "ParallelError",
     "WorkerPool",
+    "WorkerTelemetry",
+    "merge_worker_payloads",
     "parallel_strict",
     "partition_of",
     "record_parallel_metrics",

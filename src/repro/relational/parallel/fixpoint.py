@@ -19,6 +19,15 @@ worker pool:
    the *real* union-by-update strategy on the real table, so results,
    counts and convergence decisions are the serial code's own.
 
+Observability: when the executor's telemetry has tracing or profiling
+on, each broadcast ships a trace context and the workers' telemetry
+shards come back on the replies — rank-tagged spans grafted under the
+coordinator's per-iteration ``exchange`` span, ``worker=<rank>``-labelled
+counters, and per-rank profile stacks (see ``.telemetry``).  Per-worker
+busy-time deltas and reply sizes are recorded on every run (telemetry on
+or off) into ``IterationStat.worker_seconds`` / ``worker_rows`` — the
+straggler/skew report's raw data.
+
 Degradation: infrastructure failures (:class:`~.pool.ParallelError`)
 switch the remaining iterations to serial execution of the same cached
 plan — unless ``REPRO_PARALLEL_STRICT`` asks them to raise.  A *semantic*
@@ -47,9 +56,11 @@ from ..sql.ast import UnionKind
 from ..sql.compiler import QueryRunner
 from ..strategies import consolidate_delta
 from .hashing import partition_of
+from .metrics import record_fixpoint_skew
 from .pool import ParallelError, parallel_strict
 from .shm import Shipment, ship_rows
 from .spec import ExtractError, extract_delta_spec
+from .telemetry import merge_worker_payloads, worker_context
 
 _qid_counter = 0
 
@@ -104,6 +115,21 @@ def _partition_statics(spec: Any, static_rows: dict[int, list],
     return shipments
 
 
+def _record_incident(telemetry: Any, pool: Any) -> None:
+    """Capture the pool's last worker failure for the flight recorder
+    and count it — called on every degradation, before strict re-raise,
+    so a flight bundle from a failed parallel run names the culprit."""
+    if telemetry is None:
+        return
+    incident = getattr(pool, "last_failure", None)
+    if incident is not None:
+        telemetry.last_parallel_incident = dict(incident)
+        telemetry.metrics.counter(
+            "repro_parallel_worker_errors_total",
+            "Worker-side job failures observed by the parallel drivers.",
+            job=incident.get("job", "?")).inc()
+
+
 def try_parallel_fixpoint(executor: Any, cte: Any,
                           bindings: dict[str, Relation],
                           stats: Any, table: Any) -> Relation | None:
@@ -148,6 +174,11 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
     # Committed: from here the loop either completes or degrades in ways
     # that still mirror the serial engine exactly.
     executor.plan_seconds += compile_seconds
+    executor.parallel_used = pool.nworkers
+    telemetry = getattr(executor, "telemetry", None)
+    ctx = worker_context(telemetry, parent="exchange")
+    slow_ms = (telemetry.query_log.slow_ms if telemetry is not None
+               else None)
     qid = _next_qid()
     nworkers = pool.nworkers
     arity = table.schema.arity
@@ -188,10 +219,17 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
                 "key_positions": key_positions,
                 "sql_types": sql_types,
             })
-        pool.scatter("fix_setup", payloads, extra_bytes=shm_bytes)
+        with executor._span("parallel_setup", workers=nworkers) as span:
+            pool.scatter("fix_setup", payloads, extra_bytes=shm_bytes,
+                         ctx=ctx)
+            if ctx is not None:
+                merge_worker_payloads(telemetry, pool.take_telemetry(),
+                                      span)
     except ParallelError:
+        _record_incident(telemetry, pool)
         if parallel_strict():
             raise
+        executor.parallel_used = 0
         return None
     finally:
         for ship in shipments:
@@ -215,63 +253,100 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
             snapshot = table.snapshot()
             branch_slots[rname] = snapshot
             branch_started = time.perf_counter()
-            if serial_mode:
-                delta = plan.execute()
-            else:
-                try:
-                    payload = {"qid": qid,
-                               "delta": (pending_delta.payload
-                                         if pending_delta is not None
-                                         else None)}
-                    extra = (pending_delta.shm_bytes
-                             if pending_delta is not None else 0)
-                    replies = pool.broadcast("fix_iter", payload,
-                                             extra_bytes=extra)
-                    merged = heapq.merge(*replies)
-                    delta = Relation(plan.schema,
-                                     [row for _, row in merged])
-                except ParallelError:
-                    if parallel_strict():
-                        raise
-                    serial_mode = True
+            worker_seconds: tuple = ()
+            worker_rows: tuple = ()
+            with executor._span("iteration", index=iteration) as iter_span:
+                if serial_mode:
                     delta = plan.execute()
-                except Exception:
-                    # Semantic worker failure: replay serially so the
-                    # exception (and its ordering) is exactly serial.
-                    serial_mode = True
-                    delta = plan.execute()
-                finally:
-                    if pending_delta is not None:
-                        pending_delta.release()
-                        pending_delta = None
-            branch_elapsed = time.perf_counter() - branch_started
-            if iteration == 1:
-                stats.plans_compiled += 1
-            else:
-                stats.plan_cache_hits += 1
-            # Consolidate before combine: the combine consolidates
-            # internally anyway, so a duplicate-key ConstraintError fires
-            # here with the same message, before any table mutation —
-            # exactly when the serial path would raise it.
-            aligned = delta.rename_columns(table.schema.names) \
-                if delta.schema.arity == table.schema.arity else delta
-            consolidated = consolidate_delta(aligned, cte.update_key)
-            changed, _working, counts = executor._combine(
-                cte, table, snapshot, [delta])
-            table = executor.database.table(cte.name)
-            elapsed = time.perf_counter() - started
-            delta_rows = len(delta)
-            stats.per_iteration.append(IterationStat(
-                iteration=iteration,
-                delta_rows=delta_rows,
-                total_rows=len(table),
-                seconds=elapsed,
-                inserted=counts.inserted,
-                overwritten=counts.overwritten,
-                pruned=max(0, delta_rows - counts.inserted
-                           - counts.overwritten),
-                antijoin_pruned=0,
-                branch_seconds=(branch_elapsed,)))
+                else:
+                    try:
+                        payload = {"qid": qid,
+                                   "delta": (pending_delta.payload
+                                             if pending_delta is not None
+                                             else None)}
+                        extra = (pending_delta.shm_bytes
+                                 if pending_delta is not None else 0)
+                        busy_before = list(pool.busy_seconds)
+                        with executor._span("exchange", kind="fix_iter",
+                                            workers=nworkers) as ex_span:
+                            replies = pool.broadcast(
+                                "fix_iter", payload, extra_bytes=extra,
+                                ctx=ctx)
+                            if ctx is not None:
+                                merge_worker_payloads(
+                                    telemetry, pool.take_telemetry(),
+                                    ex_span)
+                        worker_seconds = tuple(
+                            max(pool.busy_seconds[i] - busy_before[i], 0.0)
+                            for i in range(nworkers))
+                        worker_rows = tuple(len(r) for r in replies)
+                        merged = heapq.merge(*replies)
+                        delta = Relation(plan.schema,
+                                         [row for _, row in merged])
+                    except ParallelError:
+                        _record_incident(telemetry, pool)
+                        if parallel_strict():
+                            raise
+                        serial_mode = True
+                        if iteration == 1:
+                            executor.parallel_used = 0
+                        delta = plan.execute()
+                    except Exception:
+                        # Semantic worker failure: replay serially so the
+                        # exception (and its ordering) is exactly serial.
+                        _record_incident(telemetry, pool)
+                        serial_mode = True
+                        delta = plan.execute()
+                    finally:
+                        if pending_delta is not None:
+                            pending_delta.release()
+                            pending_delta = None
+                branch_elapsed = time.perf_counter() - branch_started
+                if iteration == 1:
+                    stats.plans_compiled += 1
+                else:
+                    stats.plan_cache_hits += 1
+                # Consolidate before combine: the combine consolidates
+                # internally anyway, so a duplicate-key ConstraintError
+                # fires here with the same message, before any table
+                # mutation — exactly when the serial path would raise it.
+                aligned = delta.rename_columns(table.schema.names) \
+                    if delta.schema.arity == table.schema.arity else delta
+                consolidated = consolidate_delta(aligned, cte.update_key)
+                changed, _working, counts = executor._combine(
+                    cte, table, snapshot, [delta])
+                table = executor.database.table(cte.name)
+                elapsed = time.perf_counter() - started
+                delta_rows = len(delta)
+                if iter_span is not None:
+                    iter_span.attrs.update(
+                        delta_rows=delta_rows, total_rows=len(table),
+                        inserted=counts.inserted,
+                        overwritten=counts.overwritten,
+                        workers=0 if serial_mode else nworkers)
+                if worker_seconds and telemetry is not None:
+                    telemetry.profiler.record_worker_iteration(
+                        iteration, worker_seconds, worker_rows)
+                    if slow_ms is not None \
+                            and max(worker_seconds) * 1000.0 >= slow_ms:
+                        telemetry.metrics.counter(
+                            "repro_parallel_slow_jobs_total",
+                            "Worker jobs whose partition time crossed"
+                            " the slow-query threshold.",
+                            job="fix_iter").inc()
+                stats.per_iteration.append(IterationStat(
+                    iteration=iteration,
+                    delta_rows=delta_rows,
+                    total_rows=len(table),
+                    seconds=elapsed,
+                    inserted=counts.inserted,
+                    overwritten=counts.overwritten,
+                    pruned=max(0, delta_rows - counts.inserted
+                               - counts.overwritten),
+                    antijoin_pruned=0,
+                    branch_seconds=(branch_elapsed,),
+                    worker_seconds=worker_seconds,
+                    worker_rows=worker_rows))
             if len(table) > DEFAULT_ROW_CAP:
                 raise RecursionLimitError(DEFAULT_ROW_CAP)
             if not changed:
@@ -288,6 +363,8 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
             pass
     stats.iterations = iteration
     stats.hit_maxrecursion = hit_limit
+    if telemetry is not None:
+        record_fixpoint_skew(telemetry.metrics, stats.per_iteration)
     return table.snapshot()
 
 

@@ -3,20 +3,26 @@
 Follows the storage-metrics convention (`record_storage_metrics`): the
 pool keeps cumulative counters as plain attributes, and collection
 copies the current values into labelled gauges with ``set`` so
-re-collection is idempotent.
+re-collection is idempotent.  The same convention covers the
+process-global shipment tally (``repro_shipment_*``) and, for parallel
+fixpoints, the end-of-run skew gauges derived from the per-iteration
+worker timings.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from .shm import SHIPMENT_BYTE_BUCKETS, SHIPMENTS
+
 
 def record_parallel_metrics(metrics: Any, pool: Any) -> None:
     """Snapshot *pool* health into gauges on *metrics*.
 
     Exposes: workers configured/alive, coordinator-side queue depth,
-    exchange bytes in both directions, completed jobs by kind, and the
-    per-worker busy fraction since pool start.
+    exchange bytes in both directions, completed jobs by kind, the
+    per-worker busy fraction since pool start, and the shipment
+    inline-vs-shared-memory split with a byte-size histogram.
     """
     health = pool.health()
     metrics.gauge(
@@ -51,3 +57,62 @@ def record_parallel_metrics(metrics: Any, pool: Any) -> None:
             "repro_parallel_worker_busy_fraction",
             "Fraction of pool uptime each worker spent executing jobs.",
             worker=str(worker_id)).set(round(fraction, 6))
+    record_shipment_metrics(metrics)
+
+
+def record_shipment_metrics(metrics: Any) -> None:
+    """Copy the process-global shipment tally into *metrics*.
+
+    Counters advance by the delta since the last collection (counters
+    only go up); the byte histogram is overwritten wholesale — both are
+    idempotent under repeated scrapes."""
+    inline = metrics.counter(
+        "repro_shipment_inline_total",
+        "Row shipments that took the inline pickle fast path"
+        " (under the shared-memory row threshold).")
+    inline.inc(max(SHIPMENTS.inline_total - inline.value, 0))
+    shm = metrics.counter(
+        "repro_shipment_shm_total",
+        "Row shipments that travelled as shared-memory morsel blocks.")
+    shm.inc(max(SHIPMENTS.shm_total - shm.value, 0))
+    metrics.histogram(
+        "repro_shipment_bytes",
+        "Size distribution of row shipments to workers, in bytes"
+        " (descriptor plus shared segment).",
+        buckets=SHIPMENT_BYTE_BUCKETS,
+    ).load(SHIPMENTS.bucket_counts, SHIPMENTS.bytes_sum,
+           SHIPMENTS.bytes_count)
+
+
+def record_fixpoint_skew(metrics: Any, per_iteration: Any) -> None:
+    """Partition-skew gauges from a completed parallel fixpoint.
+
+    ``repro_parallel_time_skew`` is the worst iteration's max-vs-median
+    partition time ratio; ``repro_parallel_rows_imbalance`` the worst
+    max-vs-mean rows-per-partition ratio.  1.0 means perfectly balanced;
+    both read 0 until a parallel fixpoint has run."""
+    time_skew = 0.0
+    rows_imbalance = 0.0
+    for stat in per_iteration:
+        seconds = getattr(stat, "worker_seconds", ())
+        rows = getattr(stat, "worker_rows", ())
+        if seconds:
+            ordered = sorted(seconds)
+            mid = len(ordered) // 2
+            median = (ordered[mid] if len(ordered) % 2
+                      else (ordered[mid - 1] + ordered[mid]) / 2.0)
+            if median > 0:
+                time_skew = max(time_skew, max(seconds) / median)
+        if rows and sum(rows) > 0:
+            mean = sum(rows) / len(rows)
+            rows_imbalance = max(rows_imbalance, max(rows) / mean)
+    metrics.gauge(
+        "repro_parallel_time_skew",
+        "Worst per-iteration max/median partition time ratio of the"
+        " last parallel fixpoint (1.0 = balanced).").set(
+        round(time_skew, 6))
+    metrics.gauge(
+        "repro_parallel_rows_imbalance",
+        "Worst per-iteration max/mean rows-per-partition ratio of the"
+        " last parallel fixpoint (1.0 = balanced).").set(
+        round(rows_imbalance, 6))

@@ -39,6 +39,11 @@ from .spec import (
     extract_chain_spec,
     extract_delta_spec,
 )
+from .telemetry import (
+    coordinator_span,
+    merge_worker_payloads,
+    worker_context,
+)
 
 #: Default break-even input size for fan-out.  Below this the fixed
 #: dispatch cost (queue round-trip + payload encode) dominates any
@@ -77,7 +82,7 @@ class GatherExchange(PhysicalOperator):
     label = "Gather Exchange"
 
     def __init__(self, child: PhysicalOperator, pool_provider, mode: str,
-                 spec: Any, source: Any, nworkers: int):
+                 spec: Any, source: Any, nworkers: int, telemetry=None):
         self.child = child
         self._provider = pool_provider
         self.mode = mode  # "chain" | "aggregate"
@@ -86,6 +91,11 @@ class GatherExchange(PhysicalOperator):
         #: configured worker count — lets the cost rule run *before* the
         #: pool provider is called, so losing queries never fork a pool.
         self.nworkers = nworkers
+        self.telemetry = telemetry
+        #: worker count the last execution actually fanned out to
+        #: (0 = the cost rule declined or the pool degraded) — the
+        #: engine copies this into the query log's ``parallel`` field.
+        self.engaged = 0
 
     @property
     def schema(self):
@@ -98,6 +108,7 @@ class GatherExchange(PhysicalOperator):
         return self.mode
 
     def rows(self) -> Iterator[tuple]:
+        self.engaged = 0
         try:
             result = self._parallel_rows()
         except ParallelError:
@@ -113,6 +124,7 @@ class GatherExchange(PhysicalOperator):
             result = None
         if result is None:
             return self.child.rows()
+        self.engaged = self.nworkers
         return iter(result)
 
     def _parallel_rows(self) -> list | None:
@@ -145,8 +157,15 @@ class GatherExchange(PhysicalOperator):
                 shipments.append(ship)
                 shm_bytes += ship.shm_bytes
                 payloads.append({"spec": spec, "slice": ship.payload})
-            replies = pool.scatter("chain_exec", payloads,
-                                   extra_bytes=shm_bytes)
+            ctx = worker_context(self.telemetry, parent="exchange")
+            with coordinator_span(self.telemetry, "exchange",
+                                  mode=self.mode,
+                                  workers=pool.nworkers) as span:
+                replies = pool.scatter("chain_exec", payloads,
+                                       extra_bytes=shm_bytes, ctx=ctx)
+                if ctx is not None:
+                    merge_worker_payloads(self.telemetry,
+                                          pool.take_telemetry(), span)
         finally:
             for ship in shipments:
                 ship.release()
@@ -189,8 +208,15 @@ class GatherExchange(PhysicalOperator):
                                      for sid, per_worker
                                      in static_payloads.items()}}
                         for worker_id in range(pool.nworkers)]
-            replies = pool.scatter("agg_exec", payloads,
-                                   extra_bytes=shm_bytes)
+            ctx = worker_context(self.telemetry, parent="exchange")
+            with coordinator_span(self.telemetry, "exchange",
+                                  mode=self.mode,
+                                  workers=pool.nworkers) as span:
+                replies = pool.scatter("agg_exec", payloads,
+                                       extra_bytes=shm_bytes, ctx=ctx)
+                if ctx is not None:
+                    merge_worker_payloads(self.telemetry,
+                                          pool.take_telemetry(), span)
         finally:
             for ship in shipments:
                 ship.release()
@@ -198,20 +224,22 @@ class GatherExchange(PhysicalOperator):
 
 
 def maybe_parallel_plan(plan: PhysicalOperator, pool_provider,
-                        nworkers: int) -> PhysicalOperator:
+                        nworkers: int,
+                        telemetry=None) -> PhysicalOperator:
     """The placement rule: wrap *plan* in a :class:`GatherExchange` when
     it matches a partitionable shape.  The cost decision happens at
     execution time against actual input cardinality."""
     try:
         chain, source = extract_chain_spec(plan)
         return GatherExchange(plan, pool_provider, "chain", chain,
-                              source, nworkers)
+                              source, nworkers, telemetry=telemetry)
     except ExtractError:
         pass
     try:
         rname = "\x00never-a-relation-name"
         spec, static_nodes = extract_delta_spec(plan, rname)
         return GatherExchange(plan, pool_provider, "aggregate",
-                              (spec, static_nodes), None, nworkers)
+                              (spec, static_nodes), None, nworkers,
+                              telemetry=telemetry)
     except ExtractError:
         return plan

@@ -69,7 +69,13 @@ def _freeze_error(exc: BaseException) -> tuple:
 
 
 def _worker_main(worker_id: int, nworkers: int, inq, outq) -> None:
-    """Worker process body: a dispatch loop over pre-pickled jobs."""
+    """Worker process body: a dispatch loop over pre-pickled jobs.
+
+    Each message carries an optional trace context; when present, the
+    worker's telemetry shard records spans/counters for the job and the
+    reply's last slot ships the drained ``repro-telemetry-v1`` payload
+    (``None`` when telemetry is off — the common case costs one
+    attribute check)."""
     from . import worker as handlers
 
     state = handlers.WorkerState(worker_id, nworkers)
@@ -78,15 +84,18 @@ def _worker_main(worker_id: int, nworkers: int, inq, outq) -> None:
         message = inq.get()
         if message is None:
             break
-        job_id, kind, payload = pickle.loads(message)
+        job_id, kind, payload, ctx = pickle.loads(message)
+        state.telemetry.begin(ctx)
         started = time.perf_counter()
         try:
             result = handlers.dispatch(state, kind, payload)
             busy += time.perf_counter() - started
-            reply = (job_id, worker_id, True, result, busy)
+            reply = (job_id, worker_id, True, result, busy,
+                     state.telemetry.take())
         except BaseException as exc:  # noqa: BLE001 — shipped, not hidden
             busy += time.perf_counter() - started
-            reply = (job_id, worker_id, False, _freeze_error(exc), busy)
+            reply = (job_id, worker_id, False, _freeze_error(exc), busy,
+                     state.telemetry.take())
         outq.put(pickle.dumps(reply, protocol=_PROTO))
 
 
@@ -127,6 +136,11 @@ class WorkerPool:
         self.jobs_by_kind: dict[str, int] = {}
         #: last reported cumulative busy seconds per worker
         self.busy_seconds = [0.0] * nworkers
+        #: telemetry shards from the most recent job (cleared at every
+        #: submission so shared-pool users never see a stale batch)
+        self._telemetry_shards: list[dict] = []
+        #: last worker failure, for flight-recorder incident capture
+        self.last_failure: dict[str, Any] | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -139,6 +153,17 @@ class WorkerPool:
             pool = cls(nworkers)
             cls._registry[nworkers] = pool
         return pool
+
+    @classmethod
+    def peek(cls, nworkers: int) -> "WorkerPool | None":
+        """The live shared pool of the given size, without creating one.
+
+        Lets a metrics scrape refresh pool-health gauges for an engine
+        that has not engaged the pool itself yet."""
+        pool = cls._registry.get(nworkers)
+        if pool is not None and pool.usable():
+            return pool
+        return None
 
     @classmethod
     def close_all(cls) -> None:
@@ -167,18 +192,21 @@ class WorkerPool:
 
     # -- job submission ----------------------------------------------------
 
-    def broadcast(self, kind: str, payload: Any,
-                  extra_bytes: int = 0) -> list[Any]:
+    def broadcast(self, kind: str, payload: Any, extra_bytes: int = 0,
+                  ctx: dict | None = None) -> list[Any]:
         """Run the same job on every worker; results in worker order.
 
         The payload is pickled once; ``extra_bytes`` reports
         shared-memory bytes that ride outside the message (for the
-        exchange counters)."""
+        exchange counters).  *ctx* is the trace context propagated to
+        the worker telemetry shards (``None`` = telemetry off)."""
         if not self.usable():
             raise ParallelError("worker pool is closed or degraded")
         self._job_counter += 1
         job_id = self._job_counter
-        message = pickle.dumps((job_id, kind, payload), protocol=_PROTO)
+        self._telemetry_shards = []
+        message = pickle.dumps((job_id, kind, payload, ctx),
+                               protocol=_PROTO)
         self.bytes_sent += (len(message)) * self.nworkers + extra_bytes
         for inq in self._inqs:
             inq.put(message)
@@ -186,7 +214,8 @@ class WorkerPool:
         return self._collect(job_id, kind, self.nworkers)
 
     def scatter(self, kind: str, payloads: list[Any],
-                extra_bytes: int = 0) -> list[Any]:
+                extra_bytes: int = 0,
+                ctx: dict | None = None) -> list[Any]:
         """Run one job per worker with per-worker payloads."""
         if len(payloads) != self.nworkers:
             raise ValueError("scatter needs one payload per worker")
@@ -194,14 +223,22 @@ class WorkerPool:
             raise ParallelError("worker pool is closed or degraded")
         self._job_counter += 1
         job_id = self._job_counter
+        self._telemetry_shards = []
         for worker_id, payload in enumerate(payloads):
-            message = pickle.dumps((job_id, kind, payload),
+            message = pickle.dumps((job_id, kind, payload, ctx),
                                    protocol=_PROTO)
             self.bytes_sent += len(message)
             self._inqs[worker_id].put(message)
         self.bytes_sent += extra_bytes
         self._pending += self.nworkers
         return self._collect(job_id, kind, self.nworkers)
+
+    def take_telemetry(self) -> list[dict]:
+        """Drain the telemetry shards shipped with the last job's
+        replies (empty when the job ran without a trace context)."""
+        shards = self._telemetry_shards
+        self._telemetry_shards = []
+        return shards
 
     def _collect(self, job_id: int, kind: str, expected: int) -> list[Any]:
         import queue as queue_module
@@ -218,27 +255,35 @@ class WorkerPool:
                     f"timed out waiting for {kind} replies"
                     f" ({received}/{expected} received)") from None
             self.bytes_received += len(raw)
-            got_job, worker_id, ok, result, busy = pickle.loads(raw)
+            got_job, worker_id, ok, result, busy, shard = pickle.loads(raw)
             if got_job != job_id:  # pragma: no cover - stale reply
                 continue
             received += 1
             self._pending -= 1
             self.busy_seconds[worker_id] = busy
+            if shard is not None:
+                self._telemetry_shards.append(shard)
             if ok:
                 results[worker_id] = result
             elif failure is None:
-                failure = result
+                failure = (worker_id, result)
         self.jobs_by_kind[kind] = self.jobs_by_kind.get(kind, 0) + expected
         if failure is not None:
             self._raise_worker_error(kind, failure)
         return [results[i] for i in range(expected)]
 
-    @staticmethod
-    def _raise_worker_error(kind: str, failure: tuple) -> None:
-        if failure[0] == "pickled":
-            raise pickle.loads(failure[1])
+    def _raise_worker_error(self, kind: str, failure: tuple) -> None:
+        worker_id, frozen = failure
+        if frozen[0] == "pickled":
+            exc = pickle.loads(frozen[1])
+            self.last_failure = {"job": kind, "worker": worker_id,
+                                 "error": type(exc).__name__,
+                                 "message": str(exc)}
+            raise exc
+        self.last_failure = {"job": kind, "worker": worker_id,
+                             "error": frozen[1], "message": frozen[2]}
         raise ParallelError(
-            f"worker failed during {kind}: {failure[1]}: {failure[2]}")
+            f"worker failed during {kind}: {frozen[1]}: {frozen[2]}")
 
     # -- introspection -----------------------------------------------------
 

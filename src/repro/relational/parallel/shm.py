@@ -43,6 +43,48 @@ MORSEL_ROWS = 2048
 #: + segment machinery only pays off once buffers are non-trivial.
 SHM_MIN_ROWS = 256
 
+#: Bucket bounds (bytes) for the shipment-size distribution.
+SHIPMENT_BYTE_BUCKETS = (128.0, 512.0, 2048.0, 8192.0, 32768.0,
+                         131072.0, 524288.0, 2097152.0, 8388608.0)
+
+
+class ShipmentStats:
+    """Process-global shipment accounting behind ``repro_shipment_*``.
+
+    Shipments happen coordinator-side only, so like the shared worker
+    pool this is one process-wide tally; ``record_parallel_metrics``
+    copies it into a registry on every scrape (idempotent, like the
+    pool-health gauges)."""
+
+    __slots__ = ("inline_total", "shm_total", "bucket_counts",
+                 "bytes_sum", "bytes_count")
+
+    def __init__(self):
+        self.inline_total = 0
+        self.shm_total = 0
+        self.bucket_counts = [0] * (len(SHIPMENT_BYTE_BUCKETS) + 1)
+        self.bytes_sum = 0.0
+        self.bytes_count = 0
+
+    def observe(self, shipment: "Shipment") -> None:
+        if shipment.uses_shm:
+            self.shm_total += 1
+        else:
+            self.inline_total += 1
+        nbytes = payload_size(shipment.payload)
+        for index, bound in enumerate(SHIPMENT_BYTE_BUCKETS):
+            if nbytes <= bound:
+                self.bucket_counts[index] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.bytes_sum += nbytes
+        self.bytes_count += 1
+
+
+#: the process-wide tally (import-site singleton, like the pool registry)
+SHIPMENTS = ShipmentStats()
+
 #: field classification per codec name (see encodings.py)
 _ARRAY_FIELDS = {"int64": ("data",), "float64": ("data",),
                  "for": ("offsets",), "delta": ("deltas",),
@@ -220,7 +262,9 @@ def ship_rows(rows: Sequence[tuple], arity: int,
     if len(rows) < min_shm_rows or arity == 0:
         payload = {"kind": "pickle", "rows": rows,
                    "seqs": list(seqs) if seqs is not None else None}
-        return Shipment(payload, [])
+        shipment = Shipment(payload, [])
+        SHIPMENTS.observe(shipment)
+        return shipment
     blocks = []
     for start in range(0, len(rows), MORSEL_ROWS):
         chunk = rows[start:start + MORSEL_ROWS]
@@ -233,7 +277,9 @@ def ship_rows(rows: Sequence[tuple], arity: int,
     payload = {"kind": "columnar", "arity": arity,
                "count": len(rows), "has_seqs": seqs is not None,
                "descriptor": descriptor}
-    return Shipment(payload, segments)
+    shipment = Shipment(payload, segments)
+    SHIPMENTS.observe(shipment)
+    return shipment
 
 
 def receive_rows(payload: dict) -> tuple[list[tuple], list[int] | None]:

@@ -1,0 +1,215 @@
+"""Cross-process telemetry: the per-worker shard and its coordinator merge.
+
+Telemetry does not stop at the process boundary.  When the coordinator
+runs with tracing or profiling enabled it attaches a small *trace
+context* to every job message; each worker keeps a
+:class:`WorkerTelemetry` shard that records spans (relative to the job's
+start), counters and histogram observations while the job runs, then
+empties itself into a compact ``repro-telemetry-v1`` payload that rides
+home on the existing reply tuple.  The coordinator merges the payloads
+with :func:`merge_worker_payloads`:
+
+* **spans** are grafted under the coordinator's live exchange span with
+  rank-tagged names (``rank0:fix_iter``) and a ``worker=<rank>``
+  attribute, so worker work nests under the coordinator's phase spans in
+  the trace exactly where it happened;
+* **counters** land in the shared :class:`MetricsRegistry` with a
+  ``worker=<rank>`` label (per-rank series on ``/metrics``);
+* **histogram observations** merge across workers into one series —
+  every worker's raw observations feed the same coordinator histogram,
+  so quantiles describe the whole pool;
+* **profiling** folds each rank's span tree into the
+  :class:`~repro.observability.profiling.Profiler` as
+  ``worker:rankN;job:...;step:...`` collapsed stacks.
+
+With telemetry off the context is ``None``: workers skip every recording
+path on a single attribute check and ship no shard, so the telemetry-off
+parallel overhead stays within the existing guard.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Any, Iterator
+
+TELEMETRY_FORMAT = "repro-telemetry-v1"
+
+#: Help texts for the worker-originated metric families (the coordinator
+#: registers them at merge time — workers only know names and labels).
+_METRIC_HELP = {
+    "repro_worker_jobs_total": "Jobs executed inside pool workers, by"
+                               " job kind (one series per worker rank).",
+    "repro_worker_rows_total": "Rows produced by pool workers, by job"
+                               " kind (one series per worker rank).",
+    "repro_worker_job_ms": "Worker-side job execution time in"
+                           " milliseconds, merged across all ranks.",
+}
+
+
+class WorkerTelemetry:
+    """The rank-scoped telemetry shard living inside a pool worker.
+
+    Activated per job by :meth:`begin` with the coordinator's trace
+    context (``None`` keeps every recording path a single attribute
+    check).  Span starts are seconds relative to the job's own start —
+    the coordinator re-anchors them under its exchange span at merge
+    time, which is how worker spans parent correctly under coordinator
+    phase spans without a shared clock.
+    """
+
+    __slots__ = ("rank", "ctx", "_spans", "_stack", "_counters",
+                 "_observations", "_epoch")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.ctx: dict | None = None
+        self._spans: list[dict] = []
+        self._stack: list[dict] = []
+        self._counters: dict[tuple, float] = {}
+        self._observations: dict[tuple, list[float]] = {}
+        self._epoch = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.ctx is not None
+
+    def begin(self, ctx: dict | None) -> None:
+        """Arm (or disarm) the shard for the job about to run."""
+        self.ctx = ctx
+        if ctx is not None:
+            self._epoch = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict | None]:
+        """A recorded span when armed, else a free null context."""
+        if self.ctx is None:
+            yield None
+            return
+        record = {"name": name,
+                  "start": time.perf_counter() - self._epoch,
+                  "duration": 0.0, "attrs": attrs, "children": []}
+        if self._stack:
+            self._stack[-1]["children"].append(record)
+        else:
+            self._spans.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record["duration"] = (time.perf_counter() - self._epoch
+                                  - record["start"])
+
+    def count(self, name: str, amount: float = 1.0,
+              **labels: Any) -> None:
+        if self.ctx is None:
+            return
+        key = (name, tuple(sorted(labels.items())))
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        if self.ctx is None:
+            return
+        key = (name, tuple(sorted(labels.items())))
+        self._observations.setdefault(key, []).append(value)
+
+    def take(self) -> dict | None:
+        """Empty the shard into a ``repro-telemetry-v1`` payload.
+
+        Returns ``None`` when the job ran unarmed — the reply then
+        carries no telemetry at all."""
+        if self.ctx is None:
+            return None
+        payload = {
+            "format": TELEMETRY_FORMAT,
+            "rank": self.rank,
+            "parent": self.ctx.get("parent"),
+            "spans": self._spans,
+            "counters": [(name, dict(labels), value) for (name, labels),
+                         value in self._counters.items()],
+            "observations": [(name, dict(labels), values)
+                             for (name, labels), values
+                             in self._observations.items()],
+        }
+        self._spans = []
+        self._stack = []
+        self._counters = {}
+        self._observations = {}
+        self.ctx = None
+        return payload
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+def worker_context(telemetry: Any, parent: str) -> dict | None:
+    """The trace context to ship with a job, or ``None`` when neither
+    tracing nor profiling is on (workers then record nothing).
+
+    *parent* names the coordinator span the worker spans will be grafted
+    under — propagated so the payload is self-describing."""
+    if telemetry is None:
+        return None
+    if telemetry.tracer.enabled or telemetry.profiler.enabled:
+        return {"parent": parent,
+                "trace": telemetry.tracer.enabled,
+                "profile": telemetry.profiler.enabled}
+    return None
+
+
+def coordinator_span(telemetry: Any, name: str, **attrs: Any):
+    """A live tracer span when tracing is on, else a null context —
+    the parallel drivers' version of ``RecursiveExecutor._span``."""
+    if telemetry is not None and telemetry.tracer.enabled:
+        return telemetry.tracer.span(name, **attrs)
+    return nullcontext(None)
+
+
+def merge_worker_payloads(telemetry: Any, payloads: list,
+                          parent_span: Any = None) -> None:
+    """Merge worker shards into the coordinator's telemetry bundle.
+
+    Span trees are grafted under *parent_span* (the live exchange span)
+    with rank-tagged root names; counters are registered with a
+    ``worker=<rank>`` label; histogram observations merge across workers
+    into single series; span trees additionally feed the profiler's
+    per-rank collapsed stacks."""
+    if telemetry is None:
+        return
+    metrics = telemetry.metrics
+    profiler = telemetry.profiler
+    for payload in payloads:
+        if not payload or payload.get("format") != TELEMETRY_FORMAT:
+            continue
+        rank = payload["rank"]
+        if parent_span is not None:
+            for record in payload["spans"]:
+                _graft(parent_span, record, rank, parent_span.start,
+                       top=True)
+        for name, labels, value in payload["counters"]:
+            metrics.counter(name, _METRIC_HELP.get(name, ""),
+                            worker=str(rank), **labels).inc(value)
+        for name, labels, values in payload["observations"]:
+            histogram = metrics.histogram(
+                name, _METRIC_HELP.get(name, ""), **labels)
+            for value in values:
+                histogram.observe(value)
+        if profiler.enabled:
+            profiler.record_worker(payload)
+
+
+def _graft(into: Any, record: dict, rank: int, anchor: float,
+           top: bool) -> None:
+    """Recursively attach one worker span record as a synthetic child.
+
+    Worker starts are job-relative; *anchor* (the exchange span's start)
+    re-bases them onto the coordinator's clock.  Only the top-level span
+    gets the rank tag — nested steps stay readable and carry the
+    ``worker`` attribute instead."""
+    name = f"rank{rank}:{record['name']}" if top else record["name"]
+    span = into.child(name, start=anchor + record["start"],
+                      duration=record["duration"], worker=rank,
+                      **record["attrs"])
+    for child in record["children"]:
+        _graft(span, child, rank, anchor, top=False)

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+import time
+
 from ..expressions import compile_expression, compile_key_function
 from ..relation import _finish_aggregate
 from ..types import make_row_coercer
@@ -43,15 +45,17 @@ from .spec import (
     ScanSpec,
     group_partition,
 )
+from .telemetry import WorkerTelemetry
 
 
 class WorkerState:
-    """Per-process state: identity plus the resident fixpoint queries."""
+    """Per-process state: identity, telemetry shard, resident queries."""
 
     def __init__(self, worker_id: int, nworkers: int):
         self.worker_id = worker_id
         self.nworkers = nworkers
         self.queries: dict[int, "_FixpointQuery"] = {}
+        self.telemetry = WorkerTelemetry(worker_id)
 
 
 # -- replica maintenance ---------------------------------------------------
@@ -275,12 +279,14 @@ def _handle_ping(state: WorkerState, payload: Any) -> int:
 
 
 def _handle_fix_setup(state: WorkerState, payload: dict) -> int:
-    statics = _receive_statics(payload["statics"])
-    replica_rows, _ = receive_rows(payload["r"])
-    replica = _Replica(list(replica_rows), payload["key_positions"],
-                       payload["sql_types"])
-    state.queries[payload["qid"]] = _FixpointQuery(
-        payload["spec"], statics, replica)
+    with state.telemetry.span("receive_inputs"):
+        statics = _receive_statics(payload["statics"])
+        replica_rows, _ = receive_rows(payload["r"])
+    with state.telemetry.span("build_replica"):
+        replica = _Replica(list(replica_rows), payload["key_positions"],
+                           payload["sql_types"])
+        state.queries[payload["qid"]] = _FixpointQuery(
+            payload["spec"], statics, replica)
     return len(replica.rows)
 
 
@@ -288,9 +294,11 @@ def _handle_fix_iter(state: WorkerState, payload: dict) -> list:
     query = state.queries[payload["qid"]]
     delta = payload.get("delta")
     if delta is not None:
-        rows, _ = receive_rows(delta)
-        query.replica.merge(rows)
-    return query.compiled.run(state.worker_id, state.nworkers)
+        with state.telemetry.span("merge_delta"):
+            rows, _ = receive_rows(delta)
+            query.replica.merge(rows)
+    with state.telemetry.span("evaluate"):
+        return query.compiled.run(state.worker_id, state.nworkers)
 
 
 def _handle_fix_teardown(state: WorkerState, payload: dict) -> bool:
@@ -299,19 +307,23 @@ def _handle_fix_teardown(state: WorkerState, payload: dict) -> bool:
 
 def _handle_agg_exec(state: WorkerState, payload: dict) -> list:
     """One-shot grouped aggregation over static inputs (plain queries)."""
-    statics = _receive_statics(payload["statics"])
-    compiled = _CompiledDelta(payload["spec"], statics, None)
-    return compiled.run(state.worker_id, state.nworkers)
+    with state.telemetry.span("receive_inputs"):
+        statics = _receive_statics(payload["statics"])
+    with state.telemetry.span("evaluate"):
+        compiled = _CompiledDelta(payload["spec"], statics, None)
+        return compiled.run(state.worker_id, state.nworkers)
 
 
 def _handle_chain_exec(state: WorkerState, payload: dict) -> list:
     """Filter/Project chain over this worker's contiguous row slice."""
     spec: ChainSpec = payload["spec"]
-    rows, seqs = receive_rows(payload["slice"])
+    with state.telemetry.span("receive_inputs"):
+        rows, seqs = receive_rows(payload["slice"])
     if seqs is None:
         seqs = range(len(rows))
-    stream = _compile_tree(spec.tree, {0: (rows, seqs)}, None)
-    return [row for _, row in stream()]
+    with state.telemetry.span("evaluate"):
+        stream = _compile_tree(spec.tree, {0: (rows, seqs)}, None)
+        return [row for _, row in stream()]
 
 
 _HANDLERS = {
@@ -328,4 +340,16 @@ def dispatch(state: WorkerState, kind: str, payload: Any) -> Any:
     handler = _HANDLERS.get(kind)
     if handler is None:
         raise ValueError(f"unknown parallel job kind {kind!r}")
-    return handler(state, payload)
+    telemetry = state.telemetry
+    if not telemetry.active:
+        return handler(state, payload)
+    started = time.perf_counter()
+    with telemetry.span(kind) as span:
+        result = handler(state, payload)
+        rows = len(result) if isinstance(result, (list, tuple)) else 0
+        span["attrs"]["rows"] = rows
+    telemetry.count("repro_worker_jobs_total", 1, job=kind)
+    telemetry.count("repro_worker_rows_total", rows, job=kind)
+    telemetry.observe("repro_worker_job_ms",
+                      (time.perf_counter() - started) * 1000.0, job=kind)
+    return result

@@ -86,6 +86,12 @@ class IterationStat:
     antijoin_pruned: int = 0
     #: Wall seconds per recursive branch, in branch order.
     branch_seconds: tuple = ()
+    #: Parallel runs only: busy seconds per worker rank for this
+    #: iteration's delta evaluation (straggler/skew source; empty when
+    #: the iteration ran serially).
+    worker_seconds: tuple = ()
+    #: Parallel runs only: delta rows owned per worker rank.
+    worker_rows: tuple = ()
 
 
 @dataclass
@@ -486,6 +492,9 @@ class RecursiveExecutor:
         #: called only after a fixpoint proves parallel-eligible, so the
         #: pool is forked lazily.  ``None`` disables parallel execution.
         self.parallel_pool_provider = parallel_pool_provider
+        #: Worker count the fixpoint actually ran on (0 = serial); the
+        #: engine copies this into the query log's ``parallel`` field.
+        self.parallel_used = 0
         #: Wall seconds spent compiling plans (initial queries, cached and
         #: fresh branch plans, the final body) — the engine reports this as
         #: the recursive statement's "plan" phase.
@@ -604,10 +613,12 @@ class RecursiveExecutor:
         table.insert_relation(current)
         self._maybe_index(table)
 
-        if self.parallel_pool_provider is not None and not self._instrument:
+        if self.parallel_pool_provider is not None:
             # Partitioned parallel fixpoint (byte-identical to the serial
             # loop below; see docs/parallel.md).  Returns None on any
-            # ineligible shape, falling through untouched.
+            # ineligible shape, falling through untouched.  Instrumented
+            # runs take this path too: workers ship telemetry shards back
+            # with their replies (docs/observability.md).
             from .parallel.fixpoint import try_parallel_fixpoint
 
             parallel_result = try_parallel_fixpoint(

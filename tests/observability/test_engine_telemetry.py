@@ -75,7 +75,7 @@ class TestPhaseSpans:
                    for span in query.find("execute")[0].children)
 
     def test_phases_recorded_even_with_tracing_off(self):
-        engine = make_engine()
+        engine = make_engine(telemetry="off")
         result = engine.execute_detailed(RECURSIVE_SQL)
         telemetry = result.telemetry
         assert set(telemetry.phases) == {"parse", "plan", "execute"}

@@ -162,7 +162,8 @@ class TestProfileJsonSchema:
         assert snapshot["format"] == "repro-profile-v1"
         assert set(snapshot) == {"format", "queries", "phases", "stacks",
                                  "top_operators", "iterations",
-                                 "misestimates"}
+                                 "misestimates", "stragglers"}
+        assert snapshot["stragglers"] == []  # serial run: no partitions
         assert snapshot["queries"] == 1
         for stack, entry in snapshot["stacks"].items():
             assert set(entry) == {"us", "rows", "calls", "bytes"}

@@ -40,7 +40,9 @@ def test_parallel_gauges_exposed_after_parallel_run():
 
 
 def test_serial_engine_exposes_no_parallel_gauges():
-    engine = Engine("oracle")
+    # parallel=0 pinned: with REPRO_PARALLEL set the scrape-time peek
+    # would (correctly) surface the shared pool's gauges.
+    engine = Engine("oracle", parallel=0)
     engine.database.load_node_table("V", [(1, 1.0)])
     engine.execute("select ID from V")
     assert "repro_parallel" not in engine.metrics.to_prometheus()
@@ -48,15 +50,15 @@ def test_serial_engine_exposes_no_parallel_gauges():
 
 def test_default_matrix_includes_parallel_cells():
     matrix = default_matrix()
-    assert len(matrix) == 80
+    assert len(matrix) == 96
     parallel_cells = [c for c in matrix if c.parallel]
-    assert len(parallel_cells) == 16
-    # telemetry instrumentation forces serial execution, so parallel
-    # cells pair only with telemetry=off
-    assert all(c.telemetry == "off" for c in parallel_cells)
+    assert len(parallel_cells) == 32
+    # worker telemetry shards let instrumented runs fan out too, so
+    # parallel cells cover both telemetry modes
+    assert {c.telemetry for c in parallel_cells} == {"off", "on"}
     assert all(c.parallel == 2 for c in parallel_cells)
     labels = {c.label() for c in matrix}
-    assert len(labels) == 80  # parallel must show up in the label
+    assert len(labels) == 96  # parallel must show up in the label
 
 
 def test_relevant_matrix_keeps_parallel_axis_for_plain_queries():

@@ -59,6 +59,66 @@ def test_parallel_zero_overhead_under_5_percent(monkeypatch):
         f" {without_hooks * 1000:.2f} ms baseline")
 
 
+def _time_parallel_run(graph, telemetry: str) -> float:
+    engine = Engine("oracle", parallel=2, telemetry=telemetry)
+    engine.load_graph(graph)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        pagerank.run_sql(engine, graph, iterations=10)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def test_parallel_telemetry_off_overhead_under_5_percent(monkeypatch):
+    """The disabled-overhead guard, extended to parallel mode: with
+    telemetry off, a pooled run pays nothing measurable for the
+    telemetry plumbing (no job context is shipped; the worker-side
+    check is one attribute read per job)."""
+    from repro.relational.engine import Engine as EngineClass
+
+    graph = preferential_attachment(150, 3, directed=True, seed=7)
+    _time_parallel_run(graph, "off")  # warm-up: forks the shared pool
+
+    with_accounting = float("inf")
+    without_accounting = float("inf")
+    for _ in range(ROUNDS):
+        with_accounting = min(with_accounting,
+                              _time_parallel_run(graph, "off"))
+        with monkeypatch.context() as patch:
+            patch.setattr(EngineClass, "_record_query",
+                          lambda self, *args, **kwargs: None)
+            patch.setattr(EngineClass, "_publish_iterations",
+                          lambda self, result: None)
+            without_accounting = min(without_accounting,
+                                     _time_parallel_run(graph, "off"))
+
+    assert with_accounting <= without_accounting * 1.05 + 0.005, (
+        f"parallel telemetry-off cost {with_accounting * 1000:.2f} ms vs"
+        f" {without_accounting * 1000:.2f} ms baseline")
+
+
+def test_parallel_telemetry_on_overhead_bounded():
+    """Tracing a pooled run ships spans/counters back with every reply;
+    that must stay a bounded tax, not a serial fallback or a blow-up.
+    The bound is generous — span bookkeeping is real work — but catches
+    regressions like re-pickling inputs per job or chatty shards."""
+    graph = preferential_attachment(150, 3, directed=True, seed=7)
+    _time_parallel_run(graph, "on")  # warm-up
+
+    traced = float("inf")
+    untraced = float("inf")
+    for _ in range(3):
+        traced = min(traced, _time_parallel_run(graph, "on"))
+        untraced = min(untraced, _time_parallel_run(graph, "off"))
+
+    assert traced <= untraced * 1.75 + 0.05, (
+        f"parallel telemetry-on cost {traced * 1000:.2f} ms vs"
+        f" {untraced * 1000:.2f} ms untraced")
+
+
 def test_parallel_zero_never_creates_a_pool(monkeypatch):
     monkeypatch.delenv("REPRO_PARALLEL", raising=False)
     graph = preferential_attachment(60, 3, directed=True, seed=7)

@@ -1,0 +1,288 @@
+"""Cross-process telemetry: worker shards merged into the coordinator.
+
+Tracing a parallel run must not change answers (byte-identity holds
+with telemetry on), must *not* force serial execution (the pool
+processes fixpoint jobs while traced), and must surface the worker-side
+picture — rank-tagged spans under the coordinator's exchange spans,
+``worker=``-labelled metrics, per-rank profile stacks, the straggler
+report, and the query log's ``parallel`` field.
+"""
+
+import random
+
+import pytest
+
+from repro.observability import Telemetry
+from repro.observability.flight import load_bundle, replay_bundle
+from repro.relational import Engine
+
+pytestmark = pytest.mark.usefixtures("strict_parallel")
+
+
+@pytest.fixture
+def strict_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_STRICT", "1")
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+
+
+def _graph(seed=7, nodes=60, edges=240):
+    rng = random.Random(seed)
+    edge_rows = sorted({(rng.randrange(nodes), rng.randrange(nodes))
+                        for _ in range(edges)})
+    node_ids = sorted({u for u, _ in edge_rows}
+                      | {v for _, v in edge_rows})
+    return edge_rows, node_ids
+
+
+def _engine(parallel, telemetry="on", **kwargs):
+    edge_rows, node_ids = _graph()
+    engine = Engine("oracle", telemetry=telemetry, parallel=parallel,
+                    **kwargs)
+    engine.database.load_edge_table(
+        "E", [(u, v, 1.0) for u, v in edge_rows])
+    engine.database.load_node_table("V", [(n, 1.0) for n in node_ids])
+    return engine
+
+
+PAGERANK = """with P(ID, val) as (
+  (select ID, 1.0 as val from V)
+  union by update ID
+  (select E.T, 0.2 + 0.8 * sum(P.val * E.ew)
+   from P, E where P.ID = E.F group by E.T)
+  maxrecursion 8
+) select ID, val from P"""
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+def _all_spans(engine):
+    return [span for root in engine.tracer.roots
+            for span in _walk(root)]
+
+
+class TestTracedParallelExecution:
+    def test_traced_run_is_byte_identical_and_uses_the_pool(self):
+        serial = _engine(0).execute_detailed(PAGERANK)
+        engine = _engine(2)
+        parallel = engine.execute_detailed(PAGERANK)
+        assert parallel.relation.rows == serial.relation.rows
+        jobs = engine._parallel_pool.health()["jobs"]
+        assert jobs.get("fix_iter", 0) >= parallel.iterations
+
+    def test_worker_spans_are_rank_tagged_under_exchange(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        spans = _all_spans(engine)
+        exchanges = [s for s in spans if s.name == "exchange"]
+        assert exchanges
+        worker_spans = [s for exchange in exchanges
+                        for s in exchange.children
+                        if s.name.startswith("rank")]
+        assert {s.name for s in worker_spans} >= {"rank0:fix_iter",
+                                                  "rank1:fix_iter"}
+        for span in worker_spans:
+            assert span.attrs["worker"] in (0, 1)
+            # Worker clocks are job-relative; grafting re-anchors them
+            # inside the coordinator's exchange window.
+            assert span.start >= 0.0
+            assert span.duration >= 0.0
+        setup = [s for s in spans if s.name == "parallel_setup"]
+        assert setup and {c.name for c in setup[0].children} == {
+            "rank0:fix_setup", "rank1:fix_setup"}
+        # Worker-internal steps keep their plain names one level down.
+        step_names = {c.name for s in worker_spans for c in s.children}
+        assert "evaluate" in step_names
+
+    def test_iteration_spans_carry_worker_counts(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        iterations = [s for s in _all_spans(engine)
+                      if s.name == "iteration"]
+        assert iterations
+        assert all(s.attrs["workers"] == 2 for s in iterations)
+
+    def test_worker_metrics_are_rank_labelled(self):
+        engine = _engine(2)
+        result = engine.execute_detailed(PAGERANK)
+        text = engine.metrics.to_prometheus()
+        for rank in (0, 1):
+            assert (f'repro_worker_jobs_total{{job="fix_iter",'
+                    f'worker="{rank}"}}') in text
+        assert 'repro_worker_rows_total{job="fix_iter",worker="0"}' \
+            in text
+        # The latency histogram merges raw observations across ranks.
+        assert 'repro_worker_job_ms_count{job="fix_iter"}' in text
+        assert result.iterations == 8
+
+
+class TestStragglerAccounting:
+    def test_iteration_stats_carry_worker_timings(self):
+        engine = _engine(2)
+        result = engine.execute_detailed(PAGERANK)
+        for stat in result.per_iteration:
+            assert len(stat.worker_seconds) == 2
+            assert all(s >= 0.0 for s in stat.worker_seconds)
+            assert sum(stat.worker_rows) == stat.delta_rows
+
+    def test_serial_iteration_stats_have_no_worker_timings(self):
+        result = _engine(0).execute_detailed(PAGERANK)
+        assert all(stat.worker_seconds == () and stat.worker_rows == ()
+                   for stat in result.per_iteration)
+
+    def test_straggler_report_and_per_rank_stacks(self):
+        engine = _engine(2, telemetry="full")
+        result = engine.execute_detailed(PAGERANK)
+        report = engine.telemetry.profiler.straggler_report()
+        assert len(report) == result.iterations
+        for row in report:
+            assert row["workers"] == 2
+            assert row["max_ms"] >= row["median_ms"] >= 0.0
+            assert row["skew"] >= 1.0
+        collapsed = engine.telemetry.profiler.to_collapsed()
+        assert "worker:rank0;job:fix_iter" in collapsed
+        assert "worker:rank1;job:fix_iter" in collapsed
+        assert "step:evaluate" in collapsed
+        profile = engine.telemetry.profiler.to_dict()
+        assert profile["stragglers"] == report
+
+    def test_skew_gauges_exposed_after_parallel_fixpoint(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        text = engine.metrics.to_prometheus()
+        skew = [line for line in text.splitlines()
+                if line.startswith("repro_parallel_time_skew ")]
+        assert skew and float(skew[0].split()[-1]) >= 1.0
+        imbalance = [line for line in text.splitlines()
+                     if line.startswith("repro_parallel_rows_imbalance ")]
+        assert imbalance and float(imbalance[0].split()[-1]) >= 1.0
+
+
+class TestQueryLogParallelField:
+    def test_parallel_recursive_statement_logs_worker_count(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        entry = [e for e in engine.query_log.entries()
+                 if e.kind == "recursive"][-1]
+        assert entry.parallel == 2
+        assert entry.to_dict()["parallel"] == 2
+
+    def test_serial_statement_logs_zero(self):
+        engine = _engine(0)
+        engine.execute_detailed(PAGERANK)
+        entry = [e for e in engine.query_log.entries()
+                 if e.kind == "recursive"][-1]
+        assert entry.parallel == 0
+
+    def test_cost_rule_decline_logs_zero(self):
+        # A tiny scan wraps in a GatherExchange but the cost rule
+        # declines fan-out at execution time — the log must say 0.
+        engine = _engine(2)
+        engine.execute("select F, T from E")
+        entry = engine.query_log.entries()[-1]
+        assert entry.kind == "select"
+        assert entry.parallel == 0
+
+    def test_root_query_span_records_parallel(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        roots = [r for r in engine.tracer.roots if r.name == "query"]
+        assert roots[-1].attrs["parallel"] == 2
+
+
+class TestFlightRecorderParallel:
+    def test_bundle_captures_parallel_section_and_replays(self, tmp_path):
+        telemetry = Telemetry(slow_query_ms=0.0,
+                              flight_dir=str(tmp_path / "flight"))
+        engine = _engine(2, telemetry=telemetry)
+        result = engine.execute_detailed(PAGERANK)
+        paths = engine.telemetry.flight.bundles()
+        bundle = load_bundle(paths[-1])
+        assert bundle["parallel"]["configured"] == 2
+        assert bundle["parallel"]["effective"] == 2
+        assert bundle["parallel"]["incident"] is None
+        per_iteration = bundle["per_iteration"]
+        assert len(per_iteration) == result.iterations
+        assert all(len(entry["worker_ms"]) == 2
+                   for entry in per_iteration)
+        # Replay is serial; byte-identity makes it deterministic anyway.
+        outcome = replay_bundle(paths[-1])
+        assert outcome.reproduced
+
+    def test_worker_error_recorded_as_incident(self, monkeypatch):
+        from repro.relational.parallel import pool as pool_module
+        from repro.relational.parallel import worker as worker_module
+
+        monkeypatch.setenv("REPRO_PARALLEL_STRICT", "0")
+
+        def explode(state, payload):
+            raise ZeroDivisionError("synthetic worker failure")
+
+        handlers = dict(worker_module._HANDLERS)
+        handlers["fix_iter"] = explode
+        monkeypatch.setattr(worker_module, "_HANDLERS", handlers)
+        # parallel=3 forks a fresh pool that inherits the patch; close
+        # it afterwards so no other test can pick up the poisoned pool.
+        engine = _engine(3)
+        try:
+            serial = _engine(0).execute_detailed(PAGERANK)
+            result = engine.execute_detailed(PAGERANK)
+            # Degraded to serial: same answer, incident on record.
+            assert result.relation.rows == serial.relation.rows
+            incident = engine.telemetry.last_parallel_incident
+            assert incident is not None
+            assert incident["job"] == "fix_iter"
+            assert incident["error"] == "ZeroDivisionError"
+            text = engine.metrics.to_prometheus()
+            assert 'repro_parallel_worker_errors_total{job="fix_iter"}' \
+                in text
+        finally:
+            pool = pool_module.WorkerPool._registry.pop(3, None)
+            if pool is not None:
+                pool.close()
+
+
+class TestTelemetryOffStaysLean:
+    def test_no_shards_shipped_when_telemetry_off(self):
+        engine = _engine(2, telemetry="off")
+        engine.execute_detailed(PAGERANK)
+        pool = engine._parallel_pool
+        assert pool.take_telemetry() == []
+        assert "repro_worker_jobs_total" \
+            not in engine.metrics.to_prometheus()
+
+    def test_repro_telemetry_env_enables_tracing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "on")
+        engine = _engine(2, telemetry=None)
+        assert engine.telemetry.tracing
+        engine.execute_detailed(PAGERANK)
+        assert any(s.name.startswith("rank") for s in _all_spans(engine))
+
+
+class TestShipmentMetrics:
+    def test_shipment_histogram_and_split_counters(self):
+        engine = _engine(2)
+        engine.execute_detailed(PAGERANK)
+        text = engine.metrics.to_prometheus()
+        samples = {}
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        count = samples["repro_shipment_bytes_count"]
+        assert count > 0
+        assert samples["repro_shipment_bytes_sum"] > 0
+        assert samples['repro_shipment_bytes_bucket{le="+Inf"}'] == count
+        split = (samples.get("repro_shipment_inline_total", 0.0)
+                 + samples.get("repro_shipment_shm_total", 0.0))
+        assert split == count
+        # Scrapes are idempotent: collecting twice must not inflate.
+        text2 = engine.metrics.to_prometheus()
+        assert text2.count("repro_shipment_bytes_count") == 1
+        for line in text2.splitlines():
+            if line.startswith("repro_shipment_bytes_count"):
+                assert float(line.rsplit(" ", 1)[1]) == count
