@@ -1,9 +1,10 @@
 """Bench-regression gate: fresh smoke numbers vs the committed baselines.
 
-CI runs the three suite benchmarks at smoke scale and compares each
-query's **speedup ratio** against the corresponding entry in the
-committed ``BENCH_executor.json`` / ``BENCH_optimizer.json`` /
-``BENCH_storage.json``.  Ratios, not absolute milliseconds: the smoke
+CI runs the suite benchmarks at smoke scale and compares each query's
+**speedup ratio** against the corresponding entry in the committed
+``BENCH_executor.json`` / ``BENCH_optimizer.json`` /
+``BENCH_storage.json`` / ``BENCH_parallel.json`` /
+``BENCH_streaming.json``.  Ratios, not absolute milliseconds: the smoke
 runs use a much smaller graph (and a different machine class) than the
 committed reports, so wall times are incomparable, but "the batch
 executor beats the tuple executor by ~2x on PageRank" is a property of
@@ -38,7 +39,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: baseline file -> callable(scale) producing a fresh report of the
 #: same shape (every results[] entry carries `query`, `speedup`,
 #: `identical`).
-SUITES = ("executor", "optimizer", "storage", "parallel")
+SUITES = ("executor", "optimizer", "storage", "parallel", "streaming")
 
 
 def _run_suite(name: str, scale: float) -> dict[str, Any]:
@@ -51,6 +52,9 @@ def _run_suite(name: str, scale: float) -> dict[str, Any]:
     if name == "parallel":
         from repro.bench.parallel_bench import run_parallel_bench
         return run_parallel_bench(scale=scale, repeats=1)
+    if name == "streaming":
+        from repro.bench.streaming_bench import run_streaming_bench
+        return run_streaming_bench(scale=scale, repeats=1)
     from repro.bench.storage_bench import run_storage_bench
     return run_storage_bench(scale=scale, repeats=1)
 

@@ -1,0 +1,63 @@
+"""Incremental view maintenance vs full recomputation (streaming PR).
+
+Sweeps edge-insert batch sizes (1 / 4 / 16 / 64) against a graph with
+maintained PageRank, WCC and SSSP views, comparing ``apply_batch`` with
+incremental refresh to the same mutations followed by a from-scratch
+re-derivation of every view, and refreshes ``BENCH_streaming.json`` at
+the repo root.  Byte-identity of the two paths is asserted always; the
+≥5x single-edge-batch speedup is asserted at bench scale (smoke scale
+only enforces identity — the regression gate applies the ratio policy
+against the committed baseline instead).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.streaming_bench import run_streaming_bench, write_report
+
+
+def _emit_report(report, emit) -> None:
+    rows = [[r["query"], r["batch_size"], r["batches"],
+             r["incremental_ms"], r["full_ms"], f"{r['speedup']:.2f}x",
+             r["identical"], "/".join(r["last_modes"])]
+            for r in report["results"]]
+    emit("streaming", format_table(
+        ("query", "batch", "count", "incremental_ms", "full_ms",
+         "speedup", "identical", "modes"), rows,
+        title=f"incremental vs full view maintenance"
+              f" ({report['dialect']}, n={report['graph']['nodes']},"
+              f" m={report['graph']['edges']})"))
+
+
+def test_streaming_comparison(benchmark, emit):
+    report = benchmark.pedantic(run_streaming_bench, rounds=1,
+                                iterations=1)
+    write_report(report)
+    _emit_report(report, emit)
+    for r in report["results"]:
+        assert r["identical"], (
+            f"{r['query']} incremental maintenance diverged from the"
+            " full re-derivation")
+    single = next(r for r in report["results"] if r["batch_size"] == 1)
+    assert single["speedup"] >= 5.0, (
+        f"single-edge batches only {single['speedup']}x faster than"
+        " full recomputation (floor: 5x)")
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        # Small no-report run for CI: identity is enforced (never
+        # hardware-bound); the speedup floor is left to the regression
+        # gate's ratio-vs-baseline policy.
+        report = run_streaming_bench(scale=0.05, repeats=1)
+        print(json.dumps(report, indent=2))
+        for entry in report["results"]:
+            assert entry["identical"], (
+                f"{entry['query']} incremental maintenance diverged")
+    else:
+        report = run_streaming_bench()
+        write_report(report)
+        print(json.dumps(report, indent=2))

@@ -24,6 +24,12 @@ Commands
     Differential correctness campaign: generated programs run under the
     full engine-configuration matrix plus metamorphic oracles; failures
     are shrunk to minimal reproducers and written as pytest files.
+    ``--streaming`` switches to the incremental-vs-full oracle: random
+    mutation batches against maintained PR/WCC/SSSP views.
+``ingest BATCHES.jsonl``
+    Apply streaming mutation batches from a JSONL file to a loaded
+    dataset, maintaining registered algorithm views incrementally
+    (``--view pagerank --view sssp:0``); see ``docs/streaming.md``.
 ``profile ALGO``
     Run one algorithm with continuous profiling on; print the top-K hot
     operators, the aggregated fixpoint profile, and the misestimate
@@ -306,6 +312,8 @@ def cmd_explain(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
+    if args.streaming:
+        return _cmd_fuzz_streaming(args)
     from repro.check import fuzz
     from repro.check.oracles import STRATEGY_DIALECTS, EngineConfig
 
@@ -346,6 +354,83 @@ def cmd_fuzz(args) -> int:
                   on_progress=on_progress)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_fuzz_streaming(args) -> int:
+    from repro.check.streaming import fuzz_streaming
+
+    started = time.perf_counter()
+    last_tick = [started]
+
+    def on_progress(done, report):
+        now = time.perf_counter()
+        if now - last_tick[0] >= 5.0 or done == report.budget:
+            last_tick[0] = now
+            print(f"  {done}/{report.budget} scenarios,"
+                  f" {report.batch_count} batch(es),"
+                  f" {len(report.divergences)} divergence(s),"
+                  f" {now - started:.1f}s", file=sys.stderr)
+
+    report = fuzz_streaming(seed=args.seed, budget=args.budget,
+                            regressions_dir=args.regressions_dir,
+                            on_progress=on_progress)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_ingest(args) -> int:
+    from repro.streaming import read_batches
+
+    batches = read_batches(args.batches)
+    engine = Engine(args.dialect, telemetry=args.telemetry,
+                    parallel=args.parallel or None)
+    graph = load(args.dataset, args.scale)
+    manager = engine.streaming
+    manager.attach_graph(graph)
+    for spec in args.view or []:
+        algorithm, _, param = spec.partition(":")
+        if algorithm.lower() == "sssp":
+            source = int(param) if param else 0
+            manager.register_view(spec, algorithm, source=source)
+        elif param:
+            raise SystemExit(f"view {spec!r}: only sssp takes a"
+                             " :source parameter")
+        else:
+            manager.register_view(spec, algorithm)
+    print(f"ingesting {len(batches)} batch(es) from {args.batches}"
+          f" into {args.dataset} ({graph.num_nodes} nodes,"
+          f" {graph.num_edges} edges), {len(manager.views)} view(s)")
+
+    rows = []
+    for inserts, deletes in batches:
+        result = engine.apply_batch(inserts=inserts, deletes=deletes)
+        modes = " ".join(f"{name}={mode}"
+                         for name, mode in result.views.items()) or "-"
+        touched = " ".join(
+            f"{name}+{c['inserted']}-{c['deleted']}"
+            for name, c in sorted(result.tables.items())) or "-"
+        rows.append([result.batch, result.inserted_rows,
+                     result.deleted_rows, touched, modes,
+                     f"{result.duration_ms:.2f}"])
+    if rows:
+        if len(rows) > args.limit:
+            rows = rows[:args.limit] + [["..."] * 6]
+        print(format_table(
+            ["batch", "ins", "del", "tables", "views", "ms"], rows,
+            "Applied batches"))
+    print(f"\ngraph now: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    for name, view in manager.views.items():
+        sample = sorted(view.values.items())[:3]
+        shown = ", ".join(f"{k}={v}" for k, v in sample)
+        print(f"  view {name} ({view.algorithm}):"
+              f" {len(view.values)} value(s), modes"
+              f" {'/'.join(view.mode_history) or 'baseline-only'}"
+              f" — {shown}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(engine.metrics.to_prometheus())
+        print(f"wrote metrics to {args.metrics}")
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -544,11 +629,29 @@ def build_parser() -> argparse.ArgumentParser:
                         " counts; 0 = serial, e.g. --parallel 0 2)")
     p.add_argument("--no-metamorphic", action="store_true",
                    help="config-matrix comparison only")
+    p.add_argument("--streaming", action="store_true",
+                   help="incremental-vs-full oracle: mutation batches"
+                        " against maintained PR/WCC/SSSP views")
     p.add_argument("--regressions-dir", metavar="DIR",
                    help="write minimized reproducers as pytest files"
                         " into DIR")
     p.add_argument("--shrink-attempts", type=int, default=400)
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("ingest",
+                       help="apply JSONL mutation batches with maintained"
+                            " algorithm views")
+    p.add_argument("batches", help="JSONL file, one batch object per line"
+                                   " (see docs/streaming.md)")
+    p.add_argument("--view", action="append", metavar="ALGO",
+                   help="maintain an algorithm result across batches:"
+                        " pagerank, wcc, or sssp:SOURCE (repeatable)")
+    p.add_argument("--telemetry", default="off",
+                   choices=("off", "on", "profile", "full"))
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the Prometheus text exposition after the run")
+    common_flags(p)
+    p.set_defaults(fn=cmd_ingest)
 
     p = sub.add_parser("profile",
                        help="run an algorithm with continuous profiling")

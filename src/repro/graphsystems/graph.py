@@ -49,6 +49,35 @@ class Graph:
             self._out[v][u] = weight
             self._in[u][v] = weight
 
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove u→v (and v→u too when the graph is undirected).
+
+        Endpoints stay in the graph; re-adding the edge later appends it
+        at the *end* of ``u``'s adjacency (dict semantics), which is also
+        where the streaming layer re-appends its table row."""
+        if v not in self._out.get(u, ()):
+            raise KeyError(f"no edge {u}->{v}")
+        del self._out[u][v]
+        del self._in[v][u]
+        if not self.directed:
+            del self._out[v][u]
+            del self._in[u][v]
+
+    def remove_node(self, node: int) -> None:
+        """Remove *node* and every incident edge."""
+        if node not in self._out:
+            raise KeyError(f"no node {node}")
+        for neighbor in self._out[node]:
+            if neighbor != node:
+                del self._in[neighbor][node]
+        for neighbor in self._in[node]:
+            if neighbor != node:
+                del self._out[neighbor][node]
+        del self._out[node]
+        del self._in[node]
+        del self._node_weight[node]
+        self._label.pop(node, None)
+
     @staticmethod
     def from_edges(edges: Iterable[tuple], directed: bool = True,
                    name: str = "") -> "Graph":
@@ -121,6 +150,9 @@ class Graph:
 
     def has_edge(self, u: int, v: int) -> bool:
         return v in self._out.get(u, ())
+
+    def has_node(self, node: int) -> bool:
+        return node in self._out
 
     # -- derived ------------------------------------------------------------------
 

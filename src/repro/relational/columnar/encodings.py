@@ -281,14 +281,32 @@ def _zone_bounds(values: Sequence[Any]) -> tuple[Any, Any] | None:
     return min(present), max(present)
 
 
+def _is_float_zero(value: Any) -> bool:
+    return type(value) is float and value == 0.0
+
+
+def _zero_signs_agree(a: float, b: float) -> bool:
+    """True unless *a*/*b* are IEEE zeros of opposite sign.
+
+    ``-0.0 == 0.0`` (and they hash alike), so equality-based dedup would
+    canonicalise the sign of whichever zero it saw first.  Nonzero equal
+    floats always share a sign, so only the zero case needs the
+    ``copysign`` probe."""
+    return math.copysign(1.0, a) == math.copysign(1.0, b)
+
+
 def _run_pairs(values: Sequence[Any]) -> tuple[list, list[int]]:
     run_values: list = []
     run_lengths: list[int] = []
     for value in values:
         # Exact-type equality: 1 == 1.0 == True in Python, but collapsing
-        # them into one run would decode to the wrong objects.
+        # them into one run would decode to the wrong objects.  Float
+        # zeros additionally split runs on sign (-0.0 vs 0.0 compare
+        # equal but must decode bit-exactly).
         if run_values and type(value) is type(run_values[-1]) \
-                and value == run_values[-1]:
+                and value == run_values[-1] \
+                and (not _is_float_zero(value)
+                     or _zero_signs_agree(value, run_values[-1])):
             run_lengths[-1] += 1
         else:
             run_values.append(value)
@@ -318,8 +336,13 @@ def encode_column(values: Sequence[Any]) -> ColumnCodec:
         distinct_bound = 1  # unhashable: let the run loop look
     value_types = set(map(type, values))
 
-    if distinct_bound == 1 and len(value_types) == 1:
-        # Constant column: a single run, no loop needed.
+    if distinct_bound == 1 and len(value_types) == 1 \
+            and (not _is_float_zero(values[0])
+                 or all(_zero_signs_agree(v, values[0]) for v in values)):
+        # Constant column: a single run, no loop needed.  A float-zero
+        # "constant" first proves sign uniformity — set() collapses
+        # -0.0/0.0, so a mixed-sign column reaches here looking constant
+        # and must fall through to the sign-aware paths below.
         return RLEColumn([values[0]], array("l", [n]))
 
     # Run-length first: long runs beat any fixed-width array.
@@ -368,7 +391,13 @@ def encode_column(values: Sequence[Any]) -> ColumnCodec:
     codes = []
     try:
         for v in values:
-            key = (v.__class__, v)
+            # Float zeros key on their copysign too: (float, 0.0) and
+            # (float, -0.0) hash and compare equal, yet must keep
+            # distinct dictionary entries to decode bit-exactly.
+            if _is_float_zero(v):
+                key = (v.__class__, v, math.copysign(1.0, v))
+            else:
+                key = (v.__class__, v)
             code = table.get(key)
             if code is None:
                 code = table[key] = len(distinct)

@@ -95,6 +95,14 @@ class RowStore(list):
         """Replace the full contents (callers hand over a fresh list)."""
         self[:] = rows
 
+    def delete_positions(self, positions: Sequence[int]) -> None:
+        """Remove the rows at *positions* (one filtering pass)."""
+        if not positions:
+            return
+        dead = set(positions)
+        self[:] = [row for pos, row in enumerate(self)
+                   if pos not in dead]
+
     def materialized(self) -> list:
         """The live row list (no copy)."""
         return self
@@ -125,10 +133,16 @@ class ColumnStore:
         self._cols_stale = False
         self._col_cache: dict[int, list] = {}
         self._index_cache: dict = {}
+        # Tombstones: per sealed-block dead physical offsets.  Deletes
+        # mark rows dead instead of re-sealing the table; readers filter,
+        # ``compact()`` flushes.  The ragged tail deletes eagerly (plain
+        # lists), so it never carries tombstones.
+        self._dead: dict[int, set[int]] = {}
         #: Observable storage counters (surfaced through MetricsRegistry).
         self.blocks_sealed = 0
         self.block_decays = 0
         self.row_assigns = 0
+        self.tombstones_set = 0
         self.encoding_counts: dict[str, int] = {}
 
     # -- list-like surface used by the engine's write paths ------------
@@ -151,18 +165,12 @@ class ColumnStore:
         if self._rows is not None:
             self._rows[pos] = row
         if not self._cols_stale:
-            block_idx, offset = divmod(pos, self.morsel)
-            if block_idx < len(self._blocks):
+            block_idx, offset = self._locate(pos)
+            if block_idx is not None:
                 block = self._blocks[block_idx]
-                if isinstance(block, ColumnBlock):
-                    block = PlainBlock([block.decode_column(j)
-                                        for j in range(self.arity)])
-                    self._blocks[block_idx] = block
-                    self.block_decays += 1
                 for j, value in enumerate(row):
                     block.columns[j][offset] = value
             else:
-                offset = pos - len(self._blocks) * self.morsel
                 for j, value in enumerate(row):
                     self._tail[j][offset] = value
 
@@ -198,6 +206,7 @@ class ColumnStore:
     def clear(self) -> None:
         self._touch()
         self._blocks.clear()
+        self._dead.clear()
         self._tail = [[] for _ in range(self.arity)]
         self._rows = []
         self._cols_stale = False
@@ -209,9 +218,59 @@ class ColumnStore:
         self._rows = rows if isinstance(rows, list) else list(rows)
         self._len = len(self._rows)
         self._blocks.clear()
+        self._dead.clear()
         self._tail = [[] for _ in range(self.arity)]
         self._cols_stale = True
         self.row_assigns += 1
+
+    def delete_positions(self, positions: Sequence[int]) -> None:
+        """Tombstone the rows at the given (live) *positions*.
+
+        Sealed blocks are not decoded or re-sealed: the dead physical
+        offsets are recorded per block and filtered on every read until
+        ``compact()`` flushes them.  Tail rows are filtered eagerly (the
+        tail is mutable plain lists anyway)."""
+        if not positions:
+            return
+        dead_logical = sorted(set(positions))
+        if dead_logical[0] < 0 or dead_logical[-1] >= self._len:
+            raise IndexError("delete position out of range")
+        self._touch()
+        if self._rows is not None:
+            dead_set = set(dead_logical)
+            self._rows = [row for pos, row in enumerate(self._rows)
+                          if pos not in dead_set]
+        if self._cols_stale:
+            self._len = len(self._rows)
+            self.tombstones_set += len(dead_logical)
+            return
+        cursor = 0
+        live_start = 0
+        total = len(dead_logical)
+        for block_idx, block in enumerate(self._blocks):
+            if cursor >= total:
+                break
+            dead = self._dead.get(block_idx)
+            live_len = block.length - (len(dead) if dead else 0)
+            live_end = live_start + live_len
+            offsets = []
+            while cursor < total and dead_logical[cursor] < live_end:
+                offsets.append(dead_logical[cursor] - live_start)
+                cursor += 1
+            if offsets:
+                if dead:
+                    # Translate live offsets through the existing holes.
+                    live = [o for o in range(block.length) if o not in dead]
+                    dead.update(live[o] for o in offsets)
+                else:
+                    self._dead[block_idx] = set(offsets)
+            live_start = live_end
+        if cursor < total:
+            tail_dead = {p - live_start for p in dead_logical[cursor:]}
+            self._tail = [[v for o, v in enumerate(col)
+                           if o not in tail_dead] for col in self._tail]
+        self._len -= total
+        self.tombstones_set += total
 
     # -- reads ----------------------------------------------------------
 
@@ -219,9 +278,14 @@ class ColumnStore:
         """The full contents as a live row-tuple list (cached)."""
         if self._rows is None:
             rows: list = []
-            for block in self._blocks:
+            for block_idx, block in enumerate(self._blocks):
                 cols = [block.decode_column(j) for j in range(self.arity)]
-                rows.extend(zip(*cols))
+                dead = self._dead.get(block_idx)
+                if dead:
+                    rows.extend(row for offset, row in enumerate(zip(*cols))
+                                if offset not in dead)
+                else:
+                    rows.extend(zip(*cols))
             if self._tail and self._tail[0]:
                 rows.extend(zip(*self._tail))
             self._rows = rows
@@ -244,7 +308,14 @@ class ColumnStore:
                 cached = list(map(itemgetter(j), self.materialized()))
                 self._col_cache[j] = cached
                 return cached
-            parts = [block.decode_column(j) for block in self._blocks]
+            parts = []
+            for block_idx, block in enumerate(self._blocks):
+                values = block.decode_column(j)
+                dead = self._dead.get(block_idx)
+                if dead:
+                    values = [v for offset, v in enumerate(values)
+                              if offset not in dead]
+                parts.append(values)
             parts.append(self._tail[j])
             if len(parts) == 1:
                 cached = list(parts[0])
@@ -256,9 +327,21 @@ class ColumnStore:
         return cached
 
     def blocks(self) -> list:
-        """The sealed blocks followed by the ragged tail (as a block)."""
+        """The sealed blocks followed by the ragged tail (as a block).
+
+        Blocks carrying tombstones surface as filtered
+        :class:`PlainBlock` views, so consumers only ever see live rows.
+        """
         self._ensure_columns()
-        out = list(self._blocks)
+        out = []
+        for block_idx, block in enumerate(self._blocks):
+            dead = self._dead.get(block_idx)
+            if dead:
+                cols = [[v for offset, v in enumerate(block.decode_column(j))
+                         if offset not in dead]
+                        for j in range(self.arity)]
+                block = PlainBlock(cols)
+            out.append(block)
         if self._tail and self._tail[0]:
             out.append(PlainBlock([list(col) for col in self._tail]))
         return out
@@ -315,7 +398,13 @@ class ColumnStore:
     # -- maintenance ----------------------------------------------------
 
     def compact(self) -> None:
-        """Re-encode decayed/lazy data into sealed, compressed blocks."""
+        """Re-encode decayed/lazy data into sealed, compressed blocks,
+        flushing any tombstones (dead rows are dropped for good)."""
+        if self._dead and not self._cols_stale:
+            # Rebuild through the (filtered) row view: simplest way to
+            # restore morsel-aligned blocks after deletions.
+            rows = self.materialized()
+            self.assign(rows)
         self._ensure_columns()
         while self._tail and len(self._tail[0]) >= self.morsel:
             self._seal_tail()
@@ -358,6 +447,35 @@ class ColumnStore:
         self._col_cache.clear()
         self._index_cache.clear()
 
+    def _locate(self, pos: int) -> tuple[int | None, int]:
+        """Map a live position onto ``(block_idx, offset)`` — or
+        ``(None, tail_offset)`` — decaying the target block to a mutable
+        :class:`PlainBlock` (tombstones flushed) so the caller can write
+        straight into its column lists."""
+        live_start = 0
+        for block_idx, block in enumerate(self._blocks):
+            dead = self._dead.get(block_idx)
+            live_len = block.length - (len(dead) if dead else 0)
+            if pos < live_start + live_len:
+                if dead:
+                    cols = [[v for offset, v
+                             in enumerate(block.decode_column(j))
+                             if offset not in dead]
+                            for j in range(self.arity)]
+                    if isinstance(block, ColumnBlock):
+                        self.block_decays += 1
+                    block = PlainBlock(cols)
+                    self._blocks[block_idx] = block
+                    del self._dead[block_idx]
+                elif isinstance(block, ColumnBlock):
+                    block = PlainBlock([block.decode_column(j)
+                                        for j in range(self.arity)])
+                    self._blocks[block_idx] = block
+                    self.block_decays += 1
+                return block_idx, pos - live_start
+            live_start += live_len
+        return None, pos - live_start
+
     def _seal_tail(self) -> None:
         morsel = self.morsel
         head = [col[:morsel] for col in self._tail]
@@ -382,6 +500,7 @@ class ColumnStore:
             self._tail = ([list(col) for col in zip(*rows)] if rows
                           else [[] for _ in range(self.arity)])
             self._blocks.clear()
+            self._dead.clear()
             self._cols_stale = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

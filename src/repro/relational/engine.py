@@ -252,10 +252,16 @@ class Engine:
         return self.execute_detailed(sql, mode=mode).relation
 
     def execute_detailed(self, sql: str | Statement,
-                         mode: str | None = None) -> WithExecutionResult:
+                         mode: str | None = None,
+                         warm_start: dict[str, Relation] | None = None
+                         ) -> WithExecutionResult:
         """Run a statement, returning per-iteration statistics for
         recursive queries (used by the Fig 12/13 benchmarks) with a
-        ``.telemetry`` summary attached."""
+        ``.telemetry`` summary attached.
+
+        *warm_start* maps recursive-CTE names to seed relations used in
+        place of their initial branches — the streaming layer resumes a
+        fixpoint from a prior result this way (see docs/streaming.md)."""
         tracer = self.telemetry.tracer
         phases: dict[str, float] = {}
         sql_text = sql if isinstance(sql, str) else type(sql).__name__
@@ -282,7 +288,8 @@ class Engine:
                         any(cte_is_recursive(c) for c in statement.ctes):
                     kind = "recursive"
                     result = self._execute_recursive(statement, mode, tracer,
-                                                     phases, query_span)
+                                                     phases, query_span,
+                                                     warm_start=warm_start)
                 else:
                     kind = "select"
                     result = self._execute_plain(statement, tracer, phases)
@@ -296,7 +303,9 @@ class Engine:
         return result
 
     def _execute_recursive(self, statement: WithStatement, mode, tracer,
-                           phases, query_span) -> WithExecutionResult:
+                           phases, query_span,
+                           warm_start: dict[str, Relation] | None = None
+                           ) -> WithExecutionResult:
         """The with+ path: planning happens *inside* the loop (branch plans
         are compiled, cached, and replanned there), so the plan phase is
         the executor's accumulated compile time and the remainder of the
@@ -308,7 +317,8 @@ class Engine:
             temp_indexes=self.temp_indexes,
             telemetry=self.telemetry,
             parallel_pool_provider=(self.parallel_pool
-                                    if self.parallel >= 2 else None))
+                                    if self.parallel >= 2 else None),
+            warm_start=warm_start)
         started = time.perf_counter()
         profiler = self.telemetry.profiler
         with tracer.span("execute") as exec_span:
@@ -576,3 +586,24 @@ class Engine:
         self.database.load_node_table(
             node_table,
             [(v, graph.node_weight(v)) for v in graph.nodes()])
+
+    # -- streaming ingest --------------------------------------------------------------
+
+    @property
+    def streaming(self):
+        """The lazily-created :class:`repro.streaming.StreamingManager`
+        owning batched mutations and incrementally-maintained algorithm
+        results for this engine (see docs/streaming.md)."""
+        manager = getattr(self, "_streaming", None)
+        if manager is None:
+            from repro.streaming import StreamingManager
+
+            manager = StreamingManager(self)
+            self._streaming = manager
+        return manager
+
+    def apply_batch(self, inserts=None, deletes=None):
+        """Apply one batched mutation: *inserts*/*deletes* map table names
+        to row lists (deletes are key prefixes for keyed tables, full rows
+        otherwise).  Returns a :class:`repro.streaming.BatchResult`."""
+        return self.streaming.apply_batch(inserts=inserts, deletes=deletes)

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import OrderedDict
 from typing import Any
 
 from ..errors import RecursionLimitError
@@ -90,10 +91,10 @@ def _eligible(cte: Any) -> Any | None:
 
 def _partition_statics(spec: Any, static_rows: dict[int, list],
                        nworkers: int) -> dict[int, list[tuple[list, list]]]:
-    """Per-worker ``(rows, seqs)`` for every static input.
-
-    Statics with a proven ownership column are hash-partitioned on it;
-    the rest are replicated (same rows, full sequence range)."""
+    """Per-worker ``(rows, seqs)`` for every static input — the one-shot
+    (uncached) shipping layout still used by the plain-query aggregate
+    driver.  Statics with a proven ownership column are hash-partitioned
+    on it; the rest are replicated."""
     owner_columns: dict[int, int] = {}
     for leaf in spec.leaves:
         if leaf.owner_static is not None:
@@ -113,6 +114,89 @@ def _partition_statics(spec: Any, static_rows: dict[int, list],
             target[1].append(seq)
         shipments[sid] = parts
     return shipments
+
+
+#: Static-shipment cache entries kept per pool (coordinator side) and
+#: per worker process — the two FIFO caches evolve in lockstep because
+#: workers see exactly the coordinator's token operations, in order.
+STATIC_CACHE_CAP = 16
+
+
+def _static_ship_meta(pool: Any) -> "OrderedDict[tuple, tuple]":
+    """Coordinator-side record of what the pool's workers have cached:
+    token -> (epoch, version, row_count) at last shipment."""
+    meta = getattr(pool, "static_ship_meta", None)
+    if meta is None:
+        meta = pool.static_ship_meta = OrderedDict()
+    return meta
+
+
+def _plan_static_shipment(pool: Any, node: Any, rows: list,
+                          column: int | None, nworkers: int,
+                          telemetry: Any) -> tuple[list[dict], list]:
+    """Ship one static input, reusing or extending the workers' cache.
+
+    Statics backed by a catalog table carry a cache token keyed on the
+    table's durable ``statistics.uid``.  An unchanged table (same epoch,
+    same row count) ships as ``reuse`` — no rows at all; a table that
+    only *grew* since the last shipment (same epoch — the append-suffix
+    invariant of :class:`~..statistics.TableStatistics`) ships just the
+    appended suffix, partition-routed to its owner workers.  Everything
+    else (first sight, non-append mutations, index-ordered scans whose
+    row order is not append-stable) ships in full.
+
+    Statics with a proven ownership column are hash-partitioned on it;
+    the rest are replicated.  Returns per-worker payload entries plus
+    the live shipments (for release)."""
+    stats = getattr(getattr(node, "table", None), "statistics", None)
+    token = None
+    mode = "full"
+    start = 0
+    if stats is not None:
+        token = (stats.uid, nworkers, column)
+        meta = _static_ship_meta(pool)
+        entry = meta.get(token)
+        current = (stats.epoch, stats.version, len(rows))
+        if entry is not None and entry[0] == stats.epoch:
+            if entry[2] == len(rows):
+                # Same epoch + same count: the rows are untouched even
+                # if the version advanced (an empty append still bumps).
+                mode = "reuse"
+            elif entry[2] < len(rows) and node.label == "Seq Scan":
+                mode = "append"
+                start = entry[2]
+        meta[token] = current
+        meta.move_to_end(token)
+        while len(meta) > STATIC_CACHE_CAP:
+            meta.popitem(last=False)
+    if telemetry is not None:
+        telemetry.metrics.counter(
+            "repro_parallel_static_ship_total",
+            "Static-input shipments to the worker pool by mode.",
+            mode=mode).inc()
+    if mode == "reuse":
+        return [{"mode": "reuse", "token": token}] * nworkers, []
+    send = rows[start:] if start else rows
+    arity = node.schema.arity
+    ships = []
+    if column is None:
+        seqs = list(range(start, start + len(send))) if start else None
+        ship = ship_rows(send, arity, seqs=seqs)
+        ships.append(ship)
+        payload = {"mode": mode, "token": token, "ship": ship.payload}
+        return [payload] * nworkers, ships
+    parts: list[tuple[list, list]] = [([], []) for _ in range(nworkers)]
+    for offset, row in enumerate(send):
+        target = parts[partition_of(row[column], nworkers)]
+        target[0].append(row)
+        target[1].append(start + offset)
+    per_worker = []
+    for part_rows, part_seqs in parts:
+        ship = ship_rows(part_rows, arity, seqs=part_seqs)
+        ships.append(ship)
+        per_worker.append({"mode": mode, "token": token,
+                           "ship": ship.payload})
+    return per_worker, ships
 
 
 def _record_incident(telemetry: Any, pool: Any) -> None:
@@ -187,7 +271,11 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
 
     static_rows = {sid: list(node.rows())
                    for sid, node in static_nodes.items()}
-    partitioned = _partition_statics(spec, static_rows, nworkers)
+    owner_columns: dict[int, int] = {}
+    for leaf in spec.leaves:
+        if leaf.owner_static is not None:
+            owner_sid, column = leaf.owner_static
+            owner_columns[owner_sid] = column
 
     shipments: list[Shipment] = []
     try:
@@ -196,18 +284,12 @@ def try_parallel_fixpoint(executor: Any, cte: Any,
         payloads = []
         shm_bytes = replica_ship.shm_bytes
         static_payloads: dict[int, list[dict]] = {}
-        for sid, parts in partitioned.items():
-            per_worker = []
-            replicated = all(part is parts[0] for part in parts)
-            for part_rows, part_seqs in (parts[:1] if replicated
-                                         else parts):
-                ship = ship_rows(part_rows, spec_static_arity(spec, sid),
-                                 seqs=part_seqs)
-                shipments.append(ship)
-                shm_bytes += ship.shm_bytes
-                per_worker.append(ship.payload)
-            if replicated:
-                per_worker = per_worker * nworkers
+        for sid, rows in static_rows.items():
+            per_worker, ships = _plan_static_shipment(
+                pool, static_nodes[sid], rows, owner_columns.get(sid),
+                nworkers, telemetry)
+            shipments.extend(ships)
+            shm_bytes += sum(ship.shm_bytes for ship in ships)
             static_payloads[sid] = per_worker
         for worker_id in range(nworkers):
             payloads.append({

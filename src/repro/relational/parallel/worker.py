@@ -28,6 +28,7 @@ real table byte for byte.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Iterator
 
 import time
@@ -56,6 +57,11 @@ class WorkerState:
         self.nworkers = nworkers
         self.queries: dict[int, "_FixpointQuery"] = {}
         self.telemetry = WorkerTelemetry(worker_id)
+        #: Static inputs cached across queries: token -> (rows, seqs).
+        #: Mirrors the coordinator's ``static_ship_meta`` FIFO exactly —
+        #: both sides apply the same token operations in the same order
+        #: (see ``fixpoint._plan_static_shipment``).
+        self.static_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 
 
 # -- replica maintenance ---------------------------------------------------
@@ -272,6 +278,48 @@ def _receive_statics(payloads: dict[int, dict]) -> dict[int, tuple]:
     return statics
 
 
+#: Mirrors fixpoint.STATIC_CACHE_CAP — the two FIFOs must evict in
+#: lockstep for the coordinator's reuse decisions to stay valid.
+STATIC_CACHE_CAP = 16
+
+
+def _receive_cached_statics(state: WorkerState,
+                            payloads: dict[int, dict]) -> dict[int, tuple]:
+    """Fixpoint statics with cross-query caching: ``reuse`` entries read
+    the cache, ``append`` entries extend a cached table with its newly
+    appended suffix (fresh lists — compiled plans of earlier queries may
+    still reference the old ones), ``full`` entries ship rows and prime
+    the cache when the static carries a token."""
+    statics: dict[int, tuple] = {}
+    cache = state.static_cache
+    for sid, entry in payloads.items():
+        mode = entry["mode"]
+        token = entry.get("token")
+        if mode == "reuse":
+            rows, seqs = cache[token]
+            cache.move_to_end(token)
+        elif mode == "append":
+            base_rows, base_seqs = cache[token]
+            new_rows, new_seqs = receive_rows(entry["ship"])
+            rows = list(base_rows)
+            rows.extend(new_rows)
+            seqs = list(base_seqs)
+            seqs.extend(new_seqs if new_seqs is not None else ())
+            cache[token] = (rows, seqs)
+            cache.move_to_end(token)
+        else:
+            rows, seqs = receive_rows(entry["ship"])
+            if seqs is None:
+                seqs = range(len(rows))
+            if token is not None:
+                cache[token] = (rows, seqs)
+                cache.move_to_end(token)
+                while len(cache) > STATIC_CACHE_CAP:
+                    cache.popitem(last=False)
+        statics[sid] = (rows, seqs)
+    return statics
+
+
 # -- job handlers ----------------------------------------------------------
 
 def _handle_ping(state: WorkerState, payload: Any) -> int:
@@ -280,7 +328,7 @@ def _handle_ping(state: WorkerState, payload: Any) -> int:
 
 def _handle_fix_setup(state: WorkerState, payload: dict) -> int:
     with state.telemetry.span("receive_inputs"):
-        statics = _receive_statics(payload["statics"])
+        statics = _receive_cached_statics(state, payload["statics"])
         replica_rows, _ = receive_rows(payload["r"])
     with state.telemetry.span("build_replica"):
         replica = _Replica(list(replica_rows), payload["key_positions"],

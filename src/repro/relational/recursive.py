@@ -465,7 +465,8 @@ class RecursiveExecutor:
                  ubu_strategy: str | None = None,
                  temp_indexes: dict[str, Sequence[str]] | None = None,
                  analyze: bool = False, telemetry=None,
-                 parallel_pool_provider=None):
+                 parallel_pool_provider=None,
+                 warm_start: dict[str, "Relation"] | None = None):
         if mode not in ("with", "with+"):
             raise ValueError(f"mode must be 'with' or 'with+', not {mode!r}")
         self.database = database
@@ -492,6 +493,14 @@ class RecursiveExecutor:
         #: called only after a fixpoint proves parallel-eligible, so the
         #: pool is forked lazily.  ``None`` disables parallel execution.
         self.parallel_pool_provider = parallel_pool_provider
+        #: Warm-start seeds: lowercase recursive-CTE name → Relation used
+        #: *instead of* evaluating the CTE's initial branches.  The
+        #: streaming layer passes a prior fixpoint (with the delta
+        #: frontier's resets applied); the recursive loop then iterates
+        #: from it exactly as it would from the initial queries, so a
+        #: seed that is already a fixpoint converges in one iteration.
+        self.warm_start = {name.lower(): relation
+                           for name, relation in (warm_start or {}).items()}
         #: Worker count the fixpoint actually ran on (0 = serial); the
         #: engine copies this into the query log's ``parallel`` field.
         self.parallel_used = 0
@@ -598,13 +607,21 @@ class RecursiveExecutor:
             raise PlanError(f"recursive CTE {cte.name!r} has no initial query")
 
         runner = QueryRunner(self.database, self.policy, bindings)
-        current = self._run_timed(runner, initial[0].statement)
-        for branch in initial[1:]:
-            extra = self._run_timed(runner, branch.statement)
-            if cte.union_kind is UnionKind.UNION_ALL:
-                current = current.union_all(extra)
-            else:
-                current = current.union(extra)
+        seed = self.warm_start.get(cte.name.lower())
+        if seed is not None:
+            # Warm start: the caller's seed stands in for the initial
+            # queries.  Everything downstream (temp table, parallel
+            # handoff, the serial loop) is unchanged — the fixpoint is
+            # simply resumed from the seed instead of derived from zero.
+            current = seed
+        else:
+            current = self._run_timed(runner, initial[0].statement)
+            for branch in initial[1:]:
+                extra = self._run_timed(runner, branch.statement)
+                if cte.union_kind is UnionKind.UNION_ALL:
+                    current = current.union_all(extra)
+                else:
+                    current = current.union(extra)
         if cte.columns:
             current = current.rename_columns(cte.columns)
 

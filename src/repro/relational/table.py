@@ -102,7 +102,7 @@ class Table:
             index.insert(coerced)
             self.incremental_index_ops += 1
         self._positions_cache = None
-        self.statistics.invalidate()
+        self.statistics.invalidate(append_only=True)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Batch insert: one coerce/validate pass over all rows, one bulk
@@ -134,7 +134,7 @@ class Table:
             index.bulk_load(coerced_rows)
             self.incremental_index_ops += len(coerced_rows)
         self._positions_cache = None
-        self.statistics.invalidate()
+        self.statistics.invalidate(append_only=True)
         return len(coerced_rows)
 
     def insert_relation(self, relation: Relation) -> int:
@@ -162,6 +162,54 @@ class Table:
             self.rows.assign(kept)
             self._rebuild_auxiliary()
         return removed
+
+    def delete_by_key(self, keys: Iterable[Sequence[Any]],
+                      key_columns: Sequence[str]) -> int:
+        """Delete every row whose *key_columns* value is in *keys* —
+        O(|delta|) when the positions-by-key cache is warm.
+
+        Storage-level removal goes through ``rows.delete_positions``
+        (tombstones on the columnar backend — sealed blocks are not
+        re-encoded); indexes and the key set are maintained
+        incrementally, with the usual half-table rebuild fallback.
+        Returns the number of rows removed."""
+        keys = list(keys)
+        if not keys:
+            return 0
+        target_positions = tuple(self.schema.index_of(k)
+                                 for k in key_columns)
+        key_types = tuple(self.schema.columns[i].sql_type
+                          for i in target_positions)
+        mapping = self.positions_by_key(target_positions)
+        positions: list[int] = []
+        for key in keys:
+            if not isinstance(key, (tuple, list)):
+                key = (key,)
+            probe = tuple(coerce(v, t) for v, t in zip(key, key_types))
+            bucket = mapping.get(probe)
+            if bucket:
+                positions.extend(bucket)
+        if not positions:
+            return 0
+        positions = sorted(set(positions))
+        removed_rows = [self.rows[pos] for pos in positions]
+        self.rows.delete_positions(positions)
+        if self.indexes:
+            if 2 * len(positions) > len(self.rows):
+                self._rebuild_indexes()
+            else:
+                for index in self.indexes.values():
+                    for row in removed_rows:
+                        index.delete(row)
+                        self.incremental_index_ops += 1
+        if self.enforce_key:
+            for row in removed_rows:
+                self._key_set.discard(self.row_key(row))
+        # Surviving row positions shift left, so the by-key position
+        # cache cannot be patched in place.
+        self._positions_cache = None
+        self.statistics.invalidate()
+        return len(positions)
 
     def replace_contents(self, relation: Relation) -> None:
         """Swap in entirely new contents (the drop/alter strategy's core)."""

@@ -1,0 +1,36 @@
+"""Streaming graph updates: batched mutations + incremental maintenance.
+
+See docs/streaming.md.  Entry points:
+
+* ``engine.apply_batch(inserts=..., deletes=...)`` /
+  ``engine.streaming`` — the :class:`StreamingManager`;
+* ``repro ingest`` — the CLI, reading JSONL batches
+  (:mod:`repro.streaming.batches`);
+* :mod:`repro.streaming.views` — the maintained PR/WCC/SSSP results.
+"""
+
+from .batches import (
+    BatchFormatError,
+    dump_batch,
+    iter_batches,
+    parse_batch,
+    read_batches,
+)
+from .manager import BatchResult, GraphDelta, StreamingError, StreamingManager
+from .views import PageRankView, SsspView, StreamingView, WccView
+
+__all__ = [
+    "BatchFormatError",
+    "BatchResult",
+    "GraphDelta",
+    "PageRankView",
+    "SsspView",
+    "StreamingError",
+    "StreamingManager",
+    "StreamingView",
+    "WccView",
+    "dump_batch",
+    "iter_batches",
+    "parse_batch",
+    "read_batches",
+]

@@ -1,0 +1,89 @@
+"""JSONL batch format for ``repro ingest``.
+
+One JSON object per line, each describing a single atomic batch::
+
+    {"insert": {"E": [[1, 2, 1.0], [2, 3]], "V": [[9]]},
+     "delete": {"E": [[3, 4]], "V": [[7]]}}
+
+* ``insert.E`` rows are ``[F, T]`` or ``[F, T, ew]`` (weight defaults to
+  1.0, matching :meth:`Graph.add_edge`);
+* ``insert.V`` rows are ``[ID]`` or ``[ID, vw]`` (node weight defaults
+  to 0.0, matching the loader);
+* ``delete.E`` rows are ``[F, T]`` key prefixes, ``delete.V`` rows are
+  ``[ID]`` — deleting a vertex deletes its incident edges first;
+* any other table name routes to the generic table path: insert rows
+  are full rows, delete rows are primary-key prefixes (or full rows for
+  keyless tables).
+
+Deletes are applied before inserts within a batch.  Blank lines and
+``#`` comment lines are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+
+class BatchFormatError(ValueError):
+    """A malformed JSONL batch line."""
+
+
+def parse_batch(obj: Any, line_number: int = 0) -> tuple[dict, dict]:
+    """Validate one decoded batch object → ``(inserts, deletes)``."""
+    where = f"batch line {line_number}" if line_number else "batch"
+    if not isinstance(obj, dict):
+        raise BatchFormatError(f"{where}: expected a JSON object,"
+                               f" got {type(obj).__name__}")
+    unknown = set(obj) - {"insert", "delete"}
+    if unknown:
+        raise BatchFormatError(
+            f"{where}: unknown keys {sorted(unknown)!r}"
+            f" (expected 'insert' and/or 'delete')")
+    out: list[dict] = []
+    for section in ("insert", "delete"):
+        tables = obj.get(section) or {}
+        if not isinstance(tables, dict):
+            raise BatchFormatError(
+                f"{where}: {section!r} must map table names to row lists")
+        cleaned: dict[str, list] = {}
+        for name, rows in tables.items():
+            if not isinstance(rows, list):
+                raise BatchFormatError(
+                    f"{where}: {section}.{name} must be a list of rows")
+            cleaned[name] = [tuple(row) if isinstance(row, (list, tuple))
+                             else (row,) for row in rows]
+        out.append(cleaned)
+    return out[0], out[1]
+
+
+def iter_batches(lines: Iterable[str]) -> Iterator[tuple[dict, dict]]:
+    """Parse an iterable of JSONL lines into ``(inserts, deletes)`` pairs."""
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise BatchFormatError(
+                f"batch line {number}: invalid JSON ({error})") from error
+        yield parse_batch(obj, number)
+
+
+def read_batches(path: str) -> list[tuple[dict, dict]]:
+    """Load every batch from a JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_batches(handle))
+
+
+def dump_batch(inserts: dict | None, deletes: dict | None) -> str:
+    """The JSONL line for one batch (used by the bench/fuzz writers)."""
+    obj: dict[str, Any] = {}
+    if inserts:
+        obj["insert"] = {name: [list(r) for r in rows]
+                        for name, rows in inserts.items()}
+    if deletes:
+        obj["delete"] = {name: [list(r) for r in rows]
+                        for name, rows in deletes.items()}
+    return json.dumps(obj, separators=(",", ":"))

@@ -89,17 +89,14 @@ def test_every_codec_roundtrips_into_child_process():
 
 
 def test_local_roundtrip_preserves_bool_int_and_negative_zero():
-    # encode_column itself may canonicalise signed zeros (-0.0 == 0.0
-    # dedupes inside DictionaryColumn/RLE — pre-existing store
-    # behaviour), so the contract here is: the shared-memory transport
-    # reproduces the codec's own decode bit for bit, adding nothing.
+    # Signed-zero dedup is fixed: encode_column keys float zeros by
+    # copysign, so -0.0 and 0.0 keep distinct dictionary/run entries
+    # and every value decodes bit for bit.
     tricky = [True, False, 1, 0, -0.0, 0.0, 1.0, None]
     encoded = encode_column(tricky)
     local = encoded.decode()
-    # bool vs int must never collapse even inside a dictionary codec
-    assert [_bits(v) if v is not None else None
-            for v in local[:4]] == \
-        [_bits(v) if v is not None else None for v in tricky[:4]]
+    assert [_bits(v) if v is not None else None for v in local] == \
+        [_bits(v) if v is not None else None for v in tricky]
     descriptor, segments = export_blocks([(len(tricky), [encoded])])
     try:
         [(count, [column])] = import_blocks(descriptor)
@@ -138,6 +135,46 @@ def test_ship_rows_roundtrip(nrows):
         shipment.release()
     assert pickle.loads(got_rows) == rows
     assert got_seqs == seqs
+
+
+def test_ship_rows_preserves_negative_zero_sign_in_child():
+    """Regression (PR 8 residual): ≥256-row shipments go through the
+    columnar codecs, whose dedup used ``==`` and canonicalised the sign
+    of IEEE zeros.  A mixed-sign zero column must now arrive in a forked
+    worker bit for bit — ``copysign`` distinguishes what ``==`` cannot."""
+    nrows = 600  # well past SHM_MIN_ROWS, so the codec path is exercised
+    rows = [(i, -0.0 if i % 3 == 0 else 0.0,
+             -0.0 if i < 300 else 1.5) for i in range(nrows)]
+    shipment = ship_rows(rows, 3)
+    assert shipment.uses_shm
+    try:
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_child_receive,
+                           args=(shipment.payload, child))
+        proc.start()
+        got_rows, _ = parent.recv()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+    finally:
+        shipment.release()
+    got = pickle.loads(got_rows)
+    assert len(got) == nrows
+    for received, original in zip(got, rows):
+        assert received == original
+        for rv, ov in zip(received[1:], original[1:]):
+            assert math.copysign(1.0, rv) == math.copysign(1.0, ov), \
+                (received, original)
+
+
+def test_encode_column_constant_negative_zero_keeps_sign():
+    # An all -0.0 column is a legitimate constant run; an almost-constant
+    # one (one +0.0 in the middle) must not collapse into it.
+    constant = encode_column([-0.0] * 64)
+    assert all(math.copysign(1.0, v) == -1.0 for v in constant.decode())
+    mixed = [-0.0] * 32 + [0.0] + [-0.0] * 31
+    decoded = encode_column(mixed).decode()
+    assert [math.copysign(1.0, v) for v in decoded] == \
+        [math.copysign(1.0, v) for v in mixed]
 
 
 def test_ship_rows_nan_column_roundtrips():

@@ -1,0 +1,85 @@
+"""Partition-routed static shipment cache across streaming batches.
+
+Warm-started view refreshes re-run the same recursive shape on the pool;
+the coordinator must re-ship an unchanged static exactly once (reuse),
+ship only the tail after append-only growth (append), and fall back to a
+full shipment when tombstoned deletes bump the table epoch."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.algorithms import bellman_ford
+from repro.graphsystems.graph import Graph
+from repro.relational import Engine
+
+
+@pytest.fixture
+def strict(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL_STRICT", "1")
+
+
+def ring(n=24):
+    graph = Graph(directed=True, name="static-cache")
+    for v in range(n):
+        graph.add_node(v)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    graph.add_edge(0, n // 2)
+    return graph
+
+
+def ship_counts(engine):
+    return {mode: engine.metrics.counter(
+                "repro_parallel_static_ship_total", mode=mode).value
+            for mode in ("full", "append", "reuse")}
+
+
+@pytest.mark.usefixtures("strict")
+def test_streaming_batches_hit_all_three_shipment_modes():
+    engine = Engine("oracle", parallel=2)
+    graph = ring()
+    manager = engine.streaming
+    manager.attach_graph(graph)
+    manager.register_view("sp", "sssp", source=0)
+    baseline = ship_counts(engine)
+    assert baseline["full"] > 0          # the cold baseline shipped E
+
+    # Tail append: E grows, epoch unchanged -> suffix-only shipment.
+    engine.apply_batch(inserts={"E": [(3, 10)]})
+    after_append = ship_counts(engine)
+    assert after_append["append"] > baseline["append"]
+
+    # V-only mutation: E untouched -> token reused, zero rows shipped.
+    engine.apply_batch(inserts={"V": [(99,)]})
+    after_reuse = ship_counts(engine)
+    assert after_reuse["reuse"] > after_append["reuse"]
+
+    # Tombstoned delete bumps the epoch -> full re-shipment.
+    engine.apply_batch(deletes={"E": [(3, 10)]})
+    after_delete = ship_counts(engine)
+    assert after_delete["full"] > after_reuse["full"]
+
+    # And the maintained result still matches a cold serial run.
+    cold = bellman_ford.run_sql(Engine("oracle"), graph, 0).values
+    warm = manager.views["sp"].values
+    assert set(warm) == set(cold)
+    assert all(repr(warm[k]) == repr(cold[k]) for k in cold)
+
+
+@pytest.mark.usefixtures("strict")
+def test_cached_shipments_do_not_change_results():
+    engine = Engine("oracle", parallel=2)
+    graph = ring()
+    manager = engine.streaming
+    manager.attach_graph(graph)
+    manager.register_view("sp", "sssp", source=0)
+    for batch in ({"E": [(5, 18)]}, {"E": [(2, 20)]}, {"E": [(6, 1, 1.0)]}):
+        engine.apply_batch(inserts=batch)
+    counts = ship_counts(engine)
+    assert counts["append"] + counts["reuse"] > 0
+    cold = bellman_ford.run_sql(Engine("oracle"), graph, 0).values
+    warm = manager.views["sp"].values
+    assert Counter(map(repr, warm.values())) == Counter(
+        map(repr, cold.values()))
+    assert all(repr(warm[k]) == repr(cold[k]) for k in cold)

@@ -1,0 +1,93 @@
+"""Streaming mutations must invalidate every piece of derived state.
+
+Before the streaming PR, ``delete_by_key`` paths could leave a cached
+join-index position map, a stale ``TableStatistics`` snapshot, or a
+cost-planner fingerprint pointing at pre-mutation row sets — a follow-up
+query would then join against tombstoned rows or replan from dead
+cardinalities.  These tests pin the invalidation contract."""
+
+from collections import Counter
+
+from repro.graphsystems.graph import Graph
+from repro.relational import Engine
+
+
+def chain_graph(n=8):
+    graph = Graph(directed=True, name="stale-state")
+    for v in range(n):
+        graph.add_node(v)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+JOIN = ("select E.F, E.T, V.vw from E, V where E.T = V.ID")
+
+
+def test_join_after_streaming_delete_skips_tombstoned_rows():
+    engine = Engine("oracle")
+    engine.streaming.attach_graph(chain_graph())
+    before = Counter(engine.execute(JOIN).rows)
+    assert (2, 3, 0.0) in before
+
+    engine.apply_batch(deletes={"E": [(2, 3)]})
+    after = Counter(engine.execute(JOIN).rows)
+    assert (2, 3, 0.0) not in after
+    assert sum(after.values()) == sum(before.values()) - 1
+
+    # Reinsert with a new weight: exactly one live copy, the new one.
+    engine.apply_batch(inserts={"E": [(2, 3, 5.0)]})
+    rows = Counter(engine.execute("select F, T, ew from E").rows)
+    assert rows[(2, 3, 5.0)] == 1
+    assert rows[(2, 3, 1.0)] == 0
+
+
+def test_vertex_delete_invalidates_cached_positions_map():
+    engine = Engine("oracle")
+    graph = chain_graph()
+    engine.streaming.attach_graph(graph)
+    table = engine.database.table("V")
+    engine.execute(JOIN)  # warms positions_by_key on the join key
+
+    engine.apply_batch(deletes={"V": [(4,)]})
+    assert table._positions_cache is None
+    rows = engine.execute(JOIN).rows
+    assert all(row[1] != 4 for row in rows)
+    assert Counter(r[:2] for r in rows) == Counter(graph.edges())
+
+
+def test_statistics_version_and_epoch_track_mutation_kind():
+    engine = Engine("oracle")
+    engine.streaming.attach_graph(chain_graph())
+    stats = engine.database.table("E").statistics
+    version, epoch = stats.version, stats.epoch
+
+    # Pure insert: appends only — version moves, epoch must not (the
+    # parallel static-shipment cache relies on it).
+    engine.apply_batch(inserts={"E": [(0, 5)]})
+    assert stats.version > version
+    assert stats.epoch == epoch
+
+    # Delete: tombstones — the epoch must advance too.
+    version = stats.version
+    engine.apply_batch(deletes={"E": [(0, 5)]})
+    assert stats.version > version
+    assert stats.epoch > epoch
+
+
+def test_cost_planner_replans_after_streaming_mutations():
+    engine = Engine("oracle", optimizer="cost")
+    engine.streaming.attach_graph(chain_graph())
+    for table in engine.database.all_tables():
+        table.analyze()
+    before = Counter(engine.execute(JOIN).rows)
+
+    # Bulk growth changes the join's cardinality picture entirely; the
+    # planner must not reuse the fingerprinted plan's assumptions to
+    # produce stale rows.
+    inserts = [(100 + i, 101 + i) for i in range(40)]
+    engine.apply_batch(inserts={"E": inserts})
+    after = Counter(engine.execute(JOIN).rows)
+    assert sum(after.values()) == sum(before.values()) + len(inserts)
+    for u, v in inserts:
+        assert (u, v, 0.0) in after

@@ -1,0 +1,1 @@
+"""Streaming ingest subsystem tests."""

@@ -1,0 +1,63 @@
+"""The JSONL batch format: parsing, validation, round-trips."""
+
+import pytest
+
+from repro.streaming import (BatchFormatError, dump_batch, iter_batches,
+                             parse_batch, read_batches)
+
+
+def test_parse_batch_sections_and_row_tupling():
+    inserts, deletes = parse_batch(
+        {"insert": {"E": [[1, 2, 1.0], [2, 3]], "V": [[9]]},
+         "delete": {"E": [[3, 4]]}})
+    assert inserts == {"E": [(1, 2, 1.0), (2, 3)], "V": [(9,)]}
+    assert deletes == {"E": [(3, 4)]}
+
+
+def test_parse_batch_scalar_rows_become_singleton_tuples():
+    inserts, _ = parse_batch({"insert": {"V": [7, 8]}})
+    assert inserts == {"V": [(7,), (8,)]}
+
+
+def test_parse_batch_missing_sections_default_empty():
+    assert parse_batch({}) == ({}, {})
+    assert parse_batch({"insert": None}) == ({}, {})
+
+
+@pytest.mark.parametrize("bad", [
+    [1, 2],                                # not an object
+    {"upsert": {}},                        # unknown section
+    {"insert": [1]},                       # section not a dict
+    {"insert": {"E": {"a": 1}}},           # rows not a list
+])
+def test_parse_batch_rejects_malformed(bad):
+    with pytest.raises(BatchFormatError):
+        parse_batch(bad)
+
+
+def test_iter_batches_skips_blanks_and_comments():
+    lines = [
+        "# header comment",
+        "",
+        '{"insert": {"E": [[1, 2]]}}',
+        "   ",
+        '{"delete": {"V": [[1]]}}',
+    ]
+    batches = list(iter_batches(lines))
+    assert len(batches) == 2
+    assert batches[0][0] == {"E": [(1, 2)]}
+    assert batches[1][1] == {"V": [(1,)]}
+
+
+def test_iter_batches_reports_line_numbers():
+    with pytest.raises(BatchFormatError, match="line 2"):
+        list(iter_batches(["{}", "not json"]))
+
+
+def test_dump_batch_round_trips_through_iter_batches(tmp_path):
+    line = dump_batch({"E": [(1, 2, 1.0)]}, {"V": [(4,)]})
+    path = tmp_path / "batches.jsonl"
+    path.write_text("# generated\n" + line + "\n", encoding="utf-8")
+    [(inserts, deletes)] = read_batches(str(path))
+    assert inserts == {"E": [(1, 2, 1.0)]}
+    assert deletes == {"V": [(4,)]}

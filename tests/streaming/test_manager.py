@@ -1,0 +1,164 @@
+"""StreamingManager semantics: delta building, mirror sync, rejection."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.algorithms import wcc
+from repro.core.algorithms.common import prepare_transition
+from repro.graphsystems.graph import Graph
+from repro.relational import Engine
+from repro.relational.schema import Schema
+from repro.relational.types import SqlType
+from repro.streaming import StreamingError
+
+
+def small_graph():
+    graph = Graph(directed=True, name="stream-test")
+    for v in range(5):
+        graph.add_node(v)
+    for u, v in ((0, 1), (1, 2), (2, 0), (3, 4)):
+        graph.add_edge(u, v)
+    return graph
+
+
+def attach(**engine_kwargs):
+    engine = Engine("oracle", **engine_kwargs)
+    graph = small_graph()
+    engine.streaming.attach_graph(graph)
+    return engine, graph
+
+
+def edge_table_rows(engine):
+    return Counter(map(tuple, engine.database.table("E").rows))
+
+
+def test_insert_edges_updates_graph_and_mirrors():
+    engine, graph = attach()
+    result = engine.apply_batch(inserts={"E": [(4, 0), (0, 3, 2.0)]})
+    assert graph.has_edge(4, 0) and graph.out_neighbors(0)[3] == 2.0
+    assert edge_table_rows(engine) == Counter(graph.weighted_edges())
+    assert result.delta.inserted_edges == [(4, 0, 1.0), (0, 3, 2.0)]
+    assert result.inserted_rows == 2 and result.deleted_rows == 0
+
+
+def test_insert_edge_with_new_endpoints_appends_vertices():
+    engine, graph = attach()
+    engine.apply_batch(inserts={"E": [(7, 8)]})
+    assert graph.has_node(7) and graph.has_node(8)
+    v_rows = {r[0] for r in engine.database.table("V").rows}
+    assert {7, 8} <= v_rows
+    # W and L stay aligned with V
+    assert {r[0] for r in engine.database.table("W").rows} == v_rows
+    assert {r[0] for r in engine.database.table("L").rows} == v_rows
+
+
+def test_delete_vertex_removes_incident_edges():
+    engine, graph = attach()
+    result = engine.apply_batch(deletes={"V": [(2,)]})
+    assert not graph.has_node(2)
+    assert Counter(result.delta.removed_edges) == Counter(
+        [(1, 2, 1.0), (2, 0, 1.0)])
+    assert edge_table_rows(engine) == Counter(graph.weighted_edges())
+    assert 2 not in {r[0] for r in engine.database.table("V").rows}
+
+
+def test_exact_duplicate_edge_insert_is_noop():
+    engine, graph = attach()
+    result = engine.apply_batch(inserts={"E": [(0, 1, 1.0)]})
+    assert result.delta.size == 0
+    assert edge_table_rows(engine) == Counter(graph.weighted_edges())
+
+
+def test_weight_change_is_remove_plus_insert():
+    engine, graph = attach()
+    result = engine.apply_batch(inserts={"E": [(0, 1, 3.0)]})
+    assert result.delta.removed_edges == [(0, 1, 1.0)]
+    assert result.delta.inserted_edges == [(0, 1, 3.0)]
+    assert graph.out_neighbors(0)[1] == 3.0
+    assert edge_table_rows(engine) == Counter(graph.weighted_edges())
+
+
+def test_last_write_wins_within_one_batch():
+    engine, graph = attach()
+    engine.apply_batch(inserts={"E": [(0, 4, 2.0), (0, 4, 5.0)]})
+    assert graph.out_neighbors(0)[4] == 5.0
+    assert edge_table_rows(engine)[(0, 4, 5.0)] == 1
+
+
+@pytest.mark.parametrize("batch, match", [
+    (dict(deletes={"E": [(0, 4)]}), "missing edge"),
+    (dict(deletes={"V": [(9,)]}), "missing vertex"),
+    (dict(inserts={"V": [(3,)]}), "already exists"),
+])
+def test_invalid_batches_raise_and_leave_state_alone(batch, match):
+    engine, graph = attach()
+    before_edges = Counter(graph.weighted_edges())
+    before_table = edge_table_rows(engine)
+    with pytest.raises(StreamingError, match=match):
+        engine.apply_batch(**batch)
+    assert Counter(graph.weighted_edges()) == before_edges
+    assert edge_table_rows(engine) == before_table
+    assert engine.streaming.batches_applied == 0
+
+
+def test_transition_relation_resyncs_touched_sources():
+    engine, graph = attach()
+    prepare_transition(engine)
+    engine.apply_batch(inserts={"E": [(0, 3)]})
+    s_rows = Counter(map(tuple, engine.database.table("S").rows))
+    expected = Counter()
+    for u, v, _ in graph.weighted_edges():
+        expected[(u, v, 1.0 / graph.out_degree(u))] += 1
+    assert s_rows == expected
+
+
+def test_symmetric_relation_stays_a_set_union():
+    engine, graph = attach()
+    wcc.prepare_symmetric_edges(engine)
+    engine.apply_batch(inserts={"E": [(1, 0)]})   # mirror already present
+    engine.apply_batch(deletes={"E": [(0, 1)]})   # (1,0) still derivable
+    es_rows = Counter(map(tuple, engine.database.table("ES").rows))
+    expected = Counter()
+    seen = set()
+    for u, v, w in graph.weighted_edges():
+        for row in ((u, v, w), (v, u, w)):
+            if row not in seen:
+                seen.add(row)
+                expected[row] += 1
+    assert es_rows == expected
+
+
+def test_generic_table_path_keyed_deletes():
+    engine = Engine("oracle")
+    table = engine.database.create_table(
+        "ACC", Schema.of(("K", SqlType.INTEGER), ("A", SqlType.INTEGER),
+                         primary_key=("K",)))
+    table.insert_many([(1, 10), (2, 20), (3, 30)])
+    result = engine.apply_batch(inserts={"ACC": [(4, 40)]},
+                                deletes={"ACC": [(2,)]})
+    assert result.tables["ACC"] == {"inserted": 1, "deleted": 1}
+    assert Counter(engine.execute("select K, A from ACC").rows) == Counter(
+        [(1, 10), (3, 30), (4, 40)])
+
+
+def test_ingest_metrics_counters_advance():
+    engine, _ = attach()
+    engine.apply_batch(inserts={"E": [(4, 1)]})
+    engine.apply_batch(deletes={"E": [(4, 1)]})
+    metrics = engine.metrics
+    assert metrics.counter("repro_ingest_batches_total").value == 2
+    assert metrics.counter("repro_ingest_rows_total", op="insert").value > 0
+    assert metrics.counter("repro_ingest_rows_total", op="delete").value > 0
+    with pytest.raises(StreamingError):
+        engine.apply_batch(deletes={"E": [(4, 1)]})
+    assert metrics.counter("repro_ingest_failures_total",
+                           error="StreamingError").value == 1
+
+
+def test_view_refresh_modes_recorded_per_batch():
+    engine, _ = attach()
+    engine.streaming.register_view("pr", "pagerank", iterations=4)
+    result = engine.apply_batch(inserts={"E": [(0, 4)]})
+    assert result.views["pr"] in ("incremental", "full")
+    assert engine.streaming.views["pr"].mode_history == [result.views["pr"]]
